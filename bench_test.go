@@ -1,0 +1,86 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§5). Each benchmark runs the corresponding experiment at
+// Quick scale once per iteration and reports the headline metric; run
+// cmd/flexbench -full for paper-scale sweeps.
+package main
+
+import (
+	"testing"
+
+	"flextoe/internal/experiments"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables := r.Run(experiments.Quick)
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkTable1CPUImpact regenerates Table 1: per-request CPU impact of
+// TCP processing for Linux, Chelsio, TAS and FlexTOE.
+func BenchmarkTable1CPUImpact(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2Extensions regenerates Table 2: throughput with
+// profiling, tcpdump, XDP and splicing extensions.
+func BenchmarkTable2Extensions(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3ParallelismAblation regenerates Table 3: the five-step
+// data-path parallelism breakdown.
+func BenchmarkTable3ParallelismAblation(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkTable4Incast regenerates Table 4: congestion control under
+// incast, on and off.
+func BenchmarkTable4Incast(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkTable5StatePartitioning verifies Table 5: per-stage connection
+// state sizes.
+func BenchmarkTable5StatePartitioning(b *testing.B) { runExperiment(b, "table5") }
+
+// BenchmarkTable6TASBreakdown regenerates Table 6: TAS per-packet TCP/IP
+// processing phases.
+func BenchmarkTable6TASBreakdown(b *testing.B) { runExperiment(b, "table6") }
+
+// BenchmarkFig8MemcachedScalability regenerates Figure 8: memcached
+// throughput vs server cores.
+func BenchmarkFig8MemcachedScalability(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9LatencyCDF regenerates Figure 9: latency for all 16
+// server/client stack combinations.
+func BenchmarkFig9LatencyCDF(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10RPCThroughput regenerates Figure 10: RX/TX throughput at
+// 250 and 1,000 cycles per RPC.
+func BenchmarkFig10RPCThroughput(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11RPCLatency regenerates Figure 11: median/99p/99.99p RPC
+// RTT vs message size.
+func BenchmarkFig11RPCLatency(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12LargeRPC regenerates Figure 12: single-connection large
+// RPC goodput, uni- and bidirectional.
+func BenchmarkFig12LargeRPC(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13ConnScalability regenerates Figure 13: throughput vs
+// number of established connections.
+func BenchmarkFig13ConnScalability(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14Generalization regenerates Figure 14: the BlueField and
+// x86 ports across MSS values.
+func BenchmarkFig14Generalization(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFig15LossRobustness regenerates Figure 15: throughput under
+// injected packet loss.
+func BenchmarkFig15LossRobustness(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkFig16Fairness regenerates Figure 16: per-connection goodput
+// distribution at line rate.
+func BenchmarkFig16Fairness(b *testing.B) { runExperiment(b, "fig16") }

@@ -1,0 +1,59 @@
+// Command flexbench regenerates the tables and figures of the FlexTOE
+// paper's evaluation (§5) on the simulated testbed.
+//
+// Usage:
+//
+//	flexbench                 # run everything at quick scale
+//	flexbench -full           # paper-scale parameters (slow)
+//	flexbench table3 fig11    # run specific experiments
+//	flexbench -list           # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"flextoe/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at paper-scale parameters (slow)")
+	list := flag.Bool("list", false, "list experiment identifiers")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+
+	scale := experiments.Quick
+	if *full {
+		scale = experiments.Full
+	}
+
+	runners := experiments.All()
+	if args := flag.Args(); len(args) > 0 {
+		runners = runners[:0]
+		for _, id := range args {
+			r, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+				os.Exit(1)
+			}
+			runners = append(runners, r)
+		}
+	}
+
+	for _, r := range runners {
+		start := time.Now()
+		tables := r.Run(scale)
+		for _, t := range tables {
+			fmt.Println(t.Format())
+		}
+		fmt.Printf("[%s completed in %v]\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

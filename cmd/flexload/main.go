@@ -1,0 +1,77 @@
+// Command flexload runs a configurable load scenario against a chosen
+// stack: echo or KV workloads, closed or open loop, with loss injection —
+// the memtier_benchmark of the simulated testbed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flextoe/internal/apps"
+	"flextoe/internal/netsim"
+	"flextoe/internal/sim"
+	"flextoe/internal/testbed"
+)
+
+func main() {
+	stack := flag.String("stack", "FlexTOE", "server stack: FlexTOE, Linux, TAS, Chelsio")
+	workload := flag.String("workload", "echo", "workload: echo or kv")
+	conns := flag.Int("conns", 16, "connections")
+	pipeline := flag.Int("pipeline", 1, "requests in flight per connection")
+	size := flag.Int("size", 64, "message size (echo)")
+	cores := flag.Int("cores", 4, "server cores")
+	durMs := flag.Int("ms", 50, "simulated milliseconds")
+	loss := flag.Float64("loss", 0, "loss probability")
+	rate := flag.Float64("rate", 0, "open-loop request rate (0 = closed loop)")
+	flag.Parse()
+
+	kind := testbed.StackKind(*stack)
+	switch kind {
+	case testbed.FlexTOE, testbed.Linux, testbed.TAS, testbed.Chelsio:
+	default:
+		fmt.Fprintf(os.Stderr, "unknown stack %q\n", *stack)
+		os.Exit(1)
+	}
+
+	tb := testbed.New(netsim.SwitchConfig{LossProb: *loss, Seed: 7},
+		testbed.MachineSpec{Name: "server", Kind: kind, Cores: *cores, Seed: 1},
+		testbed.MachineSpec{Name: "client", Kind: testbed.FlexTOE, Cores: 16, Seed: 2},
+	)
+	d := sim.Time(*durMs) * sim.Millisecond
+
+	var completed uint64
+	var latency interface {
+		Percentile(p float64) int64
+	}
+	switch *workload {
+	case "kv":
+		kv := &apps.KVServer{AppCycles: 890, ValueLen: 32}
+		kv.Serve(tb.M("server").Stack, 11211)
+		cl := &apps.KVClient{KeyLen: 32, ValLen: 32, SetRatio: 0.1, Pipeline: *pipeline, Seed: 3}
+		cl.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 11211), *conns)
+		tb.Run(d)
+		completed, latency = cl.Completed, cl.Latency
+	default:
+		srv := &apps.RPCServer{ReqSize: *size}
+		srv.Serve(tb.M("server").Stack, 7777)
+		if *rate > 0 {
+			ol := &apps.OpenLoopClient{ReqSize: *size, Rate: *rate, Seed: 3}
+			ol.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 7777), *conns)
+			tb.Run(d)
+			completed, latency = ol.Completed, ol.Latency
+		} else {
+			cl := &apps.ClosedLoopClient{ReqSize: *size, Pipeline: *pipeline}
+			cl.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 7777), *conns)
+			tb.Run(d)
+			completed, latency = cl.Completed, cl.Latency
+		}
+	}
+
+	fmt.Printf("stack=%s workload=%s conns=%d pipeline=%d\n", kind, *workload, *conns, *pipeline)
+	fmt.Printf("throughput: %.0f ops/s (%d ops in %dms)\n", float64(completed)/d.Seconds(), completed, *durMs)
+	fmt.Printf("latency:    p50=%.1fus p99=%.1fus p99.99=%.1fus\n",
+		float64(latency.Percentile(50))/1e6,
+		float64(latency.Percentile(99))/1e6,
+		float64(latency.Percentile(99.99))/1e6)
+}

@@ -1,0 +1,22 @@
+// FlexTOE reproduction: a flexible TCP offload engine with fine-grained
+// parallelism (NSDI 2022), rebuilt as a deterministic simulation in Go.
+//
+// See README.md for the architecture overview, cmd/flexbench for the
+// evaluation harness, and examples/ for runnable applications.
+// bench_test.go in this directory regenerates every table and figure of
+// the paper's evaluation as Go benchmarks.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	fmt.Println("FlexTOE reproduction. Use:")
+	fmt.Println("  go run ./cmd/flexbench      # regenerate the paper's tables and figures")
+	fmt.Println("  go run ./cmd/flextrace      # tcpdump-style capture on a simulated run")
+	fmt.Println("  go run ./cmd/flexload       # scenario load generator")
+	fmt.Println("  go run ./examples/quickstart")
+	os.Exit(0)
+}

@@ -1,0 +1,87 @@
+// Firewall: data-path packet filtering and capture — two of the §2.1
+// feature list items. A firewall module drops blacklisted sources inside
+// the FlexTOE pipeline while a tcpdump-style tap writes a pcap file of
+// the surviving traffic.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"flextoe/internal/apps"
+	"flextoe/internal/netsim"
+	"flextoe/internal/packet"
+	"flextoe/internal/pcap"
+	"flextoe/internal/sim"
+	"flextoe/internal/testbed"
+	"flextoe/internal/xdp"
+)
+
+func main() {
+	tb := testbed.New(netsim.SwitchConfig{},
+		testbed.MachineSpec{Name: "server", Kind: testbed.FlexTOE, Cores: 2, Seed: 1},
+		testbed.MachineSpec{Name: "good", Kind: testbed.FlexTOE, Cores: 2, Seed: 2},
+		testbed.MachineSpec{Name: "evil", Kind: testbed.FlexTOE, Cores: 2, Seed: 3},
+	)
+	server := tb.M("server")
+
+	// Firewall module with control-plane-managed blacklist.
+	fw := xdp.NewFirewall()
+	fw.Block(uint32(tb.M("evil").IP))
+	server.TOE.AttachXDP(fw)
+
+	// tcpdump: capture SYNs and data to port 7777 into a pcap file.
+	f, err := os.CreateTemp("", "flextoe-*.pcap")
+	if err != nil {
+		panic(err)
+	}
+	defer os.Remove(f.Name())
+	w, err := pcap.NewWriter(f)
+	if err != nil {
+		panic(err)
+	}
+	filter := &pcap.Filter{DstPort: 7777}
+	server.TOE.PacketTapCost = 300
+	server.TOE.PacketTap = func(dir string, pkt *packet.Packet) {
+		if dir == "rx" && filter.Match(pkt) {
+			w.WritePacket(tb.Eng.Now(), pkt)
+		}
+	}
+
+	srv := &apps.RPCServer{ReqSize: 64}
+	srv.Serve(server.Stack, 7777)
+
+	good := &apps.ClosedLoopClient{ReqSize: 64}
+	good.Start(tb.Eng, tb.M("good").Stack, tb.Addr("server", 7777), 2)
+	evilClient := &apps.ClosedLoopClient{ReqSize: 64}
+	evilClient.Start(tb.Eng, tb.M("evil").Stack, tb.Addr("server", 7777), 2)
+
+	tb.Run(20 * sim.Millisecond)
+
+	fmt.Printf("good client completed: %d RPCs\n", good.Completed)
+	fmt.Printf("evil client completed: %d RPCs (blackholed at the firewall)\n", evilClient.Completed)
+	fmt.Printf("firewall drops:        %d packets\n", fw.Dropped)
+	fmt.Printf("pcap capture:          %d packets -> %s\n", w.Packets, f.Name())
+
+	// Read the capture back and verify every packet passes the filter.
+	if _, err := f.Seek(0, 0); err != nil {
+		panic(err)
+	}
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		panic(err)
+	}
+	n := 0
+	for {
+		rec, err := r.Next()
+		if err != nil {
+			break
+		}
+		p, err := packet.Decode(rec.Data)
+		if err != nil || !filter.Match(p) {
+			panic("capture contains non-matching packet")
+		}
+		n++
+	}
+	fmt.Printf("capture verified:      %d records decode and match the filter\n", n)
+}

@@ -1,0 +1,34 @@
+// Memcached: the §2.1 workload — a key-value store with 32 B keys and
+// values under memtier-style load, comparing FlexTOE against the three
+// baseline stacks on identical application code.
+package main
+
+import (
+	"fmt"
+
+	"flextoe/internal/apps"
+	"flextoe/internal/netsim"
+	"flextoe/internal/sim"
+	"flextoe/internal/testbed"
+)
+
+func main() {
+	const dur = 30 * sim.Millisecond
+	fmt.Println("memcached, 4 server cores, 32 connections, 10% SETs, 30 simulated ms")
+	fmt.Printf("%-8s  %12s  %12s  %12s\n", "stack", "ops/sec", "p50 (us)", "p99 (us)")
+	for _, kind := range testbed.AllStacks {
+		tb := testbed.New(netsim.SwitchConfig{},
+			testbed.MachineSpec{Name: "server", Kind: kind, Cores: 4, Seed: 1},
+			testbed.MachineSpec{Name: "client", Kind: testbed.FlexTOE, Cores: 8, Seed: 2},
+		)
+		kv := &apps.KVServer{AppCycles: 890, ValueLen: 32}
+		kv.Serve(tb.M("server").Stack, 11211)
+		cl := &apps.KVClient{KeyLen: 32, ValLen: 32, SetRatio: 0.1, Pipeline: 2, Seed: 3}
+		cl.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 11211), 32)
+		tb.Run(dur)
+		fmt.Printf("%-8s  %12.0f  %12.1f  %12.1f\n", kind,
+			float64(cl.Completed)/dur.Seconds(),
+			float64(cl.Latency.Percentile(50))/1e6,
+			float64(cl.Latency.Percentile(99))/1e6)
+	}
+}

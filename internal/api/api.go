@@ -1,0 +1,57 @@
+// Package api defines the stack-independent application interface: the
+// paper runs identical application binaries on Linux, Chelsio, TAS and
+// FlexTOE (§5 "We use identical application binaries across all
+// baselines"). Applications in internal/apps program against these
+// interfaces; libTOE implements them over the FlexTOE data-path, and the
+// baseline host stacks implement them over their own engines.
+package api
+
+import (
+	"flextoe/internal/host"
+	"flextoe/internal/packet"
+)
+
+// Addr names a TCP endpoint.
+type Addr struct {
+	IP   packet.IPv4Addr
+	Port uint16
+}
+
+// Socket is a connected stream endpoint. The interface is callback-based
+// because applications are event-driven simulation actors; libTOE's POSIX
+// interposition layer (blocking send/recv over epoll) reduces to exactly
+// these operations.
+type Socket interface {
+	// Send appends up to len(p) bytes to the transmit stream, returning
+	// how many were accepted (bounded by socket-buffer space).
+	Send(p []byte) int
+	// Recv copies up to len(p) available bytes, returning the count.
+	Recv(p []byte) int
+	// Readable returns the number of buffered received bytes.
+	Readable() int
+	// TxSpace returns the free transmit-buffer space.
+	TxSpace() int
+	// OnReadable registers the data-arrival callback (edge-triggered:
+	// fires when Readable transitions upward).
+	OnReadable(func())
+	// OnWritable registers the buffer-space callback.
+	OnWritable(func())
+	// Close initiates connection teardown (FIN).
+	Close()
+	// LocalAddr / RemoteAddr identify the connection.
+	LocalAddr() Addr
+	RemoteAddr() Addr
+}
+
+// Stack is a TCP implementation on one simulated machine.
+type Stack interface {
+	Name() string
+	// Listen registers an accept handler for a local port.
+	Listen(port uint16, accept func(Socket))
+	// Dial opens a connection; connected runs when established.
+	Dial(remote Addr, connected func(Socket))
+	// Machine returns the host CPU model for application work.
+	Machine() *host.Machine
+	// LocalIP returns the machine's address.
+	LocalIP() packet.IPv4Addr
+}

@@ -1,0 +1,541 @@
+// Package apps implements the evaluation workloads: a memcached-like
+// key-value server driven by a memtier-like load generator (§2.1, §5.1),
+// echo/RPC servers with configurable application processing cost (§5.2),
+// closed- and open-loop clients with pipelining, and bulk-transfer
+// senders (§5.2, §5.3). Applications use only the api.Stack interface, so
+// identical "binaries" run over every stack.
+package apps
+
+import (
+	"encoding/binary"
+
+	"flextoe/internal/api"
+	"flextoe/internal/host"
+	"flextoe/internal/sim"
+	"flextoe/internal/stats"
+)
+
+// ---------------------------------------------------------------------
+// Fixed-size RPC framing: every request and response is a fixed number of
+// bytes agreed upon out of band (the paper's RPC benchmarks fix request
+// and response sizes per run).
+// ---------------------------------------------------------------------
+
+// RPCServer serves fixed-size requests with fixed-size responses after a
+// configurable application-processing delay (Fig. 10's 250/1,000 cycles).
+type RPCServer struct {
+	ReqSize   int
+	RespSize  int // 0 = echo the request size
+	AppCycles int64
+
+	Served uint64
+}
+
+// Serve installs the server on a stack port.
+func (srv *RPCServer) Serve(stack api.Stack, port uint16) {
+	stack.Listen(port, func(sock api.Socket) {
+		buffered := 0
+		var pump func()
+		core := coreFor(stack, sock)
+		pump = func() {
+			buf := make([]byte, 4096)
+			for {
+				n := sock.Recv(buf)
+				if n == 0 {
+					break
+				}
+				buffered += n
+			}
+			for buffered >= srv.ReqSize {
+				buffered -= srv.ReqSize
+				srv.Served++
+				resp := srv.RespSize
+				if resp == 0 {
+					resp = srv.ReqSize
+				}
+				payload := make([]byte, resp)
+				if srv.AppCycles > 0 {
+					core.Submit(sim.TaskC(srv.AppCycles), func() { sock.Send(payload) })
+				} else {
+					sock.Send(payload)
+				}
+			}
+		}
+		sock.OnReadable(pump)
+	})
+}
+
+// coreFor picks the application core serving a socket.
+func coreFor(stack api.Stack, sock api.Socket) *host.Core {
+	cores := stack.Machine().Cores
+	idx := int(sock.RemoteAddr().Port) % len(cores)
+	return cores[idx]
+}
+
+// ---------------------------------------------------------------------
+// Closed-loop client (memtier-style): each connection keeps a fixed
+// number of requests pipelined and issues a new one per response.
+// ---------------------------------------------------------------------
+
+// ClosedLoopClient drives closed-loop fixed-size RPCs.
+type ClosedLoopClient struct {
+	ReqSize  int
+	RespSize int // expected; 0 = ReqSize
+	Pipeline int // requests in flight per connection (>=1)
+
+	// Measurement.
+	Completed uint64
+	Bytes     uint64
+	Latency   *stats.Histogram // picoseconds
+	WarmupOps uint64           // skip the first N ops in the histogram
+
+	perConn []uint64 // completions per connection (fairness)
+	eng     *sim.Engine
+}
+
+// ConnJFI returns Jain's fairness index over per-connection completion
+// counts.
+func (c *ClosedLoopClient) ConnJFI() float64 {
+	xs := make([]float64, len(c.perConn))
+	for i, v := range c.perConn {
+		xs[i] = float64(v)
+	}
+	return stats.JainFairness(xs)
+}
+
+type clientConn struct {
+	c        *ClosedLoopClient
+	sock     api.Socket
+	idx      int        // per-connection index for fairness accounting
+	issued   []sim.Time // send timestamps, FIFO per pipelined request
+	received int
+	openLoop bool // open-loop mode: responses do not trigger reissue
+}
+
+// Start opens conns connections from the stack to the server and begins
+// issuing load.
+func (c *ClosedLoopClient) Start(eng *sim.Engine, stack api.Stack, server api.Addr, conns int) {
+	c.eng = eng
+	if c.Latency == nil {
+		c.Latency = stats.NewHistogram()
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 1
+	}
+	for i := 0; i < conns; i++ {
+		stack.Dial(server, func(sock api.Socket) {
+			idx := len(c.perConn)
+			c.perConn = append(c.perConn, 0)
+			cc := &clientConn{c: c, sock: sock, idx: idx}
+			sock.OnReadable(cc.onReadable)
+			for p := 0; p < c.Pipeline; p++ {
+				cc.issue()
+			}
+		})
+	}
+}
+
+func (cc *clientConn) issue() {
+	payload := make([]byte, cc.c.ReqSize)
+	cc.issued = append(cc.issued, cc.c.eng.Now())
+	cc.sock.Send(payload)
+}
+
+func (cc *clientConn) onReadable() {
+	resp := cc.c.RespSize
+	if resp == 0 {
+		resp = cc.c.ReqSize
+	}
+	buf := make([]byte, 4096)
+	for {
+		n := cc.sock.Recv(buf)
+		if n == 0 {
+			break
+		}
+		cc.received += n
+	}
+	for cc.received >= resp && len(cc.issued) > 0 {
+		cc.received -= resp
+		start := cc.issued[0]
+		cc.issued = cc.issued[1:]
+		cc.c.Completed++
+		cc.c.Bytes += uint64(resp + cc.c.ReqSize)
+		if cc.idx < len(cc.c.perConn) {
+			cc.c.perConn[cc.idx]++
+		}
+		if cc.c.Completed > cc.c.WarmupOps {
+			cc.c.Latency.Record(int64(cc.c.eng.Now() - start))
+		}
+		if !cc.openLoop {
+			cc.issue()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Open-loop client: Poisson arrivals at a fixed rate spread over the
+// connections (Fig. 10's open-loop producers).
+// ---------------------------------------------------------------------
+
+// OpenLoopClient issues fixed-size requests at a target rate.
+type OpenLoopClient struct {
+	ReqSize  int
+	RespSize int
+	Rate     float64 // requests/second
+	Seed     uint64
+
+	Completed uint64
+	Dropped   uint64 // requests skipped because the socket buffer was full
+	Latency   *stats.Histogram
+
+	eng   *sim.Engine
+	rng   *stats.RNG
+	socks []api.Socket
+	conns []*clientConn
+	next  int
+}
+
+// Start opens conns connections and schedules Poisson arrivals.
+func (c *OpenLoopClient) Start(eng *sim.Engine, stack api.Stack, server api.Addr, conns int) {
+	c.eng = eng
+	c.rng = stats.NewRNG(c.Seed + 7)
+	if c.Latency == nil {
+		c.Latency = stats.NewHistogram()
+	}
+	cl := &ClosedLoopClient{ReqSize: c.ReqSize, RespSize: c.RespSize, Latency: c.Latency, eng: eng}
+	for i := 0; i < conns; i++ {
+		stack.Dial(server, func(sock api.Socket) {
+			cc := &clientConn{c: cl, sock: sock, openLoop: true}
+			sock.OnReadable(func() {
+				cc.onReadable()
+				c.Completed = cl.Completed
+			})
+			c.conns = append(c.conns, cc)
+			if len(c.conns) == 1 {
+				c.scheduleNext()
+			}
+		})
+	}
+}
+
+func (c *OpenLoopClient) scheduleNext() {
+	gap := sim.Time(c.rng.Exp(1e12 / c.Rate))
+	c.eng.After(gap, func() {
+		if len(c.conns) > 0 {
+			cc := c.conns[c.next%len(c.conns)]
+			c.next++
+			if cc.sock.TxSpace() >= c.ReqSize {
+				cc.issue()
+			} else {
+				c.Dropped++
+			}
+		}
+		c.scheduleNext()
+	})
+}
+
+// ---------------------------------------------------------------------
+// Bulk transfer: one-directional stream, measuring delivered goodput.
+// ---------------------------------------------------------------------
+
+// BulkSink counts received bytes on a port.
+type BulkSink struct {
+	Received uint64
+	// Echo reflects RespBytes back per ChunkBytes received (the Fig. 12
+	// bidirectional case echoes everything: RespBytes == ChunkBytes).
+	ChunkBytes int
+	RespBytes  int
+	buffered   int
+}
+
+// Serve installs the sink.
+func (b *BulkSink) Serve(stack api.Stack, port uint16) {
+	stack.Listen(port, func(sock api.Socket) {
+		buf := make([]byte, 16384)
+		sock.OnReadable(func() {
+			for {
+				n := sock.Recv(buf)
+				if n == 0 {
+					break
+				}
+				b.Received += uint64(n)
+				b.buffered += n
+			}
+			for b.ChunkBytes > 0 && b.buffered >= b.ChunkBytes {
+				b.buffered -= b.ChunkBytes
+				if b.RespBytes > 0 {
+					sock.Send(make([]byte, b.RespBytes))
+				}
+			}
+		})
+	})
+}
+
+// PerConnBulkSink counts received bytes per accepted connection (the
+// Fig. 16 fairness measurement).
+type PerConnBulkSink struct {
+	counts []uint64
+}
+
+// NewPerConnBulkSink returns an empty sink.
+func NewPerConnBulkSink() *PerConnBulkSink { return &PerConnBulkSink{} }
+
+// Serve installs the sink on a port.
+func (b *PerConnBulkSink) Serve(stack api.Stack, port uint16) {
+	stack.Listen(port, func(sock api.Socket) {
+		idx := len(b.counts)
+		b.counts = append(b.counts, 0)
+		buf := make([]byte, 16384)
+		sock.OnReadable(func() {
+			for {
+				n := sock.Recv(buf)
+				if n == 0 {
+					break
+				}
+				b.counts[idx] += uint64(n)
+			}
+		})
+	})
+}
+
+// ResetCounts zeroes the per-connection counters (end of warmup).
+func (b *PerConnBulkSink) ResetCounts() {
+	for i := range b.counts {
+		b.counts[i] = 0
+	}
+}
+
+// Shares returns the per-connection byte counts as float64s.
+func (b *PerConnBulkSink) Shares() []float64 {
+	out := make([]float64, len(b.counts))
+	for i, v := range b.counts {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// BulkSender streams as fast as the socket accepts.
+type BulkSender struct {
+	Sent  uint64
+	chunk []byte
+}
+
+// Start opens a connection and saturates it.
+func (b *BulkSender) Start(eng *sim.Engine, stack api.Stack, server api.Addr) {
+	b.chunk = make([]byte, 16384)
+	stack.Dial(server, func(sock api.Socket) {
+		push := func() {
+			for {
+				n := sock.Send(b.chunk)
+				if n == 0 {
+					break
+				}
+				b.Sent += uint64(n)
+			}
+		}
+		sock.OnWritable(push)
+		push()
+	})
+}
+
+// ---------------------------------------------------------------------
+// Memcached-like key-value store (§2.1's workload): binary framing with
+// GET/SET over 32 B keys and values, a real hash table, and per-request
+// application cycles.
+// ---------------------------------------------------------------------
+
+// KV op codes.
+const (
+	KVGet byte = 1
+	KVSet byte = 2
+)
+
+// KVRequestSize returns the wire size of a request.
+func KVRequestSize(op byte, keyLen, valLen int) int {
+	if op == KVSet {
+		return 4 + keyLen + valLen
+	}
+	return 4 + keyLen
+}
+
+// KVEncodeRequest builds a request frame: [op][keyLen][valLen:2][key][val].
+func KVEncodeRequest(op byte, key, val []byte) []byte {
+	buf := make([]byte, 4+len(key)+len(val))
+	buf[0] = op
+	buf[1] = byte(len(key))
+	binary.BigEndian.PutUint16(buf[2:4], uint16(len(val)))
+	copy(buf[4:], key)
+	copy(buf[4+len(key):], val)
+	return buf
+}
+
+// KVServer is the memcached-like store.
+type KVServer struct {
+	AppCycles int64 // per-request application work (hash + LRU, §2.1)
+	ValueLen  int   // response value size for GET
+
+	store  map[string][]byte
+	Served uint64
+	Hits   uint64
+}
+
+// Serve installs the KV server.
+func (kv *KVServer) Serve(stack api.Stack, port uint16) {
+	kv.store = make(map[string][]byte)
+	stack.Listen(port, func(sock api.Socket) {
+		var acc []byte
+		core := coreFor(stack, sock)
+		sock.OnReadable(func() {
+			buf := make([]byte, 8192)
+			for {
+				n := sock.Recv(buf)
+				if n == 0 {
+					break
+				}
+				acc = append(acc, buf[:n]...)
+			}
+			for {
+				if len(acc) < 4 {
+					return
+				}
+				op := acc[0]
+				keyLen := int(acc[1])
+				valLen := int(binary.BigEndian.Uint16(acc[2:4]))
+				need := 4 + keyLen
+				if op == KVSet {
+					need += valLen
+				}
+				if len(acc) < need {
+					return
+				}
+				frame := acc[:need]
+				acc = acc[need:]
+				kv.handle(core, sock, op, frame[4:4+keyLen], frame[4+keyLen:need])
+			}
+		})
+	})
+}
+
+func (kv *KVServer) handle(core *host.Core, sock api.Socket, op byte, key, val []byte) {
+	k := string(key)
+	work := func() {
+		kv.Served++
+		switch op {
+		case KVSet:
+			stored := make([]byte, len(val))
+			copy(stored, val)
+			kv.store[k] = stored
+			sock.Send([]byte{1, 0, 0, 0}) // 4-byte OK
+		default: // GET
+			v, ok := kv.store[k]
+			if ok {
+				kv.Hits++
+			} else {
+				v = make([]byte, kv.ValueLen)
+			}
+			resp := make([]byte, 4+len(v))
+			resp[0] = 1
+			binary.BigEndian.PutUint16(resp[2:4], uint16(len(v)))
+			copy(resp[4:], v)
+			sock.Send(resp)
+		}
+	}
+	if kv.AppCycles > 0 {
+		core.Submit(sim.TaskC(kv.AppCycles), work)
+	} else {
+		work()
+	}
+}
+
+// KVClient is the memtier-like generator: closed-loop GET/SET mix over
+// persistent connections with 32 B keys and values.
+type KVClient struct {
+	KeyLen   int
+	ValLen   int
+	SetRatio float64 // fraction of SETs
+	Pipeline int
+	Seed     uint64
+
+	Completed uint64
+	Latency   *stats.Histogram
+
+	eng *sim.Engine
+	rng *stats.RNG
+}
+
+// Start opens conns connections and drives the closed loop.
+func (c *KVClient) Start(eng *sim.Engine, stack api.Stack, server api.Addr, conns int) {
+	c.eng = eng
+	c.rng = stats.NewRNG(c.Seed + 99)
+	if c.Latency == nil {
+		c.Latency = stats.NewHistogram()
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 1
+	}
+	if c.KeyLen == 0 {
+		c.KeyLen = 32
+	}
+	if c.ValLen == 0 {
+		c.ValLen = 32
+	}
+	for i := 0; i < conns; i++ {
+		stack.Dial(server, func(sock api.Socket) {
+			kc := &kvConn{c: c, sock: sock}
+			sock.OnReadable(kc.onReadable)
+			for p := 0; p < c.Pipeline; p++ {
+				kc.issue()
+			}
+		})
+	}
+}
+
+type kvConn struct {
+	c      *KVClient
+	sock   api.Socket
+	issued []sim.Time
+	expect []int // response size per outstanding op
+	acc    int
+}
+
+func (kc *kvConn) issue() {
+	c := kc.c
+	key := make([]byte, c.KeyLen)
+	c.rng.Uint64() // churn
+	for i := range key {
+		key[i] = byte('a' + c.rng.Intn(26))
+	}
+	var frame []byte
+	var respSize int
+	if c.rng.Bool(c.SetRatio) {
+		val := make([]byte, c.ValLen)
+		frame = KVEncodeRequest(KVSet, key, val)
+		respSize = 4
+	} else {
+		frame = KVEncodeRequest(KVGet, key, nil)
+		respSize = 4 + c.ValLen
+	}
+	kc.issued = append(kc.issued, c.eng.Now())
+	kc.expect = append(kc.expect, respSize)
+	kc.sock.Send(frame)
+}
+
+func (kc *kvConn) onReadable() {
+	buf := make([]byte, 8192)
+	for {
+		n := kc.sock.Recv(buf)
+		if n == 0 {
+			break
+		}
+		kc.acc += n
+	}
+	for len(kc.expect) > 0 && kc.acc >= kc.expect[0] {
+		kc.acc -= kc.expect[0]
+		kc.expect = kc.expect[1:]
+		start := kc.issued[0]
+		kc.issued = kc.issued[1:]
+		kc.c.Completed++
+		kc.c.Latency.Record(int64(kc.c.eng.Now() - start))
+		kc.issue()
+	}
+}

@@ -1,0 +1,602 @@
+package baseline
+
+import (
+	"flextoe/internal/api"
+	"flextoe/internal/host"
+	"flextoe/internal/netsim"
+	"flextoe/internal/packet"
+	"flextoe/internal/sim"
+	"flextoe/internal/stats"
+	"flextoe/internal/tcpseg"
+)
+
+// Stack is one machine's baseline TCP stack instance.
+type Stack struct {
+	eng        *sim.Engine
+	prof       Profile
+	iface      *netsim.Iface
+	machine    *host.Machine
+	stackCores []*host.Core
+	lock       *sim.Resource // global kernel lock (Linux/Chelsio)
+	asic       *sim.Resource // Chelsio's on-NIC TCP engine
+	rng        *stats.RNG
+
+	localIP  packet.IPv4Addr
+	localMAC packet.EtherAddr
+	bufSize  uint32
+
+	conns     map[packet.Flow]*bconn
+	listeners map[uint16]func(api.Socket)
+	nextPort  uint16
+
+	// ResolveMAC maps destination IPs to MACs (static ARP, installed by
+	// the testbed).
+	ResolveMAC func(ip packet.IPv4Addr) packet.EtherAddr
+
+	// Statistics.
+	RxSegs, TxSegs uint64
+	Retransmits    uint64
+	FastRetx       uint64
+}
+
+// NewStack builds a baseline stack on a NIC interface.
+func NewStack(eng *sim.Engine, prof Profile, iface *netsim.Iface,
+	machine *host.Machine, localIP packet.IPv4Addr, bufSize uint32, seed uint64) *Stack {
+
+	s := &Stack{
+		eng:       eng,
+		prof:      prof,
+		iface:     iface,
+		machine:   machine,
+		rng:       stats.NewRNG(seed ^ uint64(localIP)),
+		localIP:   localIP,
+		localMAC:  iface.MAC,
+		bufSize:   bufSize,
+		conns:     make(map[packet.Flow]*bconn),
+		listeners: make(map[uint16]func(api.Socket)),
+		nextPort:  30000,
+	}
+	hz := machine.Cores[0].Hz()
+	s.lock = sim.NewResource(eng, prof.Name+"/lock", float64(hz))
+	if prof.ASIC {
+		s.asic = sim.NewResource(eng, prof.Name+"/asic", 1e9/prof.ASICSegNs)
+	}
+	for i := 0; i < prof.StackCores; i++ {
+		s.stackCores = append(s.stackCores, host.NewCore(eng, prof.Name+"/fastpath", hz))
+	}
+	iface.Recv = s.rx
+	eng.Every(500*sim.Microsecond, 500*sim.Microsecond, func() bool { s.rtoScan(); return true })
+	return s
+}
+
+// Name returns the stack personality name.
+func (s *Stack) Name() string { return s.prof.Name }
+
+// Machine returns the application CPU model.
+func (s *Stack) Machine() *host.Machine { return s.machine }
+
+// LocalIP returns the machine address.
+func (s *Stack) LocalIP() packet.IPv4Addr { return s.localIP }
+
+// Profile returns the personality (mutable for experiments).
+func (s *Stack) Profile() *Profile { return &s.prof }
+
+// StackCoreCount reports dedicated fast-path cores (TAS), for core
+// accounting in scaling experiments.
+func (s *Stack) StackCoreCount() int { return len(s.stackCores) }
+
+// FastPathInstructions sums the work done on dedicated stack cores.
+func (s *Stack) FastPathInstructions() uint64 {
+	var n uint64
+	for _, c := range s.stackCores {
+		n += c.Instructions
+	}
+	return n
+}
+
+// SetStackCores reconfigures the number of dedicated fast-path cores.
+func (s *Stack) SetStackCores(n int) {
+	hz := s.machine.Cores[0].Hz()
+	s.stackCores = s.stackCores[:0]
+	for i := 0; i < n; i++ {
+		s.stackCores = append(s.stackCores, host.NewCore(s.eng, s.prof.Name+"/fastpath", hz))
+	}
+}
+
+// interval is one contiguous received range (selective reassembly).
+type interval struct{ start, end uint64 }
+
+// bconn is one baseline connection.
+type bconn struct {
+	stack   *Stack
+	flow    packet.Flow
+	peerMAC packet.EtherAddr
+
+	// Sender (absolute stream offsets; seq = iss + uint32(offset)).
+	iss      uint32
+	una      uint64 // oldest unacked
+	nxt      uint64 // next to send
+	appended uint64 // bytes the app has written
+	txData   []byte // circular, bufSize
+	finAt    uint64 // stream offset of FIN; ^0 = none
+	finSent  bool
+	finAcked bool
+
+	cwnd         uint32
+	ssthresh     uint32
+	dupacks      int
+	remoteWin    uint32
+	lastProgress sim.Time
+	srtt         sim.Time
+	backoff      int
+
+	// Receiver.
+	irs     uint32
+	rcvd    uint64 // in-order received (rcv.nxt offset)
+	readPos uint64 // app read position
+	rxData  []byte
+	rxAvail uint32
+	ivs     []interval // out-of-order intervals (policy-capped)
+	peerFin bool
+
+	sock    *bsocket
+	pumping bool
+
+	// Handshake.
+	active    bool // we sent the SYN
+	synDone   bool
+	connected func(api.Socket)
+}
+
+func (c *bconn) sndSeq(off uint64) uint32 { return c.iss + uint32(off) }
+func (c *bconn) rcvOff(seq uint32) uint64 {
+	// Unwrap a 32-bit sequence near the current receive point.
+	base := c.rcvd
+	rel := int32(seq - (c.irs + uint32(base)))
+	return uint64(int64(base) + int64(rel))
+}
+func (c *bconn) ackOff(ack uint32) uint64 {
+	base := c.una
+	rel := int32(ack - (c.iss + uint32(base)))
+	return uint64(int64(base) + int64(rel))
+}
+
+// appCore returns the core application callbacks run on (RSS-style
+// connection-to-core affinity).
+func (c *bconn) appCore() *host.Core {
+	cores := c.stack.machine.Cores
+	return cores[int(c.flow.Hash())%len(cores)]
+}
+
+// stackCore returns where segment processing executes.
+func (c *bconn) stackCore() *host.Core {
+	s := c.stack
+	if len(s.stackCores) > 0 {
+		return s.stackCores[int(c.flow.Hash())%len(s.stackCores)]
+	}
+	return c.appCore()
+}
+
+// segCost builds the per-segment processing task, including lock
+// serialization, connection-count penalties, and scheduler spikes.
+func (s *Stack) segCost(conns int) sim.Task {
+	p := &s.prof
+	cycles := p.DriverPerSeg + p.TCPPerSeg + p.OtherPerSeg
+	if p.ConnPenalty > 0 && conns > 1 {
+		cycles += int64(p.ConnPenalty * log2(conns))
+	}
+	var stall sim.Time
+	if p.SpikeProb > 0 && s.rng.Bool(p.SpikeProb) {
+		stall = sim.Time(s.rng.Exp(p.SpikeMeanUs) * float64(sim.Microsecond))
+	}
+	if p.ASIC {
+		// Host only pays driver + glue; TCP ran on the ASIC.
+		cycles = p.DriverPerSeg + p.OtherPerSeg
+	}
+	return sim.TaskC(cycles).Add(0, stall)
+}
+
+func log2(n int) float64 {
+	v := 0.0
+	for n > 1 {
+		v++
+		n >>= 1
+	}
+	return v
+}
+
+// rx is the NIC receive path.
+func (s *Stack) rx(f *netsim.Frame) {
+	pkt := f.Pkt
+	flow := pkt.Flow().Reverse()
+	c := s.conns[flow]
+	if c == nil {
+		s.handshake(pkt, flow)
+		return
+	}
+	if !c.synDone {
+		if s.connHandshakeRx(c, pkt) {
+			return
+		}
+	}
+	s.RxSegs++
+	process := func() { s.handleSeg(c, pkt) }
+	if s.prof.ASIC {
+		// TCP on the NIC: the ASIC processes the segment; the host is
+		// charged when the app is notified.
+		s.asic.Acquire(1, 0, process)
+		return
+	}
+	core := c.stackCore()
+	task := s.segCost(len(s.conns))
+	if len(s.stackCores) == 0 && !core.Busy() && s.prof.NotifyWakeupUs > 0 {
+		// Inline stack on an idle core: the interrupt must wake the
+		// CPU and schedule the softirq before any TCP work happens.
+		task = task.Add(0, sim.Time(s.prof.NotifyWakeupUs*float64(sim.Microsecond)))
+	}
+	if s.prof.LockFrac > 0 {
+		lockCycles := int64(float64(s.prof.TCPPerSeg) * s.prof.LockFrac)
+		s.lock.Acquire(lockCycles, 0, func() {
+			core.Submit(task, process)
+		})
+		return
+	}
+	core.Submit(task, process)
+}
+
+// handleSeg runs the protocol logic (after the cost model).
+func (s *Stack) handleSeg(c *bconn, pkt *packet.Packet) {
+	tcp := &pkt.TCP
+
+	// --- ACK processing (sender side). ---------------------------------
+	if tcp.HasFlag(packet.FlagACK) {
+		ackOff := c.ackOff(tcp.Ack)
+		finAckOff := c.finAt
+		if finAckOff != ^uint64(0) {
+			finAckOff++ // FIN occupies one sequence slot
+		}
+		switch {
+		case ackOff > c.una && ackOff <= c.appended+1:
+			acked := ackOff - c.una
+			if c.finAt != ^uint64(0) && ackOff == finAckOff {
+				c.finAcked = true
+				acked--
+			}
+			c.una += acked
+			c.dupacks = 0
+			c.lastProgress = s.eng.Now()
+			c.backoff = 0
+			// New Reno growth.
+			if c.cwnd < c.ssthresh {
+				c.cwnd += uint32(acked) // slow start
+			} else if c.cwnd > 0 {
+				c.cwnd += uint32(uint64(1448) * acked / uint64(c.cwnd))
+			}
+			if tcp.HasFlag(packet.FlagECE) {
+				c.halveCwnd()
+			}
+			if c.sock != nil && acked > 0 {
+				c.sock.txFreed(uint32(acked))
+			}
+		case ackOff == c.una && len(pkt.Payload) == 0 && c.nxt > c.una:
+			c.dupacks++
+			if c.dupacks == 3 {
+				s.FastRetx++
+				c.halveCwnd()
+				switch s.prof.Recovery {
+				case RecoverySACK:
+					// Retransmit only the missing head segment.
+					s.emitSegment(c, c.una, c.retxLen(), false)
+				case RecoveryGBN:
+					c.nxt = c.una // go-back-N
+				case RecoveryDiscard:
+					// Timeout-only recovery: dup acks ignored.
+				}
+			}
+		}
+		if w := uint32(tcp.Window) << tcpseg.WindowScale; w != c.remoteWin {
+			c.remoteWin = w
+		}
+	}
+
+	// --- Payload (receiver side). ---------------------------------------
+	if len(pkt.Payload) > 0 {
+		s.receivePayload(c, pkt)
+	}
+
+	// --- FIN. ------------------------------------------------------------
+	if tcp.HasFlag(packet.FlagFIN) {
+		off := c.rcvOff(tcp.Seq) + uint64(len(pkt.Payload))
+		if off == c.rcvd && !c.peerFin {
+			c.peerFin = true
+			s.sendAck(c, false)
+			if c.sock != nil {
+				c.sock.peerClosed()
+			}
+		}
+	}
+
+	s.txPump(c)
+}
+
+// receivePayload implements the three reassembly policies.
+func (s *Stack) receivePayload(c *bconn, pkt *packet.Packet) {
+	start := c.rcvOff(pkt.TCP.Seq)
+	end := start + uint64(len(pkt.Payload))
+	winEnd := c.rcvd + uint64(c.rxAvail)
+	ece := pkt.IP.ECN() == packet.ECNCE
+
+	// Trim to window and already-received prefix.
+	data := pkt.Payload
+	if start < c.rcvd {
+		if end <= c.rcvd {
+			s.sendAck(c, ece)
+			return
+		}
+		data = data[c.rcvd-start:]
+		start = c.rcvd
+	}
+	if end > winEnd {
+		if start >= winEnd {
+			s.sendAck(c, ece)
+			return
+		}
+		data = data[:winEnd-start]
+		end = winEnd
+	}
+
+	maxIvs := 0
+	switch s.prof.Recovery {
+	case RecoverySACK:
+		maxIvs = 32
+	case RecoveryGBN:
+		maxIvs = 1
+	}
+
+	if start == c.rcvd {
+		// In order: write, merge intervals, deliver.
+		writeCirc(c.rxData, start, data)
+		before := c.rcvd
+		c.rcvd = end
+		for len(c.ivs) > 0 && c.ivs[0].start <= c.rcvd {
+			if c.ivs[0].end > c.rcvd {
+				c.rcvd = c.ivs[0].end
+			}
+			c.ivs = c.ivs[1:]
+		}
+		newBytes := uint32(c.rcvd - before)
+		c.rxAvail -= newBytes
+		if c.sock != nil {
+			c.sock.rxArrived(newBytes)
+		}
+	} else if maxIvs > 0 {
+		// Out of order: insert into the interval set (capacity-limited).
+		if ok := insertInterval(&c.ivs, interval{start, end}, maxIvs); ok {
+			writeCirc(c.rxData, start, data)
+		}
+	}
+	// RecoveryDiscard: out-of-order data silently dropped.
+	s.sendAck(c, ece)
+}
+
+// insertInterval merges iv into the sorted set; reports acceptance.
+func insertInterval(ivs *[]interval, iv interval, max int) bool {
+	set := *ivs
+	// Merge all overlapping/adjacent.
+	var out []interval
+	placed := false
+	for _, e := range set {
+		switch {
+		case e.end < iv.start:
+			out = append(out, e)
+		case iv.end < e.start:
+			if !placed {
+				out = append(out, iv)
+				placed = true
+			}
+			out = append(out, e)
+		default:
+			if e.start < iv.start {
+				iv.start = e.start
+			}
+			if e.end > iv.end {
+				iv.end = e.end
+			}
+		}
+	}
+	if !placed {
+		out = append(out, iv)
+	}
+	if len(out) > max {
+		// Single-interval policy: only accept extensions of the tracked
+		// interval; larger sets drop the new data.
+		return false
+	}
+	*ivs = out
+	return true
+}
+
+func writeCirc(buf []byte, pos uint64, data []byte) {
+	n := uint64(len(buf))
+	p := pos % n
+	k := copy(buf[p:], data)
+	if k < len(data) {
+		copy(buf, data[k:])
+	}
+}
+
+func readCirc(buf []byte, pos uint64, out []byte) {
+	n := uint64(len(buf))
+	p := pos % n
+	k := copy(out, buf[p:])
+	if k < len(out) {
+		copy(out[k:], buf)
+	}
+}
+
+func (c *bconn) halveCwnd() {
+	c.ssthresh = c.cwnd / 2
+	if c.ssthresh < 2*1448 {
+		c.ssthresh = 2 * 1448
+	}
+	c.cwnd = c.ssthresh
+}
+
+// sendAck emits a pure acknowledgment.
+func (s *Stack) sendAck(c *bconn, ece bool) {
+	flags := packet.FlagACK
+	if ece {
+		flags |= packet.FlagECE
+	}
+	win := c.rxAvail >> tcpseg.WindowScale
+	if win > 0xffff {
+		win = 0xffff
+	}
+	ackSeq := c.sndSeq(c.nxt)
+	pkt := s.mkPacket(c, ackSeq, flags, nil)
+	pkt.TCP.Window = uint16(win)
+	s.iface.Send(netsim.NewFrame(pkt, s.eng.Now()))
+}
+
+func (s *Stack) mkPacket(c *bconn, seq uint32, flags uint8, payload []byte) *packet.Packet {
+	return &packet.Packet{
+		Eth: packet.Ethernet{Src: s.localMAC, Dst: c.peerMAC, EtherType: packet.EtherTypeIPv4},
+		IP: packet.IPv4{
+			TTL: 64, Protocol: packet.ProtoTCP, TOS: packet.ECNECT0,
+			Src: c.flow.SrcIP, Dst: c.flow.DstIP,
+		},
+		TCP: packet.TCP{
+			SrcPort: c.flow.SrcPort, DstPort: c.flow.DstPort,
+			Seq: seq, Ack: c.ackField(), Flags: flags,
+			Window: uint16(min64(int64(c.rxAvail>>tcpseg.WindowScale), 0xffff)),
+			WScale: -1,
+		},
+		Payload: payload,
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ackField returns the cumulative acknowledgment (FIN occupies a slot).
+func (c *bconn) ackField() uint32 {
+	ack := c.irs + uint32(c.rcvd)
+	if c.peerFin {
+		ack++
+	}
+	return ack
+}
+
+// txPump transmits while the window allows, gating each segment on its
+// processing cost so the stack core (or the Chelsio ASIC) bounds the
+// transmit rate.
+func (s *Stack) txPump(c *bconn) {
+	if c.pumping {
+		return
+	}
+	c.pumping = true
+	var step func()
+	step = func() {
+		inflight := c.nxt - c.una
+		limit := uint64(c.cwnd)
+		if uint64(c.remoteWin) < limit {
+			limit = uint64(c.remoteWin)
+		}
+		avail := c.appended - c.nxt
+		wantFin := c.finAt != ^uint64(0) && !c.finSent && c.nxt == c.appended
+		if (avail == 0 || inflight >= limit) && !wantFin {
+			c.pumping = false
+			return
+		}
+		n := s.prof.mss()
+		if n > avail {
+			n = avail
+		}
+		if inflight < limit && n > limit-inflight {
+			n = limit - inflight
+		}
+		if n == 0 && !wantFin {
+			c.pumping = false
+			return
+		}
+		emit := func() {
+			off := c.nxt
+			fin := c.finAt != ^uint64(0) && off+n == c.appended
+			s.emitSegment(c, off, n, fin)
+			c.nxt += n
+			step()
+		}
+		if s.prof.ASIC {
+			s.asic.Acquire(1, 0, emit)
+			return
+		}
+		txCost := (s.prof.DriverPerSeg + s.prof.TCPPerSeg + s.prof.OtherPerSeg) / 2
+		c.stackCore().Submit(sim.TaskC(txCost), emit)
+	}
+	step()
+}
+
+// emitSegment sends [off, off+n) (and possibly FIN).
+func (s *Stack) emitSegment(c *bconn, off, n uint64, fin bool) {
+	payload := make([]byte, n)
+	readCirc(c.txData, off, payload)
+	flags := packet.FlagACK
+	if n > 0 {
+		flags |= packet.FlagPSH
+	}
+	if fin && c.finAt != ^uint64(0) {
+		flags |= packet.FlagFIN
+		c.finSent = true
+	}
+	pkt := s.mkPacket(c, c.sndSeq(off), flags, payload)
+	s.TxSegs++
+	s.iface.Send(netsim.NewFrame(pkt, s.eng.Now()))
+}
+
+// retxLen bounds a head retransmission to one MSS of sent data.
+func (c *bconn) retxLen() uint64 {
+	n := c.stack.prof.mss()
+	if c.una+n > c.nxt {
+		n = c.nxt - c.una
+	}
+	return n
+}
+
+// rtoScan retransmits stalled connections.
+func (s *Stack) rtoScan() {
+	now := s.eng.Now()
+	for _, c := range s.conns {
+		if c.nxt == c.una && !(c.finAt != ^uint64(0) && !c.finAcked && c.finSent) {
+			continue
+		}
+		rto := s.prof.MinRTO << uint(c.backoff)
+		if c.srtt > 0 && 4*c.srtt > s.prof.MinRTO {
+			rto = (4 * c.srtt) << uint(c.backoff)
+		}
+		if now-c.lastProgress < rto {
+			continue
+		}
+		s.Retransmits++
+		c.lastProgress = now
+		if c.backoff < 6 {
+			c.backoff++
+		}
+		c.ssthresh = c.cwnd / 2
+		if c.ssthresh < 2*1448 {
+			c.ssthresh = 2 * 1448
+		}
+		c.cwnd = 2 * 1448
+		switch s.prof.Recovery {
+		case RecoverySACK:
+			s.emitSegment(c, c.una, c.retxLen(), false)
+		default:
+			c.nxt = c.una
+			c.finSent = false
+			s.txPump(c)
+		}
+	}
+}

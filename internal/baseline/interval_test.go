@@ -1,0 +1,143 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func ivsEqual(a, b []interval) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestInsertIntervalMerging(t *testing.T) {
+	var ivs []interval
+	if !insertInterval(&ivs, interval{10, 20}, 32) {
+		t.Fatal("insert into empty failed")
+	}
+	// Disjoint after.
+	insertInterval(&ivs, interval{30, 40}, 32)
+	if !ivsEqual(ivs, []interval{{10, 20}, {30, 40}}) {
+		t.Fatalf("ivs = %v", ivs)
+	}
+	// Bridging segment merges everything.
+	insertInterval(&ivs, interval{15, 35}, 32)
+	if !ivsEqual(ivs, []interval{{10, 40}}) {
+		t.Fatalf("ivs = %v", ivs)
+	}
+	// Adjacent extends.
+	insertInterval(&ivs, interval{40, 50}, 32)
+	if !ivsEqual(ivs, []interval{{10, 50}}) {
+		t.Fatalf("ivs = %v", ivs)
+	}
+	// Disjoint before.
+	insertInterval(&ivs, interval{0, 5}, 32)
+	if !ivsEqual(ivs, []interval{{0, 5}, {10, 50}}) {
+		t.Fatalf("ivs = %v", ivs)
+	}
+}
+
+func TestInsertIntervalSingleIntervalPolicy(t *testing.T) {
+	// The TAS/FlexTOE policy: max one interval; disjoint data rejected.
+	var ivs []interval
+	if !insertInterval(&ivs, interval{100, 200}, 1) {
+		t.Fatal("first interval rejected")
+	}
+	if insertInterval(&ivs, interval{300, 400}, 1) {
+		t.Fatal("second disjoint interval accepted with max=1")
+	}
+	if !ivsEqual(ivs, []interval{{100, 200}}) {
+		t.Fatalf("ivs mutated on rejection: %v", ivs)
+	}
+	// Extension of the tracked interval is accepted.
+	if !insertInterval(&ivs, interval{200, 250}, 1) {
+		t.Fatal("adjacent extension rejected")
+	}
+	if !ivsEqual(ivs, []interval{{100, 250}}) {
+		t.Fatalf("ivs = %v", ivs)
+	}
+}
+
+func TestInsertIntervalPropertySortedDisjoint(t *testing.T) {
+	// Property: after any insertion sequence the set is sorted, disjoint,
+	// and non-adjacent.
+	f := func(raw []uint16) bool {
+		var ivs []interval
+		for i := 0; i+1 < len(raw); i += 2 {
+			a, b := uint64(raw[i]), uint64(raw[i])+uint64(raw[i+1]%512)+1
+			insertInterval(&ivs, interval{a, b}, 32)
+		}
+		for i := 0; i < len(ivs); i++ {
+			if ivs[i].start >= ivs[i].end {
+				return false
+			}
+			if i > 0 && ivs[i-1].end >= ivs[i].start {
+				return false // overlapping or adjacent: should have merged
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCircularBufferHelpers(t *testing.T) {
+	buf := make([]byte, 16)
+	data := []byte("hello-world")
+	writeCirc(buf, 10, data) // wraps
+	out := make([]byte, len(data))
+	readCirc(buf, 10, out)
+	if string(out) != string(data) {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestSeqUnwrapping(t *testing.T) {
+	c := &bconn{iss: 0xfffffff0, irs: 0xffffff00}
+	// Sender: offset 0x20 wraps past 2^32.
+	if got := c.sndSeq(0x20); got != 0x10 {
+		t.Fatalf("sndSeq = %#x", got)
+	}
+	// Receiver: a segment shortly after the wrapped irs.
+	c.rcvd = 0x100 // rcv.nxt at irs+0x100 = 0x0
+	if got := c.rcvOff(0x10); got != 0x110 {
+		t.Fatalf("rcvOff = %#x", got)
+	}
+	// Ack unwrapping.
+	c.una = 0x10 // una seq = 0x0
+	if got := c.ackOff(0x8); got != 0x18 {
+		t.Fatalf("ackOff = %#x", got)
+	}
+}
+
+func TestProfilesDistinct(t *testing.T) {
+	l, ta, ch := LinuxProfile(), TASProfile(), ChelsioProfile()
+	if l.Recovery != RecoverySACK || ta.Recovery != RecoveryGBN || ch.Recovery != RecoveryDiscard {
+		t.Fatal("recovery policies wrong")
+	}
+	if !ch.ASIC || l.ASIC || ta.ASIC {
+		t.Fatal("ASIC flags wrong")
+	}
+	if ta.StackCores == 0 {
+		t.Fatal("TAS must have dedicated fast-path cores")
+	}
+	// Table 1 ordering: Linux is the most expensive per segment, TAS the
+	// cheapest host-TCP.
+	linuxPerSeg := l.DriverPerSeg + l.TCPPerSeg + l.OtherPerSeg
+	tasPerSeg := ta.DriverPerSeg + ta.TCPPerSeg + ta.OtherPerSeg
+	if linuxPerSeg <= tasPerSeg {
+		t.Fatal("Linux per-segment cost should exceed TAS")
+	}
+	if p := ChelsioProfile(); p.mss() != 1448 {
+		t.Fatalf("default MSS = %d", p.mss())
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"flextoe/internal/packet"
+	"flextoe/internal/shm"
+	"flextoe/internal/sim"
+	"flextoe/internal/tcpseg"
+)
+
+// Conn is one established connection offloaded to the data-path. The
+// control plane creates it (after completing the handshake) and tears it
+// down; pipeline stages touch only their own state partition.
+type Conn struct {
+	ID   uint32
+	Flow packet.Flow // from the local endpoint's perspective (src = local)
+
+	Pre   tcpseg.PreState
+	Proto tcpseg.ProtoState
+	Post  tcpseg.PostState
+
+	// Host-memory payload buffers (PAYLOAD-BUFs, Fig. 2).
+	TxBuf *shm.PayloadBuf
+	RxBuf *shm.PayloadBuf
+
+	// Congestion control programming (MMIO from the control plane).
+	CWnd uint32 // congestion window in bytes; 0 = unlimited
+
+	// Notify delivers NIC->host context-queue descriptors to libTOE.
+	Notify func(shm.Desc)
+
+	fg           int
+	ackSkip      int // delayed-ACK counter (AckEvery extension)
+	closed       bool
+	lastActivity sim.Time
+}
+
+// ConnStats is the control plane's periodic congestion-control poll
+// (§D): counters accumulate in post-processor state and are cleared on
+// read.
+type ConnStats struct {
+	AckedBytes uint32
+	ECNBytes   uint32
+	FastRetx   uint8
+	RTTMicros  uint32
+	TxPending  uint32 // bytes buffered or in flight (for RTO decisions)
+	TxSent     uint32 // in-flight bytes
+}
+
+// AddConnection installs an established connection in the data-path. The
+// flow must be unique. Buffers must be power-of-two sized.
+func (t *TOE) AddConnection(flow packet.Flow, peerMAC packet.EtherAddr, iss, irs uint32,
+	txBuf, rxBuf *shm.PayloadBuf, opaque uint64, notify func(shm.Desc)) *Conn {
+
+	id := uint32(len(t.conns))
+	fg := flow.FlowGroup(t.cfg.FlowGroups)
+	c := &Conn{
+		ID:   id,
+		Flow: flow,
+		Pre: tcpseg.PreState{
+			PeerMAC:    peerMAC,
+			PeerIP:     flow.DstIP,
+			LocalIP:    flow.SrcIP,
+			LocalPort:  flow.SrcPort,
+			RemotePort: flow.DstPort,
+			FlowGroup:  uint8(fg),
+		},
+		Proto: tcpseg.ProtoState{
+			Seq:     iss,
+			Ack:     irs,
+			RxAvail: rxBuf.Size(),
+		},
+		Post: tcpseg.PostState{
+			Opaque: opaque,
+			RxSize: rxBuf.Size(),
+			TxSize: txBuf.Size(),
+		},
+		TxBuf:  txBuf,
+		RxBuf:  rxBuf,
+		Notify: notify,
+		fg:     fg,
+	}
+	// Peers start with a sane default window until the first segment
+	// arrives (the handshake's window, here one full buffer).
+	c.Proto.RemoteWin = uint16(rxBuf.Size() >> tcpseg.WindowScale)
+	if c.Proto.RemoteWin == 0 {
+		c.Proto.RemoteWin = 1
+	}
+	t.conns = append(t.conns, c)
+	t.connByFlow[flow] = c
+	t.trace.Hit(traceEstablished)
+	return c
+}
+
+// RemoveConnection tears a connection down and frees its data-path state.
+func (t *TOE) RemoveConnection(id uint32) {
+	c := t.connOrNil(id)
+	if c == nil || c.closed {
+		return
+	}
+	c.closed = true
+	delete(t.connByFlow, c.Flow)
+	t.sched.Remove(id)
+	t.trace.Hit(traceClosed)
+}
+
+// Connection returns a connection by index (nil if out of range or
+// closed).
+func (t *TOE) Connection(id uint32) *Conn { return t.connOrNil(id) }
+
+func (t *TOE) connOrNil(id uint32) *Conn {
+	if int(id) >= len(t.conns) {
+		return nil
+	}
+	c := t.conns[id]
+	if c == nil || c.closed {
+		return nil
+	}
+	return c
+}
+
+// NumConnections returns the number of installed (possibly closed)
+// connection slots.
+func (t *TOE) NumConnections() int { return len(t.conns) }
+
+// SetCongestionWindow programs a connection's window (control-plane MMIO,
+// §3.4).
+func (t *TOE) SetCongestionWindow(id uint32, bytes uint32) {
+	if c := t.connOrNil(id); c != nil {
+		c.CWnd = bytes
+		t.kickConn(c) // window growth may unblock transmission
+	}
+}
+
+// SetRateInterval programs a connection's pacing interval in time per
+// byte. The control plane pre-computes it from the rate, because FPCs
+// cannot divide (§3.4).
+func (t *TOE) SetRateInterval(id uint32, perByte sim.Time) {
+	t.sched.SetInterval(id, perByte)
+}
+
+// ReadStats returns and clears the connection's congestion-control
+// counters (the control plane's per-RTT poll, §D).
+func (t *TOE) ReadStats(id uint32) ConnStats {
+	c := t.connOrNil(id)
+	if c == nil {
+		return ConnStats{}
+	}
+	s := ConnStats{
+		AckedBytes: c.Post.CntACKB,
+		ECNBytes:   c.Post.CntECNB,
+		FastRetx:   c.Post.CntFRetx,
+		RTTMicros:  c.Post.RTTEst,
+		TxPending:  c.Proto.TxAvail + c.Proto.TxSent,
+		TxSent:     c.Proto.TxSent,
+	}
+	c.Post.CntACKB = 0
+	c.Post.CntECNB = 0
+	c.Post.CntFRetx = 0
+	return s
+}

@@ -1,0 +1,106 @@
+package core
+
+// Costs holds per-operation instruction budgets for every pipeline module,
+// in NFP-ISA instructions (1 instruction/cycle on an FPC issue slot). The
+// defaults are calibrated so the simulated Agilio-CX40 reproduces the
+// paper's headline operating points: the protocol stage bottleneck around
+// 11 MOps for 64 B RPCs across four flow groups (Table 2), the Table 3
+// ablation ratios, and the Fig. 11 latency floor (~20 us median RTT with
+// pipelining overhead).
+//
+// Memory-stall costs are not listed here: they come from the cache
+// hierarchy model (internal/nfp) and the DMA engine, which is the point —
+// the paper's design extracts performance precisely by overlapping those
+// stalls.
+type Costs struct {
+	// Pre-processing (Fig. 6: Val, Id, Sum, Steer; Fig. 5: Alloc, Head).
+	PreValidate int64
+	PreLookup   int64 // plus IMEM stall on lookup-cache miss
+	PreSummary  int64
+	PreSteer    int64
+	PreAlloc    int64 // TX segment buffer allocation
+	PreHeader   int64 // Ethernet/IP header preparation
+
+	// Protocol stage (the atomic pipeline hazard).
+	ProtoRX int64 // Win: window advance, OOO merge, dupack tracking
+	ProtoTX int64 // Seq: sequence assignment, buffer position
+	ProtoHC int64 // Win/Fin/Reset on host control
+
+	// Post-processing.
+	PostAck    int64 // ACK segment preparation
+	PostStamp  int64 // ECN feedback + timestamp (optional modules, §3.3)
+	PostStats  int64 // congestion statistics, FS update
+	PostPos    int64 // host buffer address computation
+	PostNotify int64 // context-queue descriptor preparation
+
+	// DMA manager and context-queue stages.
+	DMAIssue   int64 // descriptor construction + doorbell to PCIe block
+	CtxQPoll   int64 // doorbell poll + descriptor fetch setup
+	CtxQNotify int64 // notification enqueue + MSI-X decision
+
+	// Sequencing/reordering FPCs (§3.2).
+	SeqTicket  int64
+	SeqReorder int64
+
+	// Software-ring overhead per hop on the x86/BlueField ports (§E).
+	RingOp int64
+	// netif stage per packet (DPDK RX/TX burst amortized).
+	Netif int64
+
+	// XDP hook overhead (context setup + verdict dispatch), excluding
+	// the program's own instructions.
+	XDPHook int64
+
+	// Run-to-completion penalty factor (Table 3 baseline): the monolithic
+	// data-path exceeds the 32 KB FPC codestore, so every segment pays
+	// instruction-fetch stalls modeled as extra cycles per instruction.
+	MonolithicFetchPenalty float64
+}
+
+// DefaultCosts returns the calibrated instruction budgets.
+func DefaultCosts() Costs {
+	return Costs{
+		PreValidate: 60,
+		PreLookup:   95, // CRC-32 over the 4-tuple + CAM lookup issue
+		PreSummary:  70,
+		PreSteer:    25,
+		PreAlloc:    30,
+		PreHeader:   55,
+
+		ProtoRX: 170,
+		ProtoTX: 110,
+		ProtoHC: 55,
+
+		PostAck:    42,
+		PostStamp:  18,
+		PostStats:  22,
+		PostPos:    16,
+		PostNotify: 24,
+
+		DMAIssue:   46,
+		CtxQPoll:   36,
+		CtxQNotify: 30,
+
+		SeqTicket:  10,
+		SeqReorder: 16,
+
+		RingOp: 40,
+		Netif:  70,
+
+		XDPHook: 22,
+
+		MonolithicFetchPenalty: 6.0,
+	}
+}
+
+// scale applies the platform's CostScale to an instruction budget.
+func (t *TOE) scale(instr int64) int64 {
+	if t.cfg.CostScale == 1.0 {
+		return instr
+	}
+	v := int64(float64(instr) * t.cfg.CostScale)
+	if v < 1 && instr > 0 {
+		v = 1
+	}
+	return v
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"flextoe/internal/shm"
+	"flextoe/internal/sim"
+	"flextoe/internal/trace"
+)
+
+// InjectHC is the host-control entry point (§3.1.1): libTOE (or the
+// control plane) has appended a descriptor to a context queue and rings
+// the NIC doorbell via MMIO. The context-queue stage polls the doorbell,
+// allocates a descriptor buffer from the bounded pool (allocation failure
+// flow-controls the host: processing retries), DMAs the descriptor in,
+// and steers it into the pipeline.
+func (t *TOE) InjectHC(d shm.Desc) {
+	t.eng.After(t.cfg.NFP.MMIOLatency, func() { t.hcArrive(d) })
+}
+
+func (t *TOE) hcArrive(d shm.Desc) {
+	t.trace.Hit(trace.TPCtxQDoorbell)
+	conn := t.connOrNil(d.Conn)
+	if conn == nil {
+		return
+	}
+	if t.mono != nil {
+		t.monoHC(conn, d)
+		return
+	}
+	item := &segItem{kind: segHC, conn: d.Conn, fg: conn.fg, hc: d, entered: t.eng.Now()}
+	t.hcFetch(item)
+}
+
+// hcFetch allocates the NIC-side descriptor buffer and fetches the
+// descriptor across PCIe ("Fetch" in Fig. 4). The pipeline-entry ticket
+// is taken only once the descriptor buffer is held: ticketing before the
+// bounded allocation would let parked segments hoard the pool while the
+// reorder buffer waits on a starved earlier ticket — deadlock.
+func (t *TOE) hcFetch(item *segItem) {
+	if !t.descPool.TryAlloc() {
+		t.trace.Hit(trace.TPDescAllocFail)
+		// Pool exhausted: retry later (§3.1.1 "processing stops and is
+		// retried").
+		t.eng.After(2*sim.Microsecond, func() { t.hcFetch(item) })
+		return
+	}
+	item.ticket = t.islands[item.fg].entry.ticket()
+	// Poll + fetch on a context-queue FPC, then DMA the descriptor.
+	task := sim.TaskC(t.scale(t.costs.CtxQPoll))
+	fpc := t.ctxSt.fpcs[int(item.conn)%len(t.ctxSt.fpcs)]
+	fpc.Submit(task, func() {
+		t.xfer(shm.DescWireSize, func() {
+			t.pre.push(item)
+		})
+	})
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"flextoe/internal/netsim"
+	"flextoe/internal/packet"
+	"flextoe/internal/sim"
+	"flextoe/internal/trace"
+	"flextoe/internal/xdp"
+)
+
+// Module is a data-path extension inserted at the XDP ingress hook
+// (§3.3). Modules keep private state (closure or eBPF maps), operate
+// one-shot on raw segments, and forward computed metadata by mutating the
+// packet; FlexTOE re-sequences segments after parallel module stages
+// automatically (modules run before ticket assignment, so ordering is
+// preserved by construction).
+type Module = xdp.Program
+
+// AttachXDP appends a program to the ingress chain. Programs run in
+// attach order on the islands' idle FPCs; each charges its executed
+// instruction count to the data-path. Attaching requires no reboot
+// (§5.1: "Customizing FlexTOE is simple and does not require a system
+// reboot").
+func (t *TOE) AttachXDP(p xdp.Program) {
+	t.xdpProgs = append(t.xdpProgs, p)
+	if t.xdpSt == nil && t.mono == nil {
+		// The paper leaves 3 unassigned FPCs per protocol island for
+		// additional data-path modules (§4); the ingress hook itself
+		// uses a pair of them.
+		n := (t.cfg.FlowGroups + 1) / 2
+		if n < 1 {
+			n = 1
+		}
+		t.xdpSt = t.newStage("xdp", n, trace.TPQPre, t.xdpTask, t.xdpDone)
+	}
+}
+
+// DetachXDP removes a program by name.
+func (t *TOE) DetachXDP(name string) bool {
+	for i, p := range t.xdpProgs {
+		if p.Name() == name {
+			t.xdpProgs = append(t.xdpProgs[:i], t.xdpProgs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// xdpWork carries the raw frame and the verdict through the XDP stage.
+type xdpWork struct {
+	frame   *netsim.Frame
+	verdict xdp.Verdict
+	data    []byte
+	mutated bool
+	instr   int64
+}
+
+func (t *TOE) xdpIngress(f *netsim.Frame) {
+	// Serialize the frame: XDP programs see raw bytes, exactly as on the
+	// NFP. The program chain runs functionally first to learn its
+	// instruction count, then the stage charges that cost before the
+	// verdict takes effect.
+	data := f.Pkt.Serialize(packet.SerializeOptions{FixLengths: true, ComputeChecksums: true})
+	pristine := append([]byte(nil), data...)
+	w := &xdpWork{frame: f, data: data, verdict: xdp.Pass}
+	ctx := &xdp.Context{Data: data}
+	var total int64 = t.costs.XDPHook
+	for _, p := range t.xdpProgs {
+		v, instr := p.Run(ctx)
+		total += instr + t.costs.XDPHook
+		if v != xdp.Pass {
+			w.verdict = v
+			break
+		}
+	}
+	w.mutated = !sameBytes(pristine, ctx.Data)
+	w.data = ctx.Data
+	w.instr = total
+	item := &segItem{kind: segRX, entered: t.eng.Now()}
+	item.pkt = f.Pkt
+	t.xdpQueue(item, w)
+}
+
+func sameBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// xdpQueue pushes the work through the XDP stage for cost accounting.
+func (t *TOE) xdpQueue(item *segItem, w *xdpWork) {
+	item.xdp = w
+	t.xdpSt.push(item)
+}
+
+func (t *TOE) xdpTask(s *segItem) sim.Task {
+	w := s.xdp
+	// Programs touch the raw frame: charge a word per 8 bytes of packet
+	// memory the hook makes addressable.
+	return sim.TaskC(t.scale(w.instr + int64(len(w.data)/8)))
+}
+
+func (t *TOE) xdpDone(s *segItem) {
+	w := s.xdp
+	s.xdp = nil
+	switch w.verdict {
+	case xdp.Drop:
+		t.XDPDrops++
+	case xdp.TX:
+		t.XDPTx++
+		out, err := packet.Decode(w.data)
+		if err != nil {
+			t.XDPDrops++
+			return
+		}
+		// FlexTOE updates the checksum of modified segments (§3.3).
+		reser := out.Serialize(packet.SerializeOptions{FixLengths: true, ComputeChecksums: true})
+		final, err := packet.Decode(reser)
+		if err != nil {
+			t.XDPDrops++
+			return
+		}
+		final.TCP.Checksum = 0
+		t.sendFrame(final)
+	case xdp.Redirect:
+		t.XDPRedirects++
+		t.toControl(w.frame.Pkt)
+	default: // Pass
+		if w.mutated {
+			out, err := packet.Decode(w.data)
+			if err != nil {
+				t.XDPDrops++
+				return
+			}
+			w.frame.Pkt = out
+		}
+		t.rxToPre(w.frame)
+	}
+}

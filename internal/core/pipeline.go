@@ -1,0 +1,794 @@
+package core
+
+import (
+	"fmt"
+
+	"flextoe/internal/netsim"
+	"flextoe/internal/nfp"
+	"flextoe/internal/packet"
+	"flextoe/internal/sched"
+	"flextoe/internal/shm"
+	"flextoe/internal/sim"
+	"flextoe/internal/tcpseg"
+	"flextoe/internal/trace"
+	"flextoe/internal/xdp"
+)
+
+// Trace point aliases used by conn.go.
+const (
+	traceEstablished = trace.TPConnEstablished
+	traceClosed      = trace.TPConnClosed
+)
+
+// Counters aggregates data-path statistics for experiments and tests.
+type Counters struct {
+	RxSegs         uint64
+	RxBytes        uint64
+	TxSegs         uint64
+	TxBytes        uint64
+	AcksSent       uint64
+	AcksSuppressed uint64
+	RxDropNoBuf    uint64
+	RxToControl    uint64
+	XDPDrops       uint64
+	XDPTx          uint64
+	XDPRedirects   uint64
+	HCOps          uint64
+	Notifies       uint64
+	FastRetx       uint64
+	OOOAccepted    uint64
+	OOODropped     uint64
+}
+
+// TOE is one FlexTOE data-path instance bound to a NIC interface.
+type TOE struct {
+	eng     *sim.Engine
+	cfg     Config
+	costs   Costs
+	iface   *netsim.Iface
+	dma     *nfp.DMAEngine
+	copyRes *sim.Resource // shared-memory copy engine on x86/BlueField ports
+	sched   *sched.Carousel
+	trace   *trace.Registry
+
+	conns      []*Conn
+	connByFlow map[packet.Flow]*Conn
+
+	segPool  *shm.Pool
+	descPool *shm.Pool
+
+	// ControlRx receives non-data-path segments (SYN, RST, unknown
+	// flows); the control plane installs it.
+	ControlRx func(*packet.Packet)
+
+	// Pipeline stages.
+	pre     *stage
+	islands []*island
+	dmaSt   *stage
+	ctxSt   *stage
+	mono    *nfp.FPC // run-to-completion ablation
+
+	// XDP ingress chain (§3.3).
+	xdpProgs []xdp.Program
+	xdpSt    *stage
+
+	// Module hooks (native modules on idle FPCs).
+	mods []Module
+
+	preLookup *nfp.Cache
+
+	txInflight  int
+	txPumpArmed bool
+
+	// PacketTap, when set, observes every frame entering or leaving the
+	// MAC (tcpdump; Table 2's logging build charges its cost).
+	PacketTap     func(dir string, pkt *packet.Packet)
+	PacketTapCost int64
+
+	Counters
+}
+
+// island groups the per-flow-group pipeline: the protocol-admission
+// reorder buffer, protocol workers (atomic per connection), the
+// post-processing stage, and the NBI transmission reorder buffer.
+type island struct {
+	fg      int
+	entry   *rob
+	protos  []*protoWorker
+	post    *stage
+	nbi     *rob
+	ememCLS *nfp.Cache
+}
+
+type protoWorker struct {
+	fpc   *nfp.FPC
+	q     *sim.Queue[*segItem]
+	cache *nfp.StateCache
+	t     *TOE
+	isl   *island
+}
+
+// stage is a pool of FPCs serving one intake queue.
+type stage struct {
+	name    string
+	q       *sim.Queue[*segItem]
+	fpcs    []*nfp.FPC
+	taskOf  func(*segItem) sim.Task
+	handler func(*segItem)
+	qTrace  trace.Point
+	t       *TOE
+}
+
+func (t *TOE) newStage(name string, n int, qTrace trace.Point,
+	taskOf func(*segItem) sim.Task, handler func(*segItem)) *stage {
+	s := &stage{
+		name:    name,
+		q:       sim.NewQueue[*segItem](t.eng, name, 0),
+		taskOf:  taskOf,
+		handler: handler,
+		qTrace:  qTrace,
+		t:       t,
+	}
+	for i := 0; i < n; i++ {
+		f := nfp.NewFPC(t.eng, fmt.Sprintf("%s/%d", name, i), &t.cfg.NFP)
+		f.SetThreads(t.cfg.ThreadsPerFPC)
+		f.Idle = s.pump
+		s.fpcs = append(s.fpcs, f)
+	}
+	return s
+}
+
+func (s *stage) push(item *segItem) {
+	s.t.trace.HitN(s.qTrace, uint64(s.q.Len()))
+	s.q.Push(item)
+	s.pump()
+}
+
+func (s *stage) pump() {
+	for s.q.Len() > 0 {
+		var f *nfp.FPC
+		for _, c := range s.fpcs {
+			if c.FreeThreads() > 0 {
+				f = c
+				break
+			}
+		}
+		if f == nil {
+			return
+		}
+		item, _ := s.q.Pop()
+		f.Submit(s.taskOf(item), func() { s.handler(item) })
+	}
+}
+
+// New builds a FlexTOE data-path on the given NIC interface.
+func New(eng *sim.Engine, cfg Config, iface *netsim.Iface) *TOE {
+	cfg.Validate()
+	t := &TOE{
+		eng:        eng,
+		cfg:        cfg,
+		costs:      DefaultCosts(),
+		iface:      iface,
+		trace:      &trace.Registry{},
+		connByFlow: make(map[packet.Flow]*Conn),
+		segPool:    shm.NewPool("seg", cfg.SegPoolSize),
+		descPool:   shm.NewPool("desc", cfg.DescPoolSize),
+		preLookup:  nfp.NewCache(cfg.NFP.PreLookupEntries, 1),
+	}
+	t.dma = nfp.NewDMAEngine(eng, &cfg.NFP)
+	if cfg.CopyBytesPerSec > 0 {
+		t.copyRes = sim.NewResource(eng, "memcpy", cfg.CopyBytesPerSec)
+	}
+	t.sched = sched.New(eng, cfg.SchedSlot, cfg.SchedSlots)
+
+	if cfg.RunToCompletion {
+		t.mono = nfp.NewFPC(eng, "mono", &cfg.NFP)
+		t.mono.SetThreads(cfg.ThreadsPerFPC)
+	} else {
+		t.buildPipeline()
+	}
+	iface.Recv = t.rxFromWire
+	return t
+}
+
+func (t *TOE) buildPipeline() {
+	cfg := &t.cfg
+	// Shared pre-processing pool: PreRepl FPCs per flow group, serving
+	// segments of any flow (§4 "pre-processors handle segments for any
+	// flow").
+	t.pre = t.newStage("pre", cfg.PreRepl*cfg.FlowGroups, trace.TPQPre, t.preTask, t.preDone)
+
+	emem := nfp.NewEMEMCache(&cfg.NFP)
+	for fg := 0; fg < cfg.FlowGroups; fg++ {
+		isl := &island{fg: fg}
+		isl.entry = newROB(func(s *segItem) { t.protoAdmit(isl, s) })
+		cls := nfp.NewCLSCache(&cfg.NFP)
+		isl.ememCLS = cls
+		for i := 0; i < cfg.ProtoRepl; i++ {
+			pw := &protoWorker{
+				fpc:   nfp.NewFPC(t.eng, fmt.Sprintf("proto%d/%d", fg, i), &cfg.NFP),
+				q:     sim.NewQueue[*segItem](t.eng, fmt.Sprintf("protoq%d/%d", fg, i), 0),
+				cache: nfp.NewStateCache(&cfg.NFP, cls, emem),
+				t:     t,
+				isl:   isl,
+			}
+			pw.fpc.SetThreads(cfg.ThreadsPerFPC)
+			pw.fpc.Idle = pw.pump
+			isl.protos = append(isl.protos, pw)
+		}
+		isl.post = t.newStage(fmt.Sprintf("post%d", fg), cfg.PostRepl, trace.TPQPost,
+			t.postTask, func(s *segItem) { t.postDone(isl, s) })
+		isl.nbi = newROB(t.nbiOut)
+		t.islands = append(t.islands, isl)
+	}
+
+	t.dmaSt = t.newStage("dma", cfg.DMARepl, trace.TPQDMA, t.dmaTask, t.dmaDone)
+	t.ctxSt = t.newStage("ctxq", cfg.CtxRepl, trace.TPQCtx, t.ctxTask, t.ctxDone)
+}
+
+// Trace returns the tracepoint registry (enable for the Table 2 builds).
+func (t *TOE) Trace() *trace.Registry { return t.trace }
+
+// Sched exposes the flow scheduler (for control-plane rate programming).
+func (t *TOE) Sched() *sched.Carousel { return t.sched }
+
+// Engine returns the simulation engine the data-path runs on.
+func (t *TOE) Engine() *sim.Engine { return t.eng }
+
+// Config returns the active configuration.
+func (t *TOE) Config() *Config { return &t.cfg }
+
+// Costs returns the mutable cost table (calibration knobs).
+func (t *TOE) CostTable() *Costs { return &t.costs }
+
+// tsNow is the TCP timestamp clock in microseconds.
+func (t *TOE) tsNow() uint32 { return uint32(t.eng.Now() / sim.Microsecond) }
+
+// ---------------------------------------------------------------------
+// RX path (§3.1.3, Fig. 6)
+// ---------------------------------------------------------------------
+
+func (t *TOE) rxFromWire(f *netsim.Frame) {
+	if t.PacketTap != nil {
+		t.PacketTap("rx", f.Pkt)
+	}
+	if t.mono != nil {
+		t.monoRX(f)
+		return
+	}
+	if len(t.xdpProgs) > 0 {
+		t.xdpIngress(f)
+		return
+	}
+	t.rxToPre(f)
+}
+
+func (t *TOE) rxToPre(f *netsim.Frame) {
+	if !t.segPool.TryAlloc() {
+		t.RxDropNoBuf++
+		t.trace.Hit(trace.TPSegAllocFail)
+		return
+	}
+	item := &segItem{kind: segRX, pkt: f.Pkt, entered: t.eng.Now()}
+	// Sequencing happens at pipeline entry (§3.2: "we assign a sequence
+	// number to each segment entering the pipeline"): the NBI computes
+	// the flow-group hash in hardware, so the ticket predates the
+	// variable-latency pre-processing stage it will re-order.
+	item.fg = f.Pkt.Flow().Reverse().FlowGroup(t.cfg.FlowGroups)
+	item.ticket = t.islands[item.fg].entry.ticket()
+	t.pre.push(item)
+}
+
+// preTask: Val + Id (+ IMEM lookup stall on cache miss) + Sum + Steer for
+// RX; Alloc + Head + Steer for TX (Fig. 5/6).
+func (t *TOE) preTask(s *segItem) sim.Task {
+	c := &t.costs
+	switch s.kind {
+	case segRX:
+		instr := c.PreValidate + c.PreLookup + c.PreSummary + c.PreSteer
+		instr += t.trace.Hit(trace.TPPreSteer)
+		if t.PacketTap != nil {
+			instr += t.PacketTapCost // tcpdump-style per-packet copy
+		}
+		var stall sim.Time
+		key := uint64(s.pkt.Flow().Hash())
+		if !t.preLookup.Access(key) {
+			stall = t.cfg.NFP.CyclesTime(t.cfg.NFP.IMEMCycles)
+			t.trace.Hit(trace.TPPreLookupMiss)
+		}
+		if t.cfg.SoftwareRings {
+			instr += c.RingOp
+		}
+		if t.cfg.NetifStage {
+			instr += c.Netif
+		}
+		return sim.TaskC(t.scale(instr)).Add(0, stall)
+	case segTX:
+		instr := c.PreAlloc + c.PreHeader + c.PreSteer
+		if t.cfg.SoftwareRings {
+			instr += c.RingOp
+		}
+		return sim.TaskC(t.scale(instr))
+	default: // segHC: Fetch already done by ctx stage; Steer only.
+		return sim.TaskC(t.scale(c.PreSteer))
+	}
+}
+
+func (t *TOE) preDone(s *segItem) {
+	isl := t.islands[s.fg]
+	switch s.kind {
+	case segRX:
+		pkt := s.pkt
+		// Filter non-data-path segments to the control plane (§3.1.3).
+		if !pkt.TCP.IsDataPath() {
+			t.toControl(pkt)
+			isl.entry.skip(s.ticket)
+			t.segPool.Free()
+			return
+		}
+		// The NIC sees the flow from the sender's perspective; our
+		// connection table is keyed by the local endpoint's view.
+		flow := pkt.Flow().Reverse()
+		conn, ok := t.connByFlow[flow]
+		if !ok {
+			t.toControl(pkt)
+			isl.entry.skip(s.ticket)
+			t.segPool.Free()
+			return
+		}
+		s.conn = conn.ID
+		s.info = tcpseg.Summarize(pkt)
+		isl.entry.submit(s.ticket, s)
+	case segTX, segHC:
+		isl.entry.submit(s.ticket, s)
+	}
+}
+
+func (t *TOE) toControl(pkt *packet.Packet) {
+	t.RxToControl++
+	t.trace.Hit(trace.TPPreFilterControl)
+	if t.ControlRx != nil {
+		cb := t.ControlRx
+		t.eng.Immediately(func() { cb(pkt) })
+	}
+}
+
+// protoAdmit distributes in-order segments to the connection's protocol
+// worker (same connection -> same worker: atomicity without locks).
+func (t *TOE) protoAdmit(isl *island, s *segItem) {
+	w := isl.protos[int(s.conn)%len(isl.protos)]
+	t.trace.HitN(trace.TPQProto, uint64(w.q.Len()))
+	w.q.Push(s)
+	w.pump()
+}
+
+func (w *protoWorker) pump() {
+	for w.q.Len() > 0 && w.fpc.FreeThreads() > 0 {
+		item, _ := w.q.Pop()
+		task := w.taskOf(item)
+		// The protocol stage is atomic (§3.1: "the only pipeline
+		// hazard"): state mutations execute here, in admission order,
+		// under the connection's critical section. The FPC task then
+		// accounts for the time; hardware threads overlap only the
+		// stall portions of *different* segments.
+		w.t.protoExec(w.isl, item)
+		w.fpc.Submit(task, func() { w.t.protoForward(w.isl, item) })
+	}
+}
+
+func (w *protoWorker) taskOf(s *segItem) sim.Task {
+	t := w.t
+	c := &t.costs
+	stall := w.cache.Access(uint64(s.conn))
+	seqCost := c.SeqTicket + c.SeqReorder // sequencer FPCs (§3.2), charged here
+	var instr int64
+	switch s.kind {
+	case segRX:
+		instr = c.ProtoRX
+		instr += t.trace.Hit(trace.TPProtoRX) + t.trace.Hit(trace.TPCritRX)
+	case segTX:
+		instr = c.ProtoTX
+		instr += t.trace.Hit(trace.TPProtoTX) + t.trace.Hit(trace.TPCritTX)
+	case segHC:
+		instr = c.ProtoHC
+		instr += t.trace.Hit(trace.TPProtoHC) + t.trace.Hit(trace.TPCritHC)
+	}
+	if t.cfg.SoftwareRings {
+		instr += c.RingOp
+	}
+	return sim.TaskC(t.scale(instr+seqCost)).Add(0, stall)
+}
+
+// protoExec executes the real protocol logic at the atomic point, in
+// admission (ticket) order. It records what happened on the segItem;
+// protoForward routes the item onward when the FPC task completes.
+func (t *TOE) protoExec(isl *island, s *segItem) {
+	conn := t.connOrNil(s.conn)
+	if conn == nil {
+		s.dropped = true
+		return
+	}
+	switch s.kind {
+	case segRX:
+		s.rx = tcpseg.ProcessRX(&conn.Proto, &conn.Post, &s.info, t.tsNow())
+		if s.rx.FastRetransmit {
+			t.FastRetx++
+			t.trace.Hit(trace.TPConnFastRetx)
+		}
+		if s.rx.WasOOO {
+			t.OOOAccepted++
+			t.trace.Hit(trace.TPConnOOO)
+		}
+		if s.rx.OOODrop {
+			t.OOODropped++
+			t.trace.Hit(trace.TPConnOOODrop)
+		}
+		// Delayed-ACK extension: suppress all but every Nth ACK unless
+		// the segment demands attention (OOO, FIN, window edge).
+		if s.rx.SendAck && t.cfg.AckEvery > 1 && s.rx.WriteLen > 0 &&
+			!s.rx.WasOOO && !s.rx.OOODrop && !s.rx.FinRx && !s.rx.FastRetransmit {
+			conn.ackSkip++
+			if conn.ackSkip < t.cfg.AckEvery {
+				s.rx.SendAck = false
+				t.AcksSuppressed++
+			} else {
+				conn.ackSkip = 0
+			}
+		}
+		if s.rx.SendAck {
+			s.hasNBI = true
+			s.nbiTicket = isl.nbi.ticket()
+		}
+	case segTX:
+		txr, ok := tcpseg.ProcessTX(&conn.Proto, &conn.Post, t.cfg.MSS, conn.CWnd)
+		if !ok {
+			// Window closed between scheduling and protocol.
+			s.dropped = true
+			return
+		}
+		s.tx = txr
+		s.hasNBI = true
+		s.nbiTicket = isl.nbi.ticket()
+	case segHC:
+		s.hcOp = hcOpOf(s.hc)
+		res := tcpseg.ProcessHC(&conn.Proto, s.hcOp)
+		if res.Reset {
+			t.trace.Hit(trace.TPConnRetransmit)
+		}
+		if res.SendWindowUpdate {
+			// Re-advertise the reopened window as a pure ACK, or the
+			// sender stalls at zero window forever.
+			s.rx = tcpseg.WindowUpdateAck(&conn.Proto)
+			s.hasNBI = true
+			s.nbiTicket = isl.nbi.ticket()
+		}
+	}
+}
+
+// protoForward routes a segment onward after the protocol stage's
+// processing time has elapsed.
+func (t *TOE) protoForward(isl *island, s *segItem) {
+	if s.dropped {
+		t.releaseSeg(isl, s)
+		return
+	}
+	if t.connOrNil(s.conn) == nil {
+		t.releaseSeg(isl, s)
+		return
+	}
+	isl.post.push(s)
+}
+
+func hcOpOf(d shm.Desc) tcpseg.HCOp {
+	switch d.Kind {
+	case shm.DescTxBump:
+		return tcpseg.HCOp{Kind: tcpseg.HCTx, Bytes: d.Bytes}
+	case shm.DescRxConsume:
+		return tcpseg.HCOp{Kind: tcpseg.HCRxConsumed, Bytes: d.Bytes}
+	case shm.DescFin:
+		return tcpseg.HCOp{Kind: tcpseg.HCFin}
+	default:
+		return tcpseg.HCOp{Kind: tcpseg.HCRetransmit}
+	}
+}
+
+// postTask: Ack + Stamp + Stats for RX, Pos for TX, FS update for HC.
+func (t *TOE) postTask(s *segItem) sim.Task {
+	c := &t.costs
+	var instr int64
+	switch s.kind {
+	case segRX:
+		instr = c.PostStats + c.PostPos
+		if s.rx.SendAck {
+			instr += c.PostAck
+			if t.cfg.UseTimestamps {
+				instr += c.PostStamp
+			}
+		}
+		if s.rx.NewInOrder > 0 || s.rx.AckedBytes > 0 || s.rx.FinRx {
+			instr += c.PostNotify
+		}
+		instr += t.trace.Hit(trace.TPPostStats)
+	case segTX:
+		instr = c.PostPos + c.PostStats
+	case segHC:
+		instr = c.PostStats
+	}
+	if t.cfg.SoftwareRings {
+		instr += c.RingOp
+	}
+	// CTM access for the post partition state.
+	stall := t.stateStall()
+	return sim.TaskC(t.scale(instr)).Add(0, stall)
+}
+
+func (t *TOE) stateStall() sim.Time {
+	if t.cfg.FlatMemory {
+		return t.cfg.NFP.CyclesTime(t.cfg.FlatMemCycles)
+	}
+	return t.cfg.NFP.CyclesTime(t.cfg.NFP.CTMCycles)
+}
+
+func (t *TOE) postDone(isl *island, s *segItem) {
+	conn := t.connOrNil(s.conn)
+	if conn == nil {
+		t.releaseSeg(isl, s)
+		return
+	}
+	switch s.kind {
+	case segRX:
+		t.RxSegs++
+		t.RxBytes += uint64(s.info.PayloadLen)
+		// Flow-scheduler update: the ACK may have opened the window.
+		if tcpseg.SendableBytes(&conn.Proto, conn.CWnd) > 0 {
+			t.submitFlow(conn)
+		}
+		t.dmaSt.push(s)
+	case segTX:
+		t.dmaSt.push(s)
+	case segHC:
+		t.HCOps++
+		t.descPool.Free()
+		if s.hasNBI {
+			// Window-update ACK rides out through the NBI in order.
+			if t.segPool.TryAlloc() {
+				s.pkt = t.buildAck(conn, s)
+				isl.nbi.submit(s.nbiTicket, s)
+			} else {
+				isl.nbi.skip(s.nbiTicket)
+			}
+		}
+		if tcpseg.SendableBytes(&conn.Proto, conn.CWnd) > 0 || conn.Proto.TxAvail > 0 ||
+			s.hc.Kind == shm.DescFin || s.hc.Kind == shm.DescRetransmit {
+			// FIN and retransmit requests must reach the scheduler even
+			// with an empty transmit buffer.
+			t.submitFlow(conn)
+		}
+		t.kickTX()
+	}
+}
+
+// dmaTask models descriptor construction; the PCIe/copy latency itself is
+// asynchronous (the DMA engine), so the FPC only pays issue cost.
+func (t *TOE) dmaTask(s *segItem) sim.Task {
+	instr := t.costs.DMAIssue
+	if t.cfg.SoftwareRings {
+		instr += t.costs.RingOp
+	}
+	if t.PacketTap != nil {
+		instr += t.PacketTapCost // egress logging
+	}
+	return sim.TaskC(t.scale(instr))
+}
+
+func (t *TOE) dmaDone(s *segItem) {
+	conn := t.connOrNil(s.conn)
+	isl := t.islands[s.fg]
+	if conn == nil {
+		t.releaseSeg(isl, s)
+		return
+	}
+	switch s.kind {
+	case segRX:
+		payload := func(done func()) { done() }
+		if s.rx.WriteLen > 0 {
+			n := int(s.rx.WriteLen)
+			payload = func(done func()) {
+				t.trace.Hit(trace.TPDMAPayloadRX)
+				t.xfer(n, func() {
+					// One-shot: payload lands directly in the host
+					// receive buffer.
+					conn.RxBuf.WriteAt(s.rx.WritePos, s.pkt.Payload[s.rx.WriteOff:s.rx.WriteOff+s.rx.WriteLen])
+					done()
+				})
+			}
+		}
+		payload(func() {
+			// Ordering (§3.1.3): ACK and notification leave only after
+			// the payload DMA completes.
+			if s.rx.SendAck {
+				ack := t.buildAck(conn, s)
+				s.pkt = ack
+				isl.nbi.submit(s.nbiTicket, s)
+			} else {
+				t.segPool.Free()
+			}
+			t.notifyHost(conn, s)
+		})
+	case segTX:
+		n := int(s.tx.Len)
+		t.trace.Hit(trace.TPDMAPayloadTX)
+		t.xfer(n+64, func() { // descriptor + payload fetch
+			pkt := t.buildData(conn, s)
+			s.pkt = pkt
+			isl.nbi.submit(s.nbiTicket, s)
+		})
+	}
+}
+
+// xfer moves n bytes across the host boundary: PCIe DMA on the Agilio,
+// shared-memory copy on the ports.
+func (t *TOE) xfer(n int, done func()) {
+	if n <= 0 {
+		t.eng.Immediately(done)
+		return
+	}
+	if t.copyRes != nil {
+		t.copyRes.Acquire(int64(n), t.cfg.NFP.PCIeLatency, done)
+		return
+	}
+	t.dma.Issue(n, done)
+}
+
+// notifyHost emits context-queue notifications for newly in-order payload,
+// freed transmit buffer space, and peer FINs.
+func (t *TOE) notifyHost(conn *Conn, s *segItem) {
+	var descs []shm.Desc
+	if s.rx.NewInOrder > 0 {
+		descs = append(descs, shm.Desc{Kind: shm.DescRxNotify, Conn: conn.ID, Bytes: s.rx.NewInOrder, Opaque: conn.Post.Opaque})
+	}
+	if s.rx.AckedBytes > 0 {
+		descs = append(descs, shm.Desc{Kind: shm.DescTxFree, Conn: conn.ID, Bytes: s.rx.AckedBytes, Opaque: conn.Post.Opaque})
+	}
+	if s.rx.FinRx {
+		descs = append(descs, shm.Desc{Kind: shm.DescFinRx, Conn: conn.ID, Opaque: conn.Post.Opaque})
+	}
+	for _, d := range descs {
+		t.ctxSt.push(&segItem{kind: segHC, conn: conn.ID, fg: conn.fg, hc: d})
+	}
+}
+
+func (t *TOE) ctxTask(s *segItem) sim.Task {
+	instr := t.costs.CtxQNotify
+	if t.cfg.SoftwareRings {
+		instr += t.costs.RingOp
+	}
+	instr += t.trace.Hit(trace.TPCtxQNotify)
+	return sim.TaskC(t.scale(instr))
+}
+
+func (t *TOE) ctxDone(s *segItem) {
+	conn := t.connOrNil(s.conn)
+	if conn == nil {
+		return
+	}
+	d := s.hc
+	t.xfer(shm.DescWireSize, func() {
+		t.Notifies++
+		t.trace.Hit(trace.TPDMADescriptor)
+		if conn.Notify != nil {
+			conn.Notify(d)
+		}
+	})
+}
+
+// nbiOut transmits a frame in ticket order and frees its segment buffer.
+func (t *TOE) nbiOut(s *segItem) {
+	pkt := s.pkt
+	if pkt == nil {
+		t.segPool.Free()
+		return
+	}
+	if s.kind == segTX {
+		t.TxSegs++
+		t.TxBytes += uint64(s.tx.Len)
+		t.txInflight--
+		t.kickTX()
+	} else {
+		t.AcksSent++
+	}
+	t.sendFrame(pkt)
+	t.segPool.Free()
+}
+
+func (t *TOE) sendFrame(pkt *packet.Packet) {
+	if t.PacketTap != nil {
+		t.PacketTap("tx", pkt)
+	}
+	t.iface.Send(netsim.NewFrame(pkt, t.eng.Now()))
+}
+
+// SendControlFrame transmits a control-plane segment (handshake, RST)
+// directly via the MAC, bypassing the offloaded data-path — connection
+// management deliberately lives outside the pipeline (§3).
+func (t *TOE) SendControlFrame(pkt *packet.Packet) {
+	t.eng.After(t.cfg.NFP.MMIOLatency, func() { t.sendFrame(pkt) })
+}
+
+// MAC returns the NIC's Ethernet address.
+func (t *TOE) MAC() packet.EtherAddr { return t.iface.MAC }
+
+// releaseSeg drops a segment mid-pipeline, skipping its NBI ticket so the
+// reorder buffer never stalls and returning its pool resources.
+func (t *TOE) releaseSeg(isl *island, s *segItem) {
+	if s.hasNBI {
+		isl.nbi.skip(s.nbiTicket)
+	}
+	switch s.kind {
+	case segRX:
+		t.segPool.Free()
+	case segTX:
+		t.segPool.Free()
+		t.txInflight--
+		t.kickTX()
+	case segHC:
+		t.descPool.Free()
+	}
+}
+
+// buildAck constructs the acknowledgment segment the post stage prepared.
+func (t *TOE) buildAck(conn *Conn, s *segItem) *packet.Packet {
+	flags := packet.FlagACK
+	if s.rx.AckECE {
+		flags |= packet.FlagECE
+	}
+	pkt := &packet.Packet{
+		Eth: packet.Ethernet{Src: t.iface.MAC, Dst: conn.Pre.PeerMAC, EtherType: packet.EtherTypeIPv4},
+		IP: packet.IPv4{
+			TTL: 64, Protocol: packet.ProtoTCP, TOS: packet.ECNECT0,
+			Src: conn.Pre.LocalIP, Dst: conn.Pre.PeerIP,
+		},
+		TCP: packet.TCP{
+			SrcPort: conn.Pre.LocalPort, DstPort: conn.Pre.RemotePort,
+			Seq: s.rx.AckSeq, Ack: s.rx.AckAck, Flags: flags,
+			Window: s.rx.AckWin, WScale: -1,
+		},
+	}
+	if t.cfg.UseTimestamps {
+		pkt.TCP.HasTimestamp = true
+		pkt.TCP.TSVal = t.tsNow()
+		pkt.TCP.TSEcr = s.rx.EchoTS
+	}
+	return pkt
+}
+
+// buildData constructs a data segment, fetching real payload bytes from
+// the host transmit buffer (the DMA the paper's TX pipeline performs).
+func (t *TOE) buildData(conn *Conn, s *segItem) *packet.Packet {
+	flags := packet.FlagACK | packet.FlagPSH
+	if s.tx.FIN {
+		flags |= packet.FlagFIN
+		t.trace.Hit(trace.TPConnFinTx)
+	}
+	payload := make([]byte, s.tx.Len)
+	conn.TxBuf.ReadAt(s.tx.BufPos, payload)
+	pkt := &packet.Packet{
+		Eth: packet.Ethernet{Src: t.iface.MAC, Dst: conn.Pre.PeerMAC, EtherType: packet.EtherTypeIPv4},
+		IP: packet.IPv4{
+			TTL: 64, Protocol: packet.ProtoTCP, TOS: packet.ECNECT0,
+			Src: conn.Pre.LocalIP, Dst: conn.Pre.PeerIP,
+		},
+		TCP: packet.TCP{
+			SrcPort: conn.Pre.LocalPort, DstPort: conn.Pre.RemotePort,
+			Seq: s.tx.Seq, Ack: s.tx.Ack, Flags: flags,
+			Window: s.tx.Win, WScale: -1,
+		},
+		Payload: payload,
+	}
+	if t.cfg.UseTimestamps {
+		pkt.TCP.HasTimestamp = true
+		pkt.TCP.TSVal = t.tsNow()
+		pkt.TCP.TSEcr = s.tx.EchoTS
+	}
+	return pkt
+}

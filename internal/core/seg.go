@@ -1,0 +1,132 @@
+package core
+
+import (
+	"flextoe/internal/packet"
+	"flextoe/internal/shm"
+	"flextoe/internal/sim"
+	"flextoe/internal/tcpseg"
+)
+
+// segKind discriminates the three data-path workflows (§3.1).
+type segKind uint8
+
+const (
+	segRX segKind = iota
+	segTX
+	segHC
+)
+
+// segItem is the work unit flowing between pipeline stages: a segment (or
+// host-control descriptor) plus the metadata modules forward along the
+// pipeline (§3.3: state that later stages need travels as metadata, never
+// as shared state).
+type segItem struct {
+	kind segKind
+	conn uint32
+	fg   int
+
+	// Sequencing (§3.2).
+	ticket    uint64 // protocol-stage admission order, per flow group
+	nbiTicket uint64 // NBI transmission order, per flow group
+	hasNBI    bool
+
+	// RX workflow.
+	pkt  *packet.Packet
+	info tcpseg.SegInfo
+	rx   tcpseg.RXResult
+
+	// TX workflow.
+	tx tcpseg.TXResult
+
+	// HC workflow.
+	hc   shm.Desc
+	hcOp tcpseg.HCOp
+
+	// XDP stage carry-through.
+	xdp *xdpWork
+
+	// dropped marks a segment abandoned mid-pipeline (window closed,
+	// connection removed); downstream stages release its resources.
+	dropped bool
+
+	// Timing diagnostics.
+	entered sim.Time
+}
+
+// rob is a reorder buffer (§3.2): segments carry tickets assigned at
+// pipeline entry; the rob releases them to its output strictly in ticket
+// order. Cancelled tickets (e.g. XDP_DROP after ticketing) are skipped so
+// the stream never stalls.
+type rob struct {
+	next    uint64
+	issued  uint64
+	held    map[uint64]*segItem
+	skipped map[uint64]bool
+	out     func(*segItem)
+
+	// Statistics.
+	Holds    uint64 // segments that arrived out of ticket order
+	Releases uint64
+}
+
+func newROB(out func(*segItem)) *rob {
+	return &rob{
+		held:    make(map[uint64]*segItem),
+		skipped: make(map[uint64]bool),
+		out:     out,
+	}
+}
+
+// ticket hands out the next ticket in this rob's order domain.
+func (r *rob) ticket() uint64 {
+	t := r.issued
+	r.issued++
+	return t
+}
+
+// submit delivers a ticketed segment; the rob releases it (and any
+// segments it unblocks) in order.
+func (r *rob) submit(t uint64, s *segItem) {
+	if t != r.next {
+		r.held[t] = s
+		r.Holds++
+		return
+	}
+	r.release(s)
+	r.drain()
+}
+
+// skip cancels a ticket (segment dropped mid-pipeline).
+func (r *rob) skip(t uint64) {
+	if t == r.next {
+		r.next++
+		r.drain()
+		return
+	}
+	r.skipped[t] = true
+}
+
+func (r *rob) release(s *segItem) {
+	r.next++
+	r.Releases++
+	r.out(s)
+}
+
+func (r *rob) drain() {
+	for {
+		if r.skipped[r.next] {
+			delete(r.skipped, r.next)
+			r.next++
+			continue
+		}
+		s, ok := r.held[r.next]
+		if !ok {
+			return
+		}
+		delete(r.held, r.next)
+		r.release(s)
+	}
+}
+
+// pendingHeld returns how many segments wait in the buffer.
+func (r *rob) pendingHeld() int { return len(r.held) }

@@ -1,0 +1,393 @@
+// Package ctrl implements FlexTOE's control plane (§3, §D): connection
+// control (the TCP handshake state machine, port and buffer allocation,
+// data-path state installation), retransmission timeouts, and the
+// congestion-control framework with DCTCP and TIMELY policies.
+//
+// The control plane executes on a host core (or SmartNIC control CPU) in
+// its own protection domain. It touches the data-path only through the
+// narrow MMIO/queue interface core.TOE exposes: AddConnection,
+// InjectHC(retransmit), SetCongestionWindow / SetRateInterval, and
+// ReadStats.
+package ctrl
+
+import (
+	"flextoe/internal/core"
+	"flextoe/internal/packet"
+	"flextoe/internal/shm"
+	"flextoe/internal/sim"
+	"flextoe/internal/stats"
+	"flextoe/internal/tcpseg"
+)
+
+// CCAlgo selects the congestion-control policy.
+type CCAlgo int
+
+const (
+	// CCNone disables congestion control (Table 4's "off" rows).
+	CCNone CCAlgo = iota
+	// CCDCTCP is the default policy (§5 "DCTCP is our default").
+	CCDCTCP
+	// CCTimely is the RTT-gradient policy (§D).
+	CCTimely
+)
+
+// Config parameterizes the control plane.
+type Config struct {
+	LocalIP  packet.IPv4Addr
+	LocalMAC packet.EtherAddr
+	BufSize  uint32 // per-socket payload buffer size (power of two)
+
+	CC          CCAlgo
+	CCInterval  sim.Time // control loop period (per-RTT in the paper)
+	MinRTO      sim.Time
+	RTOScan     sim.Time
+	DCTCPGainG  float64 // alpha EWMA gain
+	InitialCWnd uint32  // bytes; 0 = 10*MSS
+	MaxCWnd     uint32  // bytes; 0 = buffer size
+
+	Seed uint64
+}
+
+// Plane is one machine's control plane.
+type Plane struct {
+	eng *sim.Engine
+	toe *core.TOE
+	cfg Config
+	rng *stats.RNG
+
+	listeners map[uint16]func(*Conn)
+	pending   map[packet.Flow]*pendingConn
+	conns     map[uint32]*ccState
+	nextPort  uint16
+
+	// Statistics.
+	Established uint64
+	Timeouts    uint64
+}
+
+// Conn is the control plane's view of an established connection, handed
+// to accept/connect callbacks (libTOE wraps it into a Socket).
+type Conn struct {
+	ID    uint32
+	Core  *core.Conn
+	Flow  packet.Flow
+	TxBuf *shm.PayloadBuf
+	RxBuf *shm.PayloadBuf
+}
+
+type pendingConn struct {
+	flow      packet.Flow
+	peerMAC   packet.EtherAddr
+	iss, irs  uint32
+	active    bool // we sent the SYN
+	connected func(*Conn)
+}
+
+type ccState struct {
+	conn      *core.Conn
+	cwnd      uint32
+	alpha     float64 // DCTCP
+	rate      float64 // TIMELY bytes/s
+	prevRTT   uint32
+	lastAcked sim.Time // last observed forward progress
+	srtt      sim.Time
+	rto       sim.Time
+	backoff   int
+}
+
+// New attaches a control plane to a data-path.
+func New(eng *sim.Engine, toe *core.TOE, cfg Config) *Plane {
+	if cfg.BufSize == 0 {
+		cfg.BufSize = 65536
+	}
+	if cfg.CCInterval == 0 {
+		cfg.CCInterval = 100 * sim.Microsecond
+	}
+	if cfg.MinRTO == 0 {
+		cfg.MinRTO = 2 * sim.Millisecond
+	}
+	if cfg.RTOScan == 0 {
+		cfg.RTOScan = 500 * sim.Microsecond
+	}
+	if cfg.DCTCPGainG == 0 {
+		cfg.DCTCPGainG = 1.0 / 16
+	}
+	if cfg.InitialCWnd == 0 {
+		cfg.InitialCWnd = 10 * 1448
+	}
+	if cfg.MaxCWnd == 0 {
+		cfg.MaxCWnd = cfg.BufSize
+	}
+	p := &Plane{
+		eng:       eng,
+		toe:       toe,
+		cfg:       cfg,
+		rng:       stats.NewRNG(cfg.Seed ^ uint64(cfg.LocalIP)),
+		listeners: make(map[uint16]func(*Conn)),
+		pending:   make(map[packet.Flow]*pendingConn),
+		conns:     make(map[uint32]*ccState),
+		nextPort:  20000,
+	}
+	toe.ControlRx = p.handleSegment
+	eng.Every(cfg.RTOScan, cfg.RTOScan, func() bool { p.rtoScan(); return true })
+	if cfg.CC != CCNone {
+		eng.Every(cfg.CCInterval, cfg.CCInterval, func() bool { p.ccLoop(); return true })
+	}
+	return p
+}
+
+// Listen registers an accept callback for a port.
+func (p *Plane) Listen(port uint16, accept func(*Conn)) {
+	p.listeners[port] = accept
+}
+
+// Dial initiates a connection to a remote endpoint.
+func (p *Plane) Dial(remoteIP packet.IPv4Addr, remoteMAC packet.EtherAddr, remotePort uint16, connected func(*Conn)) {
+	p.nextPort++
+	flow := packet.Flow{SrcIP: p.cfg.LocalIP, DstIP: remoteIP, SrcPort: p.nextPort, DstPort: remotePort}
+	iss := uint32(p.rng.Uint64())
+	pc := &pendingConn{flow: flow, peerMAC: remoteMAC, iss: iss, active: true, connected: connected}
+	p.pending[flow] = pc
+	p.sendControl(flow, remoteMAC, packet.FlagSYN, iss, 0)
+}
+
+// sendControl emits a handshake segment directly (the control plane's own
+// transmit path; these bypass the offloaded data-path by design).
+func (p *Plane) sendControl(flow packet.Flow, peerMAC packet.EtherAddr, flags uint8, seq, ack uint32) {
+	pkt := &packet.Packet{
+		Eth: packet.Ethernet{Src: p.cfg.LocalMAC, Dst: peerMAC, EtherType: packet.EtherTypeIPv4},
+		IP: packet.IPv4{
+			TTL: 64, Protocol: packet.ProtoTCP, TOS: packet.ECNECT0,
+			Src: flow.SrcIP, Dst: flow.DstIP,
+		},
+		TCP: packet.TCP{
+			SrcPort: flow.SrcPort, DstPort: flow.DstPort,
+			Seq: seq, Ack: ack, Flags: flags,
+			Window: uint16(p.cfg.BufSize >> tcpseg.WindowScale),
+			MSS:    1448, WScale: tcpseg.WindowScale, SACKPerm: false,
+		},
+	}
+	p.toe.SendControlFrame(pkt)
+}
+
+// handleSegment receives segments the data-path filtered to the control
+// plane: SYN/SYN-ACK/RST and segments of unknown flows.
+func (p *Plane) handleSegment(pkt *packet.Packet) {
+	flow := pkt.Flow().Reverse() // local view
+	tcp := &pkt.TCP
+	switch {
+	case tcp.HasFlag(packet.FlagSYN | packet.FlagACK):
+		pc, ok := p.pending[flow]
+		if !ok || !pc.active {
+			return
+		}
+		pc.irs = tcp.Seq + 1
+		// Complete the handshake.
+		p.sendControl(flow, pc.peerMAC, packet.FlagACK, pc.iss+1, pc.irs)
+		p.establish(pc, tcp.Window)
+	case tcp.HasFlag(packet.FlagSYN):
+		accept, ok := p.listeners[pkt.TCP.DstPort]
+		if !ok {
+			p.sendControl(flow, pkt.Eth.Src, packet.FlagRST, 0, tcp.Seq+1)
+			return
+		}
+		iss := uint32(p.rng.Uint64())
+		pc := &pendingConn{
+			flow: flow, peerMAC: pkt.Eth.Src,
+			iss: iss, irs: tcp.Seq + 1,
+			connected: func(c *Conn) { accept(c) },
+		}
+		p.pending[flow] = pc
+		p.sendControl(flow, pc.peerMAC, packet.FlagSYN|packet.FlagACK, iss, pc.irs)
+	case tcp.HasFlag(packet.FlagACK):
+		// Final handshake ACK for a passive open.
+		if pc, ok := p.pending[flow]; ok && !pc.active {
+			p.establish(pc, tcp.Window)
+		}
+		// Anything else (stale data for removed connections) is dropped.
+	case tcp.HasFlag(packet.FlagRST):
+		delete(p.pending, flow)
+	}
+}
+
+// establish installs the connection in the data-path and fires the
+// callback (§D: "allocates host payload buffers and a unique connection
+// index for the data-path ... then sets up connection state at the index
+// location").
+func (p *Plane) establish(pc *pendingConn, peerWin uint16) {
+	delete(p.pending, pc.flow)
+	txBuf := shm.NewPayloadBuf(p.cfg.BufSize)
+	rxBuf := shm.NewPayloadBuf(p.cfg.BufSize)
+	c := p.toe.AddConnection(pc.flow, pc.peerMAC, pc.iss+1, pc.irs, txBuf, rxBuf, 0, nil)
+	c.Proto.RemoteWin = peerWin
+	cc := &ccState{
+		conn:      c,
+		cwnd:      p.cfg.InitialCWnd,
+		rate:      1e9,
+		lastAcked: p.eng.Now(),
+		rto:       p.cfg.MinRTO,
+	}
+	p.conns[c.ID] = cc
+	if p.cfg.CC != CCNone {
+		p.toe.SetCongestionWindow(c.ID, cc.cwnd)
+	}
+	p.Established++
+	if pc.connected != nil {
+		p.eng.Immediately(func() {
+			pc.connected(&Conn{ID: c.ID, Core: c, Flow: pc.flow, TxBuf: txBuf, RxBuf: rxBuf})
+		})
+	}
+}
+
+// Close tears down a connection: FIN via the data-path, state removal
+// after the exchange drains.
+func (p *Plane) Close(id uint32) {
+	p.toe.InjectHC(shm.Desc{Kind: shm.DescFin, Conn: id})
+}
+
+// Remove deletes data-path state (after FIN exchange or on abort).
+func (p *Plane) Remove(id uint32) {
+	delete(p.conns, id)
+	p.toe.RemoveConnection(id)
+}
+
+// rtoScan fires go-back-N retransmissions for connections with
+// outstanding data and no forward progress within their RTO (§3.1.1:
+// "Retransmissions in response to timeouts are triggered by the
+// control-plane").
+func (p *Plane) rtoScan() {
+	now := p.eng.Now()
+	for id, cc := range p.conns {
+		c := p.toe.Connection(id)
+		if c == nil {
+			continue
+		}
+		outstanding := c.Proto.TxSent > 0 || (c.Proto.FinSent() && !c.Proto.FinAcked())
+		if !outstanding {
+			cc.lastAcked = now
+			cc.backoff = 0
+			continue
+		}
+		rto := cc.rto << uint(cc.backoff)
+		if now-cc.lastAcked >= rto {
+			p.Timeouts++
+			p.toe.InjectHC(shm.Desc{Kind: shm.DescRetransmit, Conn: id})
+			cc.lastAcked = now
+			if cc.backoff < 6 {
+				cc.backoff++
+			}
+			if p.cfg.CC == CCDCTCP {
+				// Timeout: collapse to one segment, slow-start again.
+				cc.cwnd = 2 * 1448
+				p.toe.SetCongestionWindow(id, cc.cwnd)
+			}
+		}
+	}
+}
+
+// ccLoop runs the periodic congestion-control iteration (§D): read
+// per-flow statistics from the data-path, compute a new window or rate,
+// and program it back.
+func (p *Plane) ccLoop() {
+	for id, cc := range p.conns {
+		st := p.toe.ReadStats(id)
+		if st.AckedBytes > 0 {
+			cc.lastAcked = p.eng.Now()
+			cc.backoff = 0
+		}
+		if st.RTTMicros > 0 {
+			rtt := sim.Time(st.RTTMicros) * sim.Microsecond
+			if cc.srtt == 0 {
+				cc.srtt = rtt
+			} else {
+				cc.srtt += (rtt - cc.srtt) / 8
+			}
+			if r := 4 * cc.srtt; r > p.cfg.MinRTO {
+				cc.rto = r
+			} else {
+				cc.rto = p.cfg.MinRTO
+			}
+		}
+		switch p.cfg.CC {
+		case CCDCTCP:
+			p.dctcp(id, cc, st)
+		case CCTimely:
+			p.timely(id, cc, st)
+		}
+	}
+}
+
+// dctcp implements DCTCP [1]: alpha tracks the EWMA fraction of
+// ECN-marked bytes; marked windows shrink by alpha/2, clean ones grow
+// additively.
+func (p *Plane) dctcp(id uint32, cc *ccState, st core.ConnStats) {
+	if st.AckedBytes == 0 {
+		return
+	}
+	frac := float64(st.ECNBytes) / float64(st.AckedBytes)
+	g := p.cfg.DCTCPGainG
+	cc.alpha = (1-g)*cc.alpha + g*frac
+	if st.ECNBytes > 0 {
+		cc.cwnd = uint32(float64(cc.cwnd) * (1 - cc.alpha/2))
+	} else {
+		cc.cwnd += 1448 // additive increase per control interval
+	}
+	if st.FastRetx > 0 {
+		cc.cwnd /= 2
+	}
+	if cc.cwnd < 2*1448 {
+		cc.cwnd = 2 * 1448
+	}
+	if cc.cwnd > p.cfg.MaxCWnd {
+		cc.cwnd = p.cfg.MaxCWnd
+	}
+	p.toe.SetCongestionWindow(id, cc.cwnd)
+}
+
+// TIMELY constants [34], scaled for the simulated fabric.
+const (
+	timelyTLow    = 30 * sim.Microsecond
+	timelyTHigh   = 500 * sim.Microsecond
+	timelyAddStep = 20e6 // bytes/s additive increment
+	timelyBeta    = 0.8
+)
+
+// timely implements TIMELY: RTT-gradient rate control, programmed into
+// the data-path as a division-free pacing interval.
+func (p *Plane) timely(id uint32, cc *ccState, st core.ConnStats) {
+	if st.RTTMicros == 0 {
+		return
+	}
+	rtt := st.RTTMicros
+	grad := float64(int32(rtt-cc.prevRTT)) / float64(timelyTLow/sim.Microsecond)
+	cc.prevRTT = rtt
+	rttT := sim.Time(rtt) * sim.Microsecond
+	switch {
+	case rttT < timelyTLow:
+		cc.rate += timelyAddStep
+	case rttT > timelyTHigh:
+		cc.rate *= 1 - timelyBeta*(1-float64(timelyTHigh)/float64(rttT))
+	case grad <= 0:
+		cc.rate += timelyAddStep
+	default:
+		cc.rate *= 1 - timelyBeta*grad*0.1
+	}
+	if cc.rate < 1e6 {
+		cc.rate = 1e6
+	}
+	if cc.rate > 5e9 {
+		cc.rate = 5e9
+	}
+	interval := sim.Time(1e12 / cc.rate)
+	p.toe.SetRateInterval(id, interval)
+	p.toe.SetCongestionWindow(id, 0) // rate-based: no window clamp
+}
+
+// CWnd exposes a connection's current congestion window (tests,
+// experiments).
+func (p *Plane) CWnd(id uint32) uint32 {
+	if cc := p.conns[id]; cc != nil {
+		return cc.cwnd
+	}
+	return 0
+}

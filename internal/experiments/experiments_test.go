@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunnerRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("runners = %d, want 15 (6 tables + 9 figures)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, r := range all {
+		if r.ID == "" || r.Desc == "" || r.Run == nil {
+			t.Fatalf("incomplete runner %+v", r)
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate id %q", r.ID)
+		}
+		seen[r.ID] = true
+		got, ok := ByID(r.ID)
+		if !ok || got.ID != r.ID {
+			t.Fatalf("ByID(%q) failed", r.ID)
+		}
+	}
+	if _, ok := ByID("nonsense"); ok {
+		t.Fatal("ByID accepted an unknown id")
+	}
+}
+
+func TestTable5Structural(t *testing.T) {
+	tables := Table5(Quick)
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	tb := tables[0]
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	out := tb.Format()
+	for _, want := range []string{"Pre-processor", "15", "43", "51", "109"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableFormatAlignment(t *testing.T) {
+	tb := &Table{
+		ID:     "T",
+		Title:  "test",
+		Header: []string{"a", "longer"},
+	}
+	tb.AddRow("wide-cell", "x")
+	out := tb.Format()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, rule, row
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Header and row columns must align: the second column starts at the
+	// same offset.
+	hdr, row := lines[1], lines[3]
+	if idxOf(hdr, "longer") != idxOf(row, "x") {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+}
+
+func idxOf(s, sub string) int { return strings.Index(s, sub) }
+
+func TestScaleHelpers(t *testing.T) {
+	if Quick.dur(1, 2) != 1 || Full.dur(1, 2) != 2 {
+		t.Fatal("dur")
+	}
+	q := Quick.pick([]int{1}, []int{1, 2})
+	f := Full.pick([]int{1}, []int{1, 2})
+	if len(q) != 1 || len(f) != 2 {
+		t.Fatal("pick")
+	}
+}
+
+func TestFig9QuickProducesAllCombos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	tables := Fig9(Quick)
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	if len(tables[0].Rows) != 16 {
+		t.Fatalf("combos = %d, want 16", len(tables[0].Rows))
+	}
+	// Every row must have numeric-looking latency cells.
+	for _, row := range tables[0].Rows {
+		if len(row) != 6 {
+			t.Fatalf("row = %v", row)
+		}
+		if row[2] == "0.0" {
+			t.Fatalf("zero latency in %v", row)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package host models the server and client machines of the testbed: CPU
+// cores that execute application and network-stack work serially, with
+// cycle accounting detailed enough to regenerate Table 1 (per-request
+// cycles by component, top-down pipeline-slot breakdown, IPC and icache
+// footprint).
+package host
+
+import (
+	"flextoe/internal/sim"
+)
+
+// Core is one host CPU core. Unlike an FPC, a core runs one task at a
+// time and its stalls do not overlap with other work (the OS thread
+// blocks).
+type Core struct {
+	Name string
+
+	eng     *sim.Engine
+	hz      int64
+	cyclePs sim.Time
+
+	busyUntil sim.Time
+	queue     []hostTask
+	running   bool
+
+	// Statistics.
+	Tasks        uint64
+	Instructions uint64
+	busyAcc      sim.Time
+}
+
+type hostTask struct {
+	task sim.Task
+	done func()
+}
+
+// NewCore creates a core with the given clock.
+func NewCore(eng *sim.Engine, name string, hz int64) *Core {
+	return &Core{Name: name, eng: eng, hz: hz, cyclePs: sim.Cycles(1, hz)}
+}
+
+// Hz returns the core clock.
+func (c *Core) Hz() int64 { return c.hz }
+
+// CyclesTime converts core cycles to time.
+func (c *Core) CyclesTime(n int64) sim.Time { return sim.Cycles(n, c.hz) }
+
+// Submit queues a task for serial execution. done runs when it completes.
+func (c *Core) Submit(task sim.Task, done func()) {
+	c.queue = append(c.queue, hostTask{task, done})
+	if !c.running {
+		c.running = true
+		c.eng.Immediately(c.next)
+	}
+}
+
+// Busy reports whether the core has queued or running work.
+func (c *Core) Busy() bool { return c.running || len(c.queue) > 0 }
+
+// QueueLen returns the number of tasks waiting (excluding the running one).
+func (c *Core) QueueLen() int { return len(c.queue) }
+
+func (c *Core) next() {
+	if len(c.queue) == 0 {
+		c.running = false
+		return
+	}
+	t := c.queue[0]
+	c.queue = c.queue[1:]
+	c.Tasks++
+	var dur sim.Time
+	for _, s := range t.task.Steps {
+		c.Instructions += uint64(s.Compute)
+		dur += sim.Time(s.Compute)*c.cyclePs + s.Stall
+	}
+	c.busyAcc += dur
+	c.eng.After(dur, func() {
+		if t.done != nil {
+			t.done()
+		}
+		c.next()
+	})
+}
+
+// Utilization returns the core's busy fraction of simulated time.
+func (c *Core) Utilization() float64 {
+	now := c.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(c.busyAcc) / float64(now)
+}
+
+// Machine is a host with several cores.
+type Machine struct {
+	Name  string
+	Cores []*Core
+}
+
+// NewMachine builds a host with n identical cores.
+func NewMachine(eng *sim.Engine, name string, n int, hz int64) *Machine {
+	m := &Machine{Name: name}
+	for i := 0; i < n; i++ {
+		m.Cores = append(m.Cores, NewCore(eng, name+"/cpu"+itoa(i), hz))
+	}
+	return m
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+// LeastLoaded returns the core with the shortest queue.
+func (m *Machine) LeastLoaded() *Core {
+	best := m.Cores[0]
+	for _, c := range m.Cores[1:] {
+		if !c.Busy() && best.Busy() {
+			best = c
+		} else if c.QueueLen() < best.QueueLen() && c.Busy() == best.Busy() {
+			best = c
+		}
+	}
+	return best
+}
+
+// Counters models the hardware performance counters used in §2.1's
+// analysis: it accumulates per-component cycles and classifies them into
+// top-down pipeline slots.
+type Counters struct {
+	// Per-component kilocycles per request (Table 1 rows).
+	Driver  float64
+	TCPIP   float64
+	Sockets float64
+	App     float64
+	Other   float64
+
+	// Top-down breakdown fractions of total cycles.
+	Retiring float64
+	Frontend float64
+	Backend  float64
+	BadSpec  float64
+
+	Instructions float64 // thousands per request
+	IcacheKB     float64
+
+	Requests uint64
+}
+
+// Total returns total kilocycles per request.
+func (c *Counters) Total() float64 {
+	return c.Driver + c.TCPIP + c.Sockets + c.App + c.Other
+}
+
+// IPC returns instructions per cycle.
+func (c *Counters) IPC() float64 {
+	t := c.Total()
+	if t == 0 {
+		return 0
+	}
+	return c.Instructions / t
+}

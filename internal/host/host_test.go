@@ -1,0 +1,105 @@
+package host
+
+import (
+	"testing"
+
+	"flextoe/internal/sim"
+)
+
+func TestCoreSerializesTasks(t *testing.T) {
+	eng := sim.New()
+	c := NewCore(eng, "cpu0", 2e9) // 2 GHz: 500ps/cycle
+	var done []sim.Time
+	eng.At(0, func() {
+		c.Submit(sim.TaskC(1000), func() { done = append(done, eng.Now()) }) // 500ns
+		c.Submit(sim.TaskC(1000), func() { done = append(done, eng.Now()) })
+	})
+	eng.Run()
+	if len(done) != 2 {
+		t.Fatalf("done = %v", done)
+	}
+	if done[0] != 500*sim.Nanosecond || done[1] != 1000*sim.Nanosecond {
+		t.Fatalf("completion times = %v", done)
+	}
+	if c.Tasks != 2 || c.Instructions != 2000 {
+		t.Fatalf("counters: %d tasks, %d instr", c.Tasks, c.Instructions)
+	}
+}
+
+func TestCoreStallsDoNotOverlap(t *testing.T) {
+	// Unlike an FPC, a host core blocks on stalls.
+	eng := sim.New()
+	c := NewCore(eng, "cpu0", 2e9)
+	var last sim.Time
+	eng.At(0, func() {
+		for i := 0; i < 4; i++ {
+			c.Submit(sim.TaskC(1000).Add(0, sim.Microsecond), func() { last = eng.Now() })
+		}
+	})
+	eng.Run()
+	want := 4 * (500*sim.Nanosecond + sim.Microsecond)
+	if last != want {
+		t.Fatalf("last = %v, want %v", last, want)
+	}
+}
+
+func TestCoreBusyAndQueue(t *testing.T) {
+	eng := sim.New()
+	c := NewCore(eng, "cpu0", 2e9)
+	eng.At(0, func() {
+		if c.Busy() {
+			t.Error("idle core reports busy")
+		}
+		c.Submit(sim.TaskC(100), nil)
+		c.Submit(sim.TaskC(100), nil)
+		if !c.Busy() {
+			t.Error("core with work reports idle")
+		}
+	})
+	eng.Run()
+	if c.Busy() {
+		t.Error("drained core reports busy")
+	}
+}
+
+func TestCoreUtilization(t *testing.T) {
+	eng := sim.New()
+	c := NewCore(eng, "cpu0", 2e9)
+	eng.At(0, func() { c.Submit(sim.TaskC(2000), nil) }) // 1us busy
+	eng.At(2*sim.Microsecond, func() {})                 // extend sim to 2us
+	eng.Run()
+	if u := c.Utilization(); u < 0.45 || u > 0.55 {
+		t.Fatalf("utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestMachineLeastLoaded(t *testing.T) {
+	eng := sim.New()
+	m := NewMachine(eng, "host", 4, 2e9)
+	if len(m.Cores) != 4 {
+		t.Fatalf("cores = %d", len(m.Cores))
+	}
+	eng.At(0, func() {
+		m.Cores[0].Submit(sim.TaskC(10000), nil)
+		m.Cores[1].Submit(sim.TaskC(10000), nil)
+		ll := m.LeastLoaded()
+		if ll == m.Cores[0] || ll == m.Cores[1] {
+			t.Error("LeastLoaded picked a busy core over an idle one")
+		}
+	})
+	eng.Run()
+}
+
+func TestCountersAccessors(t *testing.T) {
+	c := Counters{Driver: 1, TCPIP: 4, Sockets: 2, App: 1, Other: 3, Instructions: 14.3}
+	if c.Total() != 11 {
+		t.Fatalf("total = %v", c.Total())
+	}
+	if ipc := c.IPC(); ipc < 1.29 || ipc > 1.31 {
+		t.Fatalf("IPC = %v", ipc)
+	}
+	var zero Counters
+	if zero.IPC() != 0 {
+		t.Fatal("zero counters IPC")
+	}
+}

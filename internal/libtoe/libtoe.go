@@ -1,0 +1,253 @@
+// Package libtoe is FlexTOE's application library (§3, Fig. 2): it
+// interposes on the POSIX socket API, keeps per-socket payload buffers in
+// process memory, and talks to the data-path through per-thread context
+// queues — appending transmit data and doorbelling the NIC, and consuming
+// receive/free notifications.
+//
+// Socket operations cost host CPU cycles on the application's core,
+// matching the paper's Table 1 accounting (FlexTOE: 0.74 kc of POSIX
+// socket work per request that "cannot be eliminated with TCP offload").
+package libtoe
+
+import (
+	"flextoe/internal/api"
+	"flextoe/internal/core"
+	"flextoe/internal/ctrl"
+	"flextoe/internal/host"
+	"flextoe/internal/packet"
+	"flextoe/internal/shm"
+	"flextoe/internal/sim"
+)
+
+// CostProfile is the per-operation host cycle cost of the socket layer.
+type CostProfile struct {
+	SendCycles   int64   // per send() call (descriptor + doorbell MMIO)
+	RecvCycles   int64   // per recv() call
+	NotifyCycles int64   // per context-queue notification processed
+	PerByte      float64 // copy cost per byte (app <-> payload buffer)
+	// WakeupLatency is the MSI-X -> eventfd -> scheduler path when the
+	// application slept waiting for IO (§4 "Driver"). Charged only when
+	// the socket's core is idle; busy applications poll.
+	WakeupLatency sim.Time
+}
+
+// DefaultCosts matches Table 1's FlexTOE socket accounting (~740 cycles
+// of POSIX socket work per request-response pair, split across the calls
+// involved).
+func DefaultCosts() CostProfile {
+	return CostProfile{
+		SendCycles:    240,
+		RecvCycles:    200,
+		NotifyCycles:  150,
+		PerByte:       0.06,
+		WakeupLatency: 3500 * sim.Nanosecond,
+	}
+}
+
+// Stack implements api.Stack over a FlexTOE data-path and control plane.
+type Stack struct {
+	eng     *sim.Engine
+	toe     *core.TOE
+	ctrl    *ctrl.Plane
+	machine *host.Machine
+	localIP packet.IPv4Addr
+	costs   CostProfile
+
+	// ResolveMAC maps a destination IP to its MAC (static ARP; the
+	// control plane performs real ARP in deployment).
+	ResolveMAC func(ip packet.IPv4Addr) packet.EtherAddr
+
+	nextCore int
+}
+
+// NewStack wires libTOE to a data-path, control plane and host machine.
+func NewStack(eng *sim.Engine, toe *core.TOE, plane *ctrl.Plane, machine *host.Machine, localIP packet.IPv4Addr) *Stack {
+	return &Stack{
+		eng:     eng,
+		toe:     toe,
+		ctrl:    plane,
+		machine: machine,
+		localIP: localIP,
+		costs:   DefaultCosts(),
+	}
+}
+
+// Name identifies the stack in experiment output.
+func (s *Stack) Name() string { return "FlexTOE" }
+
+// Machine returns the host CPU model.
+func (s *Stack) Machine() *host.Machine { return s.machine }
+
+// LocalIP returns the machine's address.
+func (s *Stack) LocalIP() packet.IPv4Addr { return s.localIP }
+
+// Costs returns the mutable socket cost profile.
+func (s *Stack) Costs() *CostProfile { return &s.costs }
+
+// TOE exposes the data-path (experiments attach XDP programs, read
+// counters).
+func (s *Stack) TOE() *core.TOE { return s.toe }
+
+// Ctrl exposes the control plane.
+func (s *Stack) Ctrl() *ctrl.Plane { return s.ctrl }
+
+// appCore picks the core a new socket's notifications run on
+// (per-thread context queues: sockets are distributed round-robin, as
+// with TAS/FlexTOE's per-core context queues, §5.1).
+func (s *Stack) appCore() *host.Core {
+	c := s.machine.Cores[s.nextCore%len(s.machine.Cores)]
+	s.nextCore++
+	return c
+}
+
+// Listen registers an accept handler.
+func (s *Stack) Listen(port uint16, accept func(api.Socket)) {
+	s.ctrl.Listen(port, func(c *ctrl.Conn) {
+		sock := s.newSocket(c)
+		accept(sock)
+	})
+}
+
+// Dial opens a connection.
+func (s *Stack) Dial(remote api.Addr, connected func(api.Socket)) {
+	mac := packet.EtherAddr{}
+	if s.ResolveMAC != nil {
+		mac = s.ResolveMAC(remote.IP)
+	}
+	s.ctrl.Dial(remote.IP, mac, remote.Port, func(c *ctrl.Conn) {
+		connected(s.newSocket(c))
+	})
+}
+
+func (s *Stack) newSocket(c *ctrl.Conn) *Socket {
+	sock := &Socket{
+		stack:  s,
+		conn:   c,
+		core:   s.appCore(),
+		txFree: c.TxBuf.Size(),
+	}
+	c.Core.Notify = sock.notify
+	return sock
+}
+
+// Socket implements api.Socket over FlexTOE context queues.
+type Socket struct {
+	stack *Stack
+	conn  *ctrl.Conn
+	core  *host.Core
+
+	txHead uint32 // next append offset (stream position)
+	txFree uint32
+	rxHead uint32 // next read offset
+	avail  uint32 // readable bytes
+	closed bool
+	finRx  bool
+
+	onReadable func()
+	onWritable func()
+}
+
+var _ api.Socket = (*Socket)(nil)
+
+// LocalAddr returns the local endpoint.
+func (k *Socket) LocalAddr() api.Addr {
+	return api.Addr{IP: k.conn.Flow.SrcIP, Port: k.conn.Flow.SrcPort}
+}
+
+// RemoteAddr returns the peer endpoint.
+func (k *Socket) RemoteAddr() api.Addr {
+	return api.Addr{IP: k.conn.Flow.DstIP, Port: k.conn.Flow.DstPort}
+}
+
+// Readable returns buffered received bytes.
+func (k *Socket) Readable() int { return int(k.avail) }
+
+// TxSpace returns free transmit buffer space.
+func (k *Socket) TxSpace() int { return int(k.txFree) }
+
+// OnReadable registers the receive callback.
+func (k *Socket) OnReadable(f func()) { k.onReadable = f }
+
+// OnWritable registers the transmit-space callback.
+func (k *Socket) OnWritable(f func()) { k.onWritable = f }
+
+// Send appends to the transmit payload buffer and doorbells the NIC.
+func (k *Socket) Send(p []byte) int {
+	if k.closed {
+		return 0
+	}
+	n := uint32(len(p))
+	if n > k.txFree {
+		n = k.txFree
+	}
+	if n == 0 {
+		return 0
+	}
+	k.conn.TxBuf.WriteAt(k.txHead, p[:n])
+	k.txHead += n
+	k.txFree -= n
+	cost := k.stack.costs.SendCycles + int64(float64(n)*k.stack.costs.PerByte)
+	k.core.Submit(sim.TaskC(cost), func() {
+		k.stack.toe.InjectHC(shm.Desc{Kind: shm.DescTxBump, Conn: k.conn.ID, Bytes: n})
+	})
+	return int(n)
+}
+
+// Recv copies received bytes out and reopens the receive window.
+func (k *Socket) Recv(p []byte) int {
+	n := uint32(len(p))
+	if n > k.avail {
+		n = k.avail
+	}
+	if n == 0 {
+		return 0
+	}
+	k.conn.RxBuf.ReadAt(k.rxHead, p[:n])
+	k.rxHead += n
+	k.avail -= n
+	cost := k.stack.costs.RecvCycles + int64(float64(n)*k.stack.costs.PerByte)
+	k.core.Submit(sim.TaskC(cost), func() {
+		k.stack.toe.InjectHC(shm.Desc{Kind: shm.DescRxConsume, Conn: k.conn.ID, Bytes: n})
+	})
+	return int(n)
+}
+
+// Close sends FIN.
+func (k *Socket) Close() {
+	if k.closed {
+		return
+	}
+	k.closed = true
+	k.stack.toe.InjectHC(shm.Desc{Kind: shm.DescFin, Conn: k.conn.ID})
+}
+
+// notify handles NIC->host context-queue descriptors on the socket's
+// application core (eventfd wakeup + descriptor processing).
+func (k *Socket) notify(d shm.Desc) {
+	task := sim.TaskC(k.stack.costs.NotifyCycles)
+	if !k.core.Busy() && k.stack.costs.WakeupLatency > 0 {
+		task = task.Add(0, k.stack.costs.WakeupLatency)
+	}
+	k.core.Submit(task, func() {
+		switch d.Kind {
+		case shm.DescRxNotify:
+			k.avail += d.Bytes
+			if k.onReadable != nil {
+				k.onReadable()
+			}
+		case shm.DescTxFree:
+			k.txFree += d.Bytes
+			if k.onWritable != nil {
+				k.onWritable()
+			}
+		case shm.DescFinRx:
+			k.finRx = true
+			if k.onReadable != nil {
+				k.onReadable() // EOF signaled via Readable()==0 after drain
+			}
+		}
+	})
+}
+
+// FinRx reports whether the peer closed its direction.
+func (k *Socket) FinRx() bool { return k.finRx }

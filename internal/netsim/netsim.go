@@ -1,0 +1,246 @@
+// Package netsim models the network fabric of the paper's testbed: NIC
+// interfaces, full-duplex links with serialization and propagation delay,
+// and a store-and-forward Ethernet switch with per-port output queues.
+//
+// The switch implements the behaviours §5.3's robustness experiments
+// depend on: uniform random loss injection (Fig. 15), ECN marking above a
+// DCTCP-style threshold (Fig. 16, Table 4), WRED with tail drop, and
+// per-port rate shaping to simulate incast degrees (Table 4).
+package netsim
+
+import (
+	"fmt"
+
+	"flextoe/internal/packet"
+	"flextoe/internal/sim"
+	"flextoe/internal/stats"
+)
+
+// Frame is a packet in flight, with its wire length cached.
+type Frame struct {
+	Pkt     *packet.Packet
+	Wire    int      // bytes on the wire (Ethernet framing included)
+	Ingress sim.Time // when the frame first entered the fabric
+}
+
+// NewFrame wraps a packet, computing its wire length.
+func NewFrame(p *packet.Packet, now sim.Time) *Frame {
+	return &Frame{Pkt: p, Wire: p.WireLen(), Ingress: now}
+}
+
+// Iface is one end of a full-duplex link: it serializes outbound frames at
+// the link rate and delivers inbound frames to its receive handler.
+type Iface struct {
+	Name string
+	MAC  packet.EtherAddr
+
+	eng  *sim.Engine
+	tx   *sim.Resource // outbound serialization
+	prop sim.Time      // propagation to the peer
+	peer *Iface
+
+	// Recv handles frames arriving at this interface. Nil drops them.
+	Recv func(f *Frame)
+
+	// Statistics.
+	TxFrames, RxFrames uint64
+	TxBytes, RxBytes   uint64
+
+	// queueBytes tracks bytes accepted for transmission but not yet on
+	// the wire — the output queue depth used for ECN marking and WRED.
+	queueBytes int
+}
+
+// GbpsToBytesPerSec converts a Gbit/s line rate.
+func GbpsToBytesPerSec(gbps float64) float64 { return gbps * 1e9 / 8 }
+
+// NewIface creates an unconnected interface with the given line rate in
+// bytes/second.
+func NewIface(eng *sim.Engine, name string, mac packet.EtherAddr, bytesPerSec float64) *Iface {
+	return &Iface{
+		Name: name,
+		MAC:  mac,
+		eng:  eng,
+		tx:   sim.NewResource(eng, name+"/tx", bytesPerSec),
+	}
+}
+
+// SetRate replaces the interface's transmit rate (port shaping).
+func (i *Iface) SetRate(bytesPerSec float64) {
+	i.tx = sim.NewResource(i.eng, i.Name+"/tx", bytesPerSec)
+}
+
+// Connect joins two interfaces with the given propagation delay.
+func Connect(a, b *Iface, prop sim.Time) {
+	a.peer, b.peer = b, a
+	a.prop, b.prop = prop, prop
+}
+
+// QueueBytes returns the current output queue depth in bytes.
+func (i *Iface) QueueBytes() int { return i.queueBytes }
+
+// Send serializes the frame onto the wire and delivers it to the peer
+// after the propagation delay.
+func (i *Iface) Send(f *Frame) {
+	if i.peer == nil {
+		return
+	}
+	i.TxFrames++
+	i.TxBytes += uint64(f.Wire)
+	i.queueBytes += f.Wire
+	peer := i.peer
+	i.tx.Acquire(int64(f.Wire), i.prop, func() {
+		i.queueBytes -= f.Wire
+		peer.RxFrames++
+		peer.RxBytes += uint64(f.Wire)
+		if peer.Recv != nil {
+			peer.Recv(f)
+		}
+	})
+}
+
+// SwitchConfig controls the switch's queueing behaviours.
+type SwitchConfig struct {
+	// LossProb drops forwarded frames uniformly at random (Fig. 15's
+	// loss injection). 0 disables.
+	LossProb float64
+	// ECNThresholdBytes marks CE on ECT frames when the egress queue
+	// exceeds this depth (DCTCP's K). 0 disables marking.
+	ECNThresholdBytes int
+	// QueueCapBytes tail-drops frames when the egress queue would exceed
+	// this depth. 0 means unbounded.
+	QueueCapBytes int
+	// WREDMinBytes/WREDMaxBytes enable WRED early drop: drop probability
+	// rises linearly from 0 at min to WREDMaxProb at max; beyond max the
+	// frame is tail-dropped. Zero values disable WRED.
+	WREDMinBytes int
+	WREDMaxBytes int
+	WREDMaxProb  float64
+	// Latency is the fixed forwarding latency (lookup + crossbar).
+	Latency sim.Time
+	// Seed for the drop/mark RNG.
+	Seed uint64
+}
+
+// Switch is a store-and-forward Ethernet switch with static MAC learning.
+type Switch struct {
+	eng   *sim.Engine
+	cfg   SwitchConfig
+	rng   *stats.RNG
+	ports []*Iface
+	table map[packet.EtherAddr]*Iface
+
+	// Statistics.
+	Forwarded  uint64
+	LossDrops  uint64
+	QueueDrops uint64
+	WREDDrops  uint64
+	ECNMarks   uint64
+	Flooded    uint64
+}
+
+// NewSwitch creates a switch. Default forwarding latency is 600 ns if the
+// config leaves it zero.
+func NewSwitch(eng *sim.Engine, cfg SwitchConfig) *Switch {
+	if cfg.Latency == 0 {
+		cfg.Latency = 600 * sim.Nanosecond
+	}
+	return &Switch{
+		eng:   eng,
+		cfg:   cfg,
+		rng:   stats.NewRNG(cfg.Seed ^ 0x5317c4),
+		table: make(map[packet.EtherAddr]*Iface),
+	}
+}
+
+// Config returns a pointer to the live configuration so experiments can
+// adjust loss/marking mid-run.
+func (s *Switch) Config() *SwitchConfig { return &s.cfg }
+
+// AddPort creates a switch port with the given line rate and returns the
+// interface to connect a host NIC to.
+func (s *Switch) AddPort(name string, bytesPerSec float64) *Iface {
+	port := NewIface(s.eng, fmt.Sprintf("sw/%s", name), packet.MAC(0x02, 0xff, 0, 0, 0, byte(len(s.ports))), bytesPerSec)
+	port.Recv = func(f *Frame) { s.forward(f) }
+	s.ports = append(s.ports, port)
+	return port
+}
+
+// Learn installs a static MAC table entry toward the given port.
+func (s *Switch) Learn(mac packet.EtherAddr, port *Iface) {
+	s.table[mac] = port
+}
+
+func (s *Switch) forward(f *Frame) {
+	// Uniform loss injection applies to every forwarded frame.
+	if s.cfg.LossProb > 0 && s.rng.Bool(s.cfg.LossProb) {
+		s.LossDrops++
+		return
+	}
+	out, ok := s.table[f.Pkt.Eth.Dst]
+	if !ok {
+		s.Flooded++
+		return
+	}
+	q := out.QueueBytes() + f.Wire
+	if s.cfg.QueueCapBytes > 0 && q > s.cfg.QueueCapBytes {
+		s.QueueDrops++
+		return
+	}
+	if s.cfg.WREDMaxBytes > 0 {
+		switch {
+		case q > s.cfg.WREDMaxBytes:
+			s.WREDDrops++
+			return
+		case q > s.cfg.WREDMinBytes:
+			frac := float64(q-s.cfg.WREDMinBytes) / float64(s.cfg.WREDMaxBytes-s.cfg.WREDMinBytes)
+			if s.rng.Bool(frac * s.cfg.WREDMaxProb) {
+				s.WREDDrops++
+				return
+			}
+		}
+	}
+	if s.cfg.ECNThresholdBytes > 0 && q > s.cfg.ECNThresholdBytes &&
+		f.Pkt.IP.ECN() != packet.ECNNotECT {
+		f.Pkt.IP.SetECN(packet.ECNCE)
+		s.ECNMarks++
+	}
+	s.Forwarded++
+	s.eng.After(s.cfg.Latency, func() { out.Send(f) })
+}
+
+// Network bundles a switch and the host-side interfaces for convenience.
+type Network struct {
+	Eng    *sim.Engine
+	Switch *Switch
+	hosts  map[string]*Iface
+}
+
+// NewNetwork creates a network around one switch.
+func NewNetwork(eng *sim.Engine, cfg SwitchConfig) *Network {
+	return &Network{Eng: eng, Switch: NewSwitch(eng, cfg), hosts: make(map[string]*Iface)}
+}
+
+// AttachHost creates a host NIC interface connected to a new switch port
+// at the given rate, registers its MAC, and returns it.
+func (n *Network) AttachHost(name string, mac packet.EtherAddr, bytesPerSec float64, prop sim.Time) *Iface {
+	host := NewIface(n.Eng, name, mac, bytesPerSec)
+	port := n.Switch.AddPort(name, bytesPerSec)
+	Connect(host, port, prop)
+	n.Switch.Learn(mac, port)
+	n.hosts[name] = host
+	return host
+}
+
+// Host returns a previously attached host interface.
+func (n *Network) Host(name string) *Iface { return n.hosts[name] }
+
+// ShapePort restricts the switch-side egress rate toward the named host
+// (used by the incast experiment to emulate a shaped port).
+func (n *Network) ShapePort(name string, bytesPerSec float64) {
+	host := n.hosts[name]
+	if host == nil || host.peer == nil {
+		return
+	}
+	host.peer.SetRate(bytesPerSec)
+}

@@ -1,0 +1,233 @@
+package netsim
+
+import (
+	"testing"
+
+	"flextoe/internal/packet"
+	"flextoe/internal/sim"
+)
+
+func testPacket(src, dst packet.EtherAddr, payload int) *packet.Packet {
+	return &packet.Packet{
+		Eth: packet.Ethernet{Src: src, Dst: dst, EtherType: packet.EtherTypeIPv4},
+		IP: packet.IPv4{
+			TTL: 64, Protocol: packet.ProtoTCP,
+			Src: packet.IP(10, 0, 0, 1), Dst: packet.IP(10, 0, 0, 2),
+			TOS: packet.ECNECT0,
+		},
+		TCP:     packet.TCP{SrcPort: 1, DstPort: 2, Flags: packet.FlagACK, WScale: -1},
+		Payload: make([]byte, payload),
+	}
+}
+
+func buildNet(t *testing.T, cfg SwitchConfig) (*sim.Engine, *Network, *Iface, *Iface) {
+	t.Helper()
+	eng := sim.New()
+	n := NewNetwork(eng, cfg)
+	macA := packet.MAC(2, 0, 0, 0, 0, 1)
+	macB := packet.MAC(2, 0, 0, 0, 0, 2)
+	a := n.AttachHost("a", macA, GbpsToBytesPerSec(40), 100*sim.Nanosecond)
+	b := n.AttachHost("b", macB, GbpsToBytesPerSec(40), 100*sim.Nanosecond)
+	return eng, n, a, b
+}
+
+func TestDelivery(t *testing.T) {
+	eng, _, a, b := buildNet(t, SwitchConfig{})
+	var got *Frame
+	var at sim.Time
+	b.Recv = func(f *Frame) { got = f; at = eng.Now() }
+	pkt := testPacket(a.MAC, b.MAC, 1000)
+	eng.At(0, func() { a.Send(NewFrame(pkt, 0)) })
+	eng.Run()
+	if got == nil {
+		t.Fatal("frame not delivered")
+	}
+	// Latency = serialization at both hops + 2 props + switch latency.
+	wire := float64(got.Wire)
+	serial := sim.Time(wire / GbpsToBytesPerSec(40) * 1e12)
+	want := 2*serial + 2*100*sim.Nanosecond + 600*sim.Nanosecond
+	if at < want-2 || at > want+2 {
+		t.Fatalf("delivery at %v, want ~%v", at, want)
+	}
+}
+
+func TestUnknownMACDropped(t *testing.T) {
+	eng, n, a, b := buildNet(t, SwitchConfig{})
+	delivered := false
+	b.Recv = func(f *Frame) { delivered = true }
+	pkt := testPacket(a.MAC, packet.MAC(9, 9, 9, 9, 9, 9), 100)
+	eng.At(0, func() { a.Send(NewFrame(pkt, 0)) })
+	eng.Run()
+	if delivered {
+		t.Fatal("frame to unknown MAC delivered")
+	}
+	if n.Switch.Flooded != 1 {
+		t.Fatalf("flooded = %d", n.Switch.Flooded)
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	eng, n, a, b := buildNet(t, SwitchConfig{LossProb: 0.5, Seed: 42})
+	received := 0
+	b.Recv = func(f *Frame) { received++ }
+	const total = 2000
+	for i := 0; i < total; i++ {
+		pkt := testPacket(a.MAC, b.MAC, 64)
+		at := sim.Time(i) * sim.Microsecond
+		eng.At(at, func() { a.Send(NewFrame(pkt, at)) })
+	}
+	eng.Run()
+	if received < total*40/100 || received > total*60/100 {
+		t.Fatalf("received %d/%d with 50%% loss", received, total)
+	}
+	if n.Switch.LossDrops+uint64(received) != total {
+		t.Fatalf("drops %d + received %d != %d", n.Switch.LossDrops, received, total)
+	}
+}
+
+func TestECNMarking(t *testing.T) {
+	// Slow egress port so the queue builds; frames above threshold get CE.
+	eng := sim.New()
+	n := NewNetwork(eng, SwitchConfig{ECNThresholdBytes: 3000})
+	macA := packet.MAC(2, 0, 0, 0, 0, 1)
+	macB := packet.MAC(2, 0, 0, 0, 0, 2)
+	a := n.AttachHost("a", macA, GbpsToBytesPerSec(40), 100*sim.Nanosecond)
+	b := n.AttachHost("b", macB, GbpsToBytesPerSec(0.1), 100*sim.Nanosecond)
+	var marked, unmarked int
+	b.Recv = func(f *Frame) {
+		if f.Pkt.IP.ECN() == packet.ECNCE {
+			marked++
+		} else {
+			unmarked++
+		}
+	}
+	for i := 0; i < 20; i++ {
+		pkt := testPacket(a.MAC, b.MAC, 1400)
+		eng.At(sim.Time(i)*sim.Microsecond, func() { a.Send(NewFrame(pkt, 0)) })
+	}
+	eng.Run()
+	if marked == 0 {
+		t.Fatal("no CE marks despite queue buildup")
+	}
+	if unmarked == 0 {
+		t.Fatal("every frame marked; first frames should pass unmarked")
+	}
+	if n.Switch.ECNMarks != uint64(marked) {
+		t.Fatalf("switch counted %d marks, delivered %d", n.Switch.ECNMarks, marked)
+	}
+}
+
+func TestNotECTNeverMarked(t *testing.T) {
+	eng := sim.New()
+	n := NewNetwork(eng, SwitchConfig{ECNThresholdBytes: 1000})
+	a := n.AttachHost("a", packet.MAC(2, 0, 0, 0, 0, 1), GbpsToBytesPerSec(40), 0)
+	b := n.AttachHost("b", packet.MAC(2, 0, 0, 0, 0, 2), GbpsToBytesPerSec(0.05), 0)
+	marked := 0
+	b.Recv = func(f *Frame) {
+		if f.Pkt.IP.ECN() == packet.ECNCE {
+			marked++
+		}
+	}
+	for i := 0; i < 10; i++ {
+		pkt := testPacket(a.MAC, b.MAC, 1400)
+		pkt.IP.SetECN(packet.ECNNotECT)
+		eng.At(0, func() { a.Send(NewFrame(pkt, 0)) })
+	}
+	eng.Run()
+	if marked != 0 {
+		t.Fatalf("%d Not-ECT frames marked", marked)
+	}
+}
+
+func TestTailDrop(t *testing.T) {
+	eng := sim.New()
+	n := NewNetwork(eng, SwitchConfig{QueueCapBytes: 4000})
+	a := n.AttachHost("a", packet.MAC(2, 0, 0, 0, 0, 1), GbpsToBytesPerSec(40), 0)
+	b := n.AttachHost("b", packet.MAC(2, 0, 0, 0, 0, 2), GbpsToBytesPerSec(0.01), 0)
+	received := 0
+	b.Recv = func(f *Frame) { received++ }
+	for i := 0; i < 50; i++ {
+		pkt := testPacket(a.MAC, b.MAC, 1400)
+		eng.At(0, func() { a.Send(NewFrame(pkt, 0)) })
+	}
+	eng.RunUntil(10 * sim.Millisecond)
+	if n.Switch.QueueDrops == 0 {
+		t.Fatal("no tail drops despite tiny queue")
+	}
+	if received+int(n.Switch.QueueDrops) != 50 {
+		t.Fatalf("received %d + drops %d != 50", received, n.Switch.QueueDrops)
+	}
+}
+
+func TestWREDDropsRise(t *testing.T) {
+	eng := sim.New()
+	n := NewNetwork(eng, SwitchConfig{
+		WREDMinBytes: 2000, WREDMaxBytes: 8000, WREDMaxProb: 1.0, Seed: 7,
+	})
+	a := n.AttachHost("a", packet.MAC(2, 0, 0, 0, 0, 1), GbpsToBytesPerSec(40), 0)
+	b := n.AttachHost("b", packet.MAC(2, 0, 0, 0, 0, 2), GbpsToBytesPerSec(0.01), 0)
+	b.Recv = func(f *Frame) {}
+	for i := 0; i < 100; i++ {
+		pkt := testPacket(a.MAC, b.MAC, 1400)
+		eng.At(0, func() { a.Send(NewFrame(pkt, 0)) })
+	}
+	eng.RunUntil(100 * sim.Millisecond)
+	if n.Switch.WREDDrops == 0 {
+		t.Fatal("WRED never dropped")
+	}
+}
+
+func TestPortShaping(t *testing.T) {
+	eng, n, a, b := buildNet(t, SwitchConfig{})
+	var last sim.Time
+	count := 0
+	b.Recv = func(f *Frame) { last = eng.Now(); count++ }
+	// Shape the egress toward b down to 1 Gbps.
+	n.ShapePort("b", GbpsToBytesPerSec(1))
+	const frames = 100
+	for i := 0; i < frames; i++ {
+		pkt := testPacket(a.MAC, b.MAC, 1400)
+		eng.At(0, func() { a.Send(NewFrame(pkt, 0)) })
+	}
+	eng.Run()
+	if count != frames {
+		t.Fatalf("delivered %d/%d", count, frames)
+	}
+	// ~100 frames * ~1462B at 1 Gbps ≈ 1.17 ms.
+	wire := testPacket(a.MAC, b.MAC, 1400).WireLen()
+	expect := sim.Time(float64(frames*wire) / GbpsToBytesPerSec(1) * 1e12)
+	if last < expect*9/10 {
+		t.Fatalf("finished at %v, expected >= %v (shaping not applied)", last, expect)
+	}
+}
+
+func TestFIFOOrderPreserved(t *testing.T) {
+	eng, _, a, b := buildNet(t, SwitchConfig{})
+	var seqs []uint32
+	b.Recv = func(f *Frame) { seqs = append(seqs, f.Pkt.TCP.Seq) }
+	for i := 0; i < 100; i++ {
+		pkt := testPacket(a.MAC, b.MAC, 200)
+		pkt.TCP.Seq = uint32(i)
+		eng.At(0, func() { a.Send(NewFrame(pkt, 0)) })
+	}
+	eng.Run()
+	for i, s := range seqs {
+		if s != uint32(i) {
+			t.Fatalf("frames reordered by fabric: %v", seqs)
+		}
+	}
+}
+
+func TestIfaceCounters(t *testing.T) {
+	eng, _, a, b := buildNet(t, SwitchConfig{})
+	b.Recv = func(f *Frame) {}
+	pkt := testPacket(a.MAC, b.MAC, 500)
+	eng.At(0, func() { a.Send(NewFrame(pkt, 0)) })
+	eng.Run()
+	if a.TxFrames != 1 || b.RxFrames != 1 {
+		t.Fatalf("counters: tx=%d rx=%d", a.TxFrames, b.RxFrames)
+	}
+	if a.TxBytes != uint64(pkt.WireLen()) {
+		t.Fatalf("TxBytes = %d", a.TxBytes)
+	}
+}

@@ -1,0 +1,231 @@
+// Package nfp models the Netronome NFP-4000 network processor that the
+// Agilio-CX40 implementation of FlexTOE targets (§2.3, §4): flow
+// processing cores (FPCs) with eight hardware threads over a single issue
+// slot, islands with local memories (CLS, CTM), shared SRAM (IMEM) and
+// DRAM (EMEM) with the paper's published access latencies, content-
+// addressable caches, and an asynchronous PCIe DMA engine with 256
+// transaction slots.
+//
+// The model captures the properties the paper's design arguments rest on:
+// wimpy single-issue cores where sequential execution is slow, hardware
+// multithreading that hides memory stalls (Table 3's 2.25× step), and an
+// order-of-magnitude spread in memory access latency that makes caching
+// decisive (Fig. 13).
+package nfp
+
+import (
+	"flextoe/internal/sim"
+)
+
+// Config describes an NFP-4000-class part.
+type Config struct {
+	FPCHz      int64 // FPC clock (Agilio CX: 800 MHz; Agilio LX: 1.2 GHz)
+	Threads    int   // hardware threads per FPC (8)
+	FPCsPerIsl int   // FPCs per general-purpose island (12)
+	Islands    int   // general-purpose islands (5)
+
+	// Memory access latencies in FPC cycles (§2.3: CLS/CTM up to 100,
+	// IMEM up to 250, EMEM up to 500; DRAM behind the EMEM cache costs
+	// more).
+	LocalMemCycles int
+	CLSCycles      int
+	CTMCycles      int
+	IMEMCycles     int
+	EMEMCycles     int
+	DRAMCycles     int
+
+	// Cache geometry (§4.1).
+	LocalCAMEntries  int // per-FPC fully associative LRU (16)
+	CLSCacheEntries  int // per-island direct-mapped (512)
+	EMEMCacheEntries int // EMEM's 3 MB SRAM cache, in connection states
+	PreLookupEntries int // pre-processor's direct-mapped lookup cache (128)
+
+	// PCIe Gen3 x8 DMA engine (§2.3).
+	PCIeBytesPerSec float64
+	PCIeLatency     sim.Time // per-transaction round-trip latency
+	DMAMaxInflight  int      // asynchronous transaction slots (256)
+
+	// MMIO doorbell write latency observed by the host.
+	MMIOLatency sim.Time
+}
+
+// AgilioCX40 returns the configuration of the Netronome Agilio-CX40 used
+// in the paper's evaluation.
+func AgilioCX40() Config {
+	return Config{
+		FPCHz:      800e6,
+		Threads:    8,
+		FPCsPerIsl: 12,
+		Islands:    5,
+
+		LocalMemCycles: 1,
+		CLSCycles:      100,
+		CTMCycles:      100,
+		IMEMCycles:     250,
+		EMEMCycles:     500,
+		DRAMCycles:     900,
+
+		LocalCAMEntries:  16,
+		CLSCacheEntries:  512,
+		EMEMCacheEntries: 8192,
+		PreLookupEntries: 128,
+
+		PCIeBytesPerSec: 7.88e9, // PCIe Gen3 x8 effective
+		PCIeLatency:     850 * sim.Nanosecond,
+		DMAMaxInflight:  256,
+
+		MMIOLatency: 300 * sim.Nanosecond,
+	}
+}
+
+// AgilioLX returns the larger Agilio LX part (footnote 7: 1.2 GHz FPCs,
+// double the islands), used for the splicing headroom discussion.
+func AgilioLX() Config {
+	c := AgilioCX40()
+	c.FPCHz = 1200e6
+	c.Islands = 10
+	return c
+}
+
+// CyclePs returns the FPC cycle time in picoseconds.
+func (c *Config) CyclePs() sim.Time { return sim.Cycles(1, c.FPCHz) }
+
+// CyclesTime converts FPC cycles to simulated time.
+func (c *Config) CyclesTime(n int) sim.Time { return sim.Cycles(int64(n), c.FPCHz) }
+
+// FPC is one flow processing core: an independent single-issue 32-bit core
+// with a fixed number of hardware threads. Compute bursts from different
+// threads serialize on the single issue slot; memory stalls overlap with
+// other threads' compute (this is exactly why intra-FPC parallelism buys
+// the paper's 2.25×).
+type FPC struct {
+	Name string
+
+	eng     *sim.Engine
+	cyclePs sim.Time
+	threads int
+
+	active    int // tasks currently occupying a hardware thread
+	runq      []pending
+	issueBusy sim.Time // accumulated issue-slot busy time
+	issueFree sim.Time // next instant the issue slot is free
+
+	// Idle runs whenever a hardware thread frees up, letting the owning
+	// pipeline stage pull more work.
+	Idle func()
+
+	// Statistics.
+	Tasks        uint64
+	Instructions uint64
+}
+
+type pending struct {
+	task sim.Task
+	done func()
+}
+
+// NewFPC creates a core with the config's thread count and clock.
+func NewFPC(eng *sim.Engine, name string, cfg *Config) *FPC {
+	return &FPC{
+		Name:    name,
+		eng:     eng,
+		cyclePs: cfg.CyclePs(),
+		threads: cfg.Threads,
+	}
+}
+
+// SetThreads overrides the hardware thread count (the Table 3 ablation
+// runs with 1 thread to disable intra-FPC parallelism).
+func (f *FPC) SetThreads(n int) {
+	if n < 1 {
+		panic("nfp: FPC needs at least one thread")
+	}
+	f.threads = n
+}
+
+// FreeThreads returns the number of idle hardware threads.
+func (f *FPC) FreeThreads() int {
+	free := f.threads - f.active
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Busy reports whether any thread is occupied.
+func (f *FPC) Busy() bool { return f.active > 0 || len(f.runq) > 0 }
+
+// Submit queues a task. If all hardware threads are busy the task waits in
+// the core's run queue (callers gate on FreeThreads for backpressure; the
+// run queue only absorbs same-instant races).
+func (f *FPC) Submit(task sim.Task, done func()) {
+	if f.active < f.threads {
+		f.active++
+		f.Tasks++
+		f.runSteps(task.Steps, done)
+		return
+	}
+	f.runq = append(f.runq, pending{task, done})
+}
+
+// runSteps executes the task's steps as an event chain.
+func (f *FPC) runSteps(steps []sim.Step, done func()) {
+	if len(steps) == 0 {
+		f.finish(done)
+		return
+	}
+	step := steps[0]
+	rest := steps[1:]
+	afterCompute := func() {
+		if step.Stall > 0 {
+			f.eng.After(step.Stall, func() { f.runSteps(rest, done) })
+		} else {
+			f.runSteps(rest, done)
+		}
+	}
+	if step.Compute > 0 {
+		f.Instructions += uint64(step.Compute)
+		now := f.eng.Now()
+		start := f.issueFree
+		if start < now {
+			start = now
+		}
+		dur := sim.Time(step.Compute) * f.cyclePs
+		f.issueFree = start + dur
+		f.issueBusy += dur
+		f.eng.At(f.issueFree, afterCompute)
+	} else {
+		afterCompute()
+	}
+}
+
+func (f *FPC) finish(done func()) {
+	f.active--
+	if done != nil {
+		done()
+	}
+	// Start queued work before announcing idleness.
+	for f.active < f.threads && len(f.runq) > 0 {
+		p := f.runq[0]
+		f.runq = f.runq[1:]
+		f.active++
+		f.Tasks++
+		f.runSteps(p.task.Steps, p.done)
+	}
+	if f.active < f.threads && f.Idle != nil {
+		f.Idle()
+	}
+}
+
+// Utilization returns the issue slot's busy fraction.
+func (f *FPC) Utilization() float64 {
+	now := f.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	busy := f.issueBusy
+	if f.issueFree > now {
+		busy -= f.issueFree - now
+	}
+	return float64(busy) / float64(now)
+}

@@ -1,0 +1,319 @@
+package nfp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flextoe/internal/sim"
+)
+
+func TestFPCSingleTaskTiming(t *testing.T) {
+	eng := sim.New()
+	cfg := AgilioCX40()
+	f := NewFPC(eng, "fpc0", &cfg)
+	var doneAt sim.Time
+	eng.At(0, func() {
+		f.Submit(sim.TaskC(100), func() { doneAt = eng.Now() })
+	})
+	eng.Run()
+	// 100 cycles at 800 MHz = 125 ns.
+	if doneAt != 125*sim.Nanosecond {
+		t.Fatalf("done at %v", doneAt)
+	}
+	if f.Instructions != 100 || f.Tasks != 1 {
+		t.Fatalf("counters: instr=%d tasks=%d", f.Instructions, f.Tasks)
+	}
+}
+
+func TestFPCComputeSerializesAcrossThreads(t *testing.T) {
+	// Two pure-compute tasks cannot overlap: one issue slot.
+	eng := sim.New()
+	cfg := AgilioCX40()
+	f := NewFPC(eng, "fpc0", &cfg)
+	var times []sim.Time
+	eng.At(0, func() {
+		f.Submit(sim.TaskC(100), func() { times = append(times, eng.Now()) })
+		f.Submit(sim.TaskC(100), func() { times = append(times, eng.Now()) })
+	})
+	eng.Run()
+	if times[0] != 125*sim.Nanosecond || times[1] != 250*sim.Nanosecond {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestFPCThreadsHideStalls(t *testing.T) {
+	// Tasks that stall let other threads' compute proceed: with 8
+	// threads, 8 tasks of (100 compute, 1000ns stall) finish in
+	// ~(8*125ns serial compute) + 1000ns, not 8*(125+1000).
+	eng := sim.New()
+	cfg := AgilioCX40()
+	f := NewFPC(eng, "fpc0", &cfg)
+	var last sim.Time
+	eng.At(0, func() {
+		for i := 0; i < 8; i++ {
+			f.Submit(sim.TaskC(100).Add(0, 1000*sim.Nanosecond), func() { last = eng.Now() })
+		}
+	})
+	eng.Run()
+	want := 8*125*sim.Nanosecond + 1000*sim.Nanosecond
+	if last != want {
+		t.Fatalf("last = %v, want %v", last, want)
+	}
+}
+
+func TestFPCSingleThreadSerializesStalls(t *testing.T) {
+	// The Table 3 ablation: with 1 thread, stalls serialize too.
+	eng := sim.New()
+	cfg := AgilioCX40()
+	f := NewFPC(eng, "fpc0", &cfg)
+	f.SetThreads(1)
+	var last sim.Time
+	eng.At(0, func() {
+		for i := 0; i < 4; i++ {
+			f.Submit(sim.TaskC(100).Add(0, 1000*sim.Nanosecond), func() { last = eng.Now() })
+		}
+	})
+	eng.Run()
+	want := 4 * (125*sim.Nanosecond + 1000*sim.Nanosecond)
+	if last != want {
+		t.Fatalf("last = %v, want %v", last, want)
+	}
+}
+
+func TestFPCFreeThreadsAndRunq(t *testing.T) {
+	eng := sim.New()
+	cfg := AgilioCX40()
+	f := NewFPC(eng, "fpc0", &cfg)
+	done := 0
+	eng.At(0, func() {
+		if f.FreeThreads() != 8 {
+			t.Errorf("FreeThreads = %d", f.FreeThreads())
+		}
+		for i := 0; i < 12; i++ { // 4 beyond thread count
+			f.Submit(sim.TaskC(10), func() { done++ })
+		}
+		if f.FreeThreads() != 0 {
+			t.Errorf("FreeThreads after submit = %d", f.FreeThreads())
+		}
+	})
+	eng.Run()
+	if done != 12 {
+		t.Fatalf("done = %d", done)
+	}
+}
+
+func TestFPCIdleCallback(t *testing.T) {
+	eng := sim.New()
+	cfg := AgilioCX40()
+	f := NewFPC(eng, "fpc0", &cfg)
+	idleCalls := 0
+	f.Idle = func() { idleCalls++ }
+	eng.At(0, func() {
+		f.Submit(sim.TaskC(10), nil)
+	})
+	eng.Run()
+	if idleCalls == 0 {
+		t.Fatal("Idle never invoked")
+	}
+}
+
+func TestFPCUtilization(t *testing.T) {
+	eng := sim.New()
+	cfg := AgilioCX40()
+	f := NewFPC(eng, "fpc0", &cfg)
+	eng.At(0, func() { f.Submit(sim.TaskC(800), nil) }) // 1 us busy
+	eng.At(0, func() {})
+	eng.Run()
+	// Engine ends at 1us; utilization should be 1.0.
+	if u := f.Utilization(); u < 0.99 || u > 1.01 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestCacheDirectMappedConflicts(t *testing.T) {
+	c := NewCache(4, 1)
+	// Keys 0 and 4 conflict (same set).
+	c.Access(0)
+	if !c.Access(0) {
+		t.Fatal("immediate re-access missed")
+	}
+	c.Access(4)
+	if c.Access(0) {
+		t.Fatal("conflicting key not evicted in direct-mapped cache")
+	}
+}
+
+func TestCacheLRUFullyAssociative(t *testing.T) {
+	c := NewCache(4, 4)
+	for k := uint64(0); k < 4; k++ {
+		c.Access(k)
+	}
+	// Touch 0 to make it most recent; insert 4 -> evicts 1.
+	c.Access(0)
+	c.Access(4)
+	if !c.Contains(0) {
+		t.Fatal("recently used entry evicted")
+	}
+	if c.Contains(1) {
+		t.Fatal("LRU entry not evicted")
+	}
+}
+
+func TestCacheHitRate(t *testing.T) {
+	c := NewCache(16, 16)
+	for i := 0; i < 100; i++ {
+		c.Access(uint64(i % 8)) // working set fits
+	}
+	if c.HitRate() < 0.9 {
+		t.Fatalf("hit rate = %v", c.HitRate())
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(8, 2)
+	c.Access(3)
+	c.Invalidate(3)
+	if c.Contains(3) {
+		t.Fatal("entry survives invalidate")
+	}
+}
+
+func TestCachePropertyInstallAfterMiss(t *testing.T) {
+	// Property: immediately after any access, the key is present.
+	f := func(keys []uint64) bool {
+		c := NewCache(32, 4)
+		for _, k := range keys {
+			c.Access(k)
+			if !c.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateCacheLatencyLevels(t *testing.T) {
+	eng := sim.New()
+	cfg := AgilioCX40()
+	cls := NewCLSCache(&cfg)
+	emem := NewEMEMCache(&cfg)
+	sc := NewStateCache(&cfg, cls, emem)
+	_ = eng
+
+	// First access: miss everywhere -> DRAM latency.
+	if got := sc.Access(1); got != cfg.CyclesTime(cfg.DRAMCycles) {
+		t.Fatalf("cold access stall = %v", got)
+	}
+	// Second access: local CAM hit.
+	if got := sc.Access(1); got != cfg.CyclesTime(cfg.LocalMemCycles) {
+		t.Fatalf("warm access stall = %v", got)
+	}
+	// Evict from local CAM by touching 16 other connections; CLS keeps it.
+	for k := uint64(100); k < 116; k++ {
+		sc.Access(k)
+	}
+	if got := sc.Access(1); got != cfg.CyclesTime(cfg.CLSCycles) {
+		t.Fatalf("CLS access stall = %v", got)
+	}
+}
+
+func TestStateCacheScalingKnee(t *testing.T) {
+	// With a working set beyond CLS capacity, mean stall grows — the
+	// Fig. 13 mechanism.
+	cfg := AgilioCX40()
+	measure := func(conns int) float64 {
+		cls := NewCLSCache(&cfg)
+		emem := NewEMEMCache(&cfg)
+		sc := NewStateCache(&cfg, cls, emem)
+		var total sim.Time
+		n := 0
+		for round := 0; round < 20; round++ {
+			for c := 0; c < conns; c++ {
+				total += sc.Access(uint64(c))
+				n++
+			}
+		}
+		return float64(total) / float64(n)
+	}
+	small := measure(256)  // fits CLS
+	large := measure(4096) // spills to EMEM
+	huge := measure(40000) // spills to DRAM
+	if !(small < large && large < huge) {
+		t.Fatalf("no scaling knee: %v %v %v", small, large, huge)
+	}
+}
+
+func TestDMAEngineLatencyAndBandwidth(t *testing.T) {
+	eng := sim.New()
+	cfg := AgilioCX40()
+	d := NewDMAEngine(eng, &cfg)
+	var doneAt sim.Time
+	eng.At(0, func() {
+		d.Issue(788, func() { doneAt = eng.Now() }) // 100ns of wire + latency
+	})
+	eng.Run()
+	want := sim.Time(float64(788)/cfg.PCIeBytesPerSec*1e12) + cfg.PCIeLatency
+	if doneAt < want-2 || doneAt > want+2 {
+		t.Fatalf("done at %v, want ~%v", doneAt, want)
+	}
+}
+
+func TestDMAEngineInflightLimit(t *testing.T) {
+	eng := sim.New()
+	cfg := AgilioCX40()
+	cfg.DMAMaxInflight = 4
+	d := NewDMAEngine(eng, &cfg)
+	completed := 0
+	eng.At(0, func() {
+		for i := 0; i < 20; i++ {
+			d.Issue(1000, func() { completed++ })
+		}
+		if d.Inflight() != 4 {
+			t.Errorf("inflight = %d, want 4", d.Inflight())
+		}
+	})
+	eng.Run()
+	if completed != 20 {
+		t.Fatalf("completed = %d", completed)
+	}
+	if d.PeakInflight != 4 {
+		t.Fatalf("peak inflight = %d", d.PeakInflight)
+	}
+}
+
+func TestDMAOverlapsTransactions(t *testing.T) {
+	// Two transactions issued together: bandwidth serializes the wire,
+	// but latency overlaps — total well under 2*(wire+latency).
+	eng := sim.New()
+	cfg := AgilioCX40()
+	d := NewDMAEngine(eng, &cfg)
+	var last sim.Time
+	wire := sim.Time(float64(7880) / cfg.PCIeBytesPerSec * 1e12) // 1us
+	eng.At(0, func() {
+		d.Issue(7880, func() {})
+		d.Issue(7880, func() { last = eng.Now() })
+	})
+	eng.Run()
+	want := 2*wire + cfg.PCIeLatency
+	if last < want-2 || last > want+2 {
+		t.Fatalf("last = %v, want ~%v", last, want)
+	}
+}
+
+func TestConfigCycleTime(t *testing.T) {
+	cfg := AgilioCX40()
+	if cfg.CyclePs() != 1250*sim.Picosecond {
+		t.Fatalf("cycle = %v", cfg.CyclePs())
+	}
+	if cfg.CyclesTime(1500) != 1875*sim.Nanosecond {
+		// The paper's ECN-gradient example: 1,500 cycles = 1.9us.
+		t.Fatalf("1500 cycles = %v", cfg.CyclesTime(1500))
+	}
+	lx := AgilioLX()
+	if lx.FPCHz != 1200e6 {
+		t.Fatal("LX clock")
+	}
+}

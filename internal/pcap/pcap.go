@@ -1,0 +1,155 @@
+// Package pcap writes and reads libpcap capture files, backing FlexTOE's
+// tcpdump-style traffic logging (§5.1). The writer attaches to a TOE's
+// packet tap; header filters select which packets are logged.
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"flextoe/internal/packet"
+	"flextoe/internal/sim"
+)
+
+// Magic numbers and constants of the classic pcap format.
+const (
+	magicMicros  = 0xa1b2c3d4
+	versionMajor = 2
+	versionMinor = 4
+	linkEthernet = 1
+	maxSnapLen   = 65535
+)
+
+// Writer emits a pcap stream.
+type Writer struct {
+	w       io.Writer
+	snap    uint32
+	Packets uint64
+}
+
+// NewWriter writes the file header and returns a writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], magicMicros)
+	binary.LittleEndian.PutUint16(hdr[4:], versionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:], versionMinor)
+	binary.LittleEndian.PutUint32(hdr[16:], maxSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:], linkEthernet)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: w, snap: maxSnapLen}, nil
+}
+
+// WriteFrame logs one frame at the given simulated time.
+func (pw *Writer) WriteFrame(at sim.Time, frame []byte) error {
+	n := len(frame)
+	cap := n
+	if cap > int(pw.snap) {
+		cap = int(pw.snap)
+	}
+	var hdr [16]byte
+	us := int64(at / sim.Microsecond)
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(us/1e6))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(us%1e6))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(cap))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(n))
+	if _, err := pw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := pw.w.Write(frame[:cap]); err != nil {
+		return err
+	}
+	pw.Packets++
+	return nil
+}
+
+// WritePacket serializes and logs a structured packet.
+func (pw *Writer) WritePacket(at sim.Time, p *packet.Packet) error {
+	return pw.WriteFrame(at, p.Serialize(packet.SerializeOptions{FixLengths: true, ComputeChecksums: true}))
+}
+
+// Record is one captured packet.
+type Record struct {
+	Time sim.Time
+	Data []byte
+	Orig int // original wire length
+}
+
+// Reader parses a pcap stream.
+type Reader struct {
+	r io.Reader
+}
+
+// ErrBadMagic indicates a non-pcap stream.
+var ErrBadMagic = errors.New("pcap: bad magic")
+
+// NewReader validates the file header.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != magicMicros {
+		return nil, ErrBadMagic
+	}
+	if lt := binary.LittleEndian.Uint32(hdr[20:]); lt != linkEthernet {
+		return nil, fmt.Errorf("pcap: unsupported link type %d", lt)
+	}
+	return &Reader{r: r}, nil
+}
+
+// Next returns the next record, or io.EOF.
+func (pr *Reader) Next() (Record, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
+		return Record{}, err
+	}
+	sec := binary.LittleEndian.Uint32(hdr[0:])
+	usec := binary.LittleEndian.Uint32(hdr[4:])
+	capLen := binary.LittleEndian.Uint32(hdr[8:])
+	orig := binary.LittleEndian.Uint32(hdr[12:])
+	if capLen > maxSnapLen {
+		return Record{}, fmt.Errorf("pcap: capture length %d too large", capLen)
+	}
+	data := make([]byte, capLen)
+	if _, err := io.ReadFull(pr.r, data); err != nil {
+		return Record{}, err
+	}
+	at := sim.Time(sec)*sim.Second + sim.Time(usec)*sim.Microsecond
+	return Record{Time: at, Data: data, Orig: int(orig)}, nil
+}
+
+// Filter is a tcpdump-style header predicate.
+type Filter struct {
+	SrcIP   packet.IPv4Addr // 0 = any
+	DstIP   packet.IPv4Addr
+	SrcPort uint16
+	DstPort uint16
+	Flags   uint8 // require all of these TCP flags
+}
+
+// Match reports whether a decoded packet passes the filter.
+func (f *Filter) Match(p *packet.Packet) bool {
+	if f == nil {
+		return true
+	}
+	if f.SrcIP != 0 && p.IP.Src != f.SrcIP {
+		return false
+	}
+	if f.DstIP != 0 && p.IP.Dst != f.DstIP {
+		return false
+	}
+	if f.SrcPort != 0 && p.TCP.SrcPort != f.SrcPort {
+		return false
+	}
+	if f.DstPort != 0 && p.TCP.DstPort != f.DstPort {
+		return false
+	}
+	if f.Flags != 0 && p.TCP.Flags&f.Flags != f.Flags {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,102 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"flextoe/internal/packet"
+	"flextoe/internal/sim"
+)
+
+func tcpPacket(sport, dport uint16, flags uint8, payload int) *packet.Packet {
+	return &packet.Packet{
+		Eth: packet.Ethernet{
+			Dst: packet.MAC(2, 0, 0, 0, 0, 2), Src: packet.MAC(2, 0, 0, 0, 0, 1),
+			EtherType: packet.EtherTypeIPv4,
+		},
+		IP:      packet.IPv4{TTL: 64, Protocol: packet.ProtoTCP, Src: packet.IP(10, 0, 0, 1), Dst: packet.IP(10, 0, 0, 2)},
+		TCP:     packet.TCP{SrcPort: sport, DstPort: dport, Flags: flags, WScale: -1},
+		Payload: make([]byte, payload),
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := []sim.Time{sim.Microsecond, 2 * sim.Second, 3*sim.Second + 500*sim.Microsecond}
+	for i, at := range times {
+		if err := w.WritePacket(at, tcpPacket(1000, 80, packet.FlagACK, 10*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Packets != 3 {
+		t.Fatalf("packets = %d", w.Packets)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range times {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		// Timestamps round to microseconds.
+		if rec.Time/sim.Microsecond != want/sim.Microsecond {
+			t.Fatalf("record %d time %v != %v", i, rec.Time, want)
+		}
+		p, err := packet.Decode(rec.Data)
+		if err != nil {
+			t.Fatalf("record %d decode: %v", i, err)
+		}
+		if len(p.Payload) != 10*i {
+			t.Fatalf("record %d payload = %d", i, len(p.Payload))
+		}
+		if rec.Orig != len(rec.Data) {
+			t.Fatalf("record %d orig %d != cap %d", i, rec.Orig, len(rec.Data))
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); err != ErrBadMagic {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	p := tcpPacket(1234, 80, packet.FlagSYN, 0)
+	cases := []struct {
+		f    Filter
+		want bool
+	}{
+		{Filter{}, true},
+		{Filter{DstPort: 80}, true},
+		{Filter{DstPort: 81}, false},
+		{Filter{SrcPort: 1234, DstPort: 80}, true},
+		{Filter{SrcIP: packet.IP(10, 0, 0, 1)}, true},
+		{Filter{SrcIP: packet.IP(10, 0, 0, 9)}, false},
+		{Filter{Flags: packet.FlagSYN}, true},
+		{Filter{Flags: packet.FlagFIN}, false},
+	}
+	for i, c := range cases {
+		if got := c.f.Match(p); got != c.want {
+			t.Errorf("case %d: Match = %v, want %v", i, got, c.want)
+		}
+	}
+	var nilf *Filter
+	if !nilf.Match(p) {
+		t.Error("nil filter must match everything")
+	}
+}

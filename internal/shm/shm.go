@@ -1,0 +1,121 @@
+// Package shm models the shared-memory structures at the host/NIC
+// boundary (§3, Fig. 2): per-socket payload buffers in host memory that
+// the data-path DMAs into directly (one-shot offload: the NIC never
+// buffers segments), context-queue descriptors, and the bounded NIC-side
+// descriptor pools whose exhaustion flow-controls host interaction
+// (§3.1.1).
+package shm
+
+import "fmt"
+
+// PayloadBuf is a power-of-two circular byte buffer in host memory: a
+// socket's RX or TX payload buffer (PAYLOAD-BUF). Positions are absolute
+// byte offsets; the buffer wraps them.
+type PayloadBuf struct {
+	data []byte
+	mask uint32
+}
+
+// NewPayloadBuf allocates a buffer. size must be a power of two.
+func NewPayloadBuf(size uint32) *PayloadBuf {
+	if size == 0 || size&(size-1) != 0 {
+		panic(fmt.Sprintf("shm: payload buffer size %d not a power of two", size))
+	}
+	return &PayloadBuf{data: make([]byte, size), mask: size - 1}
+}
+
+// Size returns the buffer capacity.
+func (b *PayloadBuf) Size() uint32 { return uint32(len(b.data)) }
+
+// WriteAt copies p into the buffer starting at pos, wrapping as needed.
+func (b *PayloadBuf) WriteAt(pos uint32, p []byte) {
+	start := pos & b.mask
+	n := copy(b.data[start:], p)
+	if n < len(p) {
+		copy(b.data, p[n:])
+	}
+}
+
+// ReadAt copies len(p) bytes from the buffer starting at pos.
+func (b *PayloadBuf) ReadAt(pos uint32, p []byte) {
+	start := pos & b.mask
+	n := copy(p, b.data[start:])
+	if n < len(p) {
+		copy(p[n:], b.data)
+	}
+}
+
+// DescKind discriminates context-queue descriptors.
+type DescKind uint8
+
+const (
+	// Host -> NIC (the HC workflow, Fig. 4).
+	DescTxBump     DescKind = iota // application appended Bytes to the TX buffer
+	DescRxConsume                  // application consumed Bytes from the RX buffer
+	DescFin                        // application closed the connection
+	DescRetransmit                 // control plane requests go-back-N (timeout)
+
+	// NIC -> host (application notifications, Fig. 6).
+	DescRxNotify // Bytes of new in-order payload available
+	DescTxFree   // Bytes of TX buffer space freed by acknowledgment
+	DescFinRx    // peer closed its direction
+	DescReset    // connection torn down
+)
+
+// Desc is one context-queue entry. 16 bytes on the wire, matching the
+// scalable PCIe queue design the paper adopts [44].
+type Desc struct {
+	Kind   DescKind
+	Conn   uint32 // connection index
+	Bytes  uint32
+	Opaque uint64 // application connection identifier (RX notify)
+}
+
+// DescWireSize is the DMA size of one descriptor.
+const DescWireSize = 16
+
+// Pool is a bounded NIC-memory descriptor/segment-buffer pool. Allocation
+// failure is the data-path's backpressure mechanism: processing stops and
+// retries (§3.1.1).
+type Pool struct {
+	name string
+	free int
+	cap  int
+
+	Allocs    uint64
+	Failures  uint64
+	PeakInUse int
+}
+
+// NewPool creates a pool with the given capacity.
+func NewPool(name string, capacity int) *Pool {
+	if capacity <= 0 {
+		panic("shm: pool capacity must be positive")
+	}
+	return &Pool{name: name, free: capacity, cap: capacity}
+}
+
+// TryAlloc takes one buffer, reporting false when the pool is exhausted.
+func (p *Pool) TryAlloc() bool {
+	if p.free == 0 {
+		p.Failures++
+		return false
+	}
+	p.free--
+	p.Allocs++
+	if used := p.cap - p.free; used > p.PeakInUse {
+		p.PeakInUse = used
+	}
+	return true
+}
+
+// Free returns one buffer.
+func (p *Pool) Free() {
+	if p.free >= p.cap {
+		panic("shm: pool double free on " + p.name)
+	}
+	p.free++
+}
+
+// InUse returns the number of allocated buffers.
+func (p *Pool) InUse() int { return p.cap - p.free }

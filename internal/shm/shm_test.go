@@ -1,0 +1,107 @@
+package shm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPayloadBufWrap(t *testing.T) {
+	b := NewPayloadBuf(16)
+	data := []byte("abcdefghij") // 10 bytes at pos 12: wraps
+	b.WriteAt(12, data)
+	out := make([]byte, 10)
+	b.ReadAt(12, out)
+	if !bytes.Equal(out, data) {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestPayloadBufPositionsAreAbsolute(t *testing.T) {
+	b := NewPayloadBuf(8)
+	b.WriteAt(0, []byte("01234567"))
+	b.WriteAt(8, []byte("ab")) // absolute pos 8 == offset 0
+	out := make([]byte, 2)
+	b.ReadAt(0, out)
+	if string(out) != "ab" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestPayloadBufNonPowerOfTwoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for size 12")
+		}
+	}()
+	NewPayloadBuf(12)
+}
+
+func TestPayloadBufPropertyRoundTrip(t *testing.T) {
+	buf := NewPayloadBuf(1024)
+	f := func(pos uint32, data []byte) bool {
+		if len(data) > 1024 {
+			data = data[:1024]
+		}
+		buf.WriteAt(pos, data)
+		out := make([]byte, len(data))
+		buf.ReadAt(pos, out)
+		return bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	p := NewPool("segs", 3)
+	for i := 0; i < 3; i++ {
+		if !p.TryAlloc() {
+			t.Fatalf("alloc %d failed", i)
+		}
+	}
+	if p.TryAlloc() {
+		t.Fatal("alloc beyond capacity succeeded")
+	}
+	if p.Failures != 1 {
+		t.Fatalf("failures = %d", p.Failures)
+	}
+	p.Free()
+	if !p.TryAlloc() {
+		t.Fatal("alloc after free failed")
+	}
+	if p.PeakInUse != 3 {
+		t.Fatalf("peak = %d", p.PeakInUse)
+	}
+}
+
+func TestPoolDoubleFreePanics(t *testing.T) {
+	p := NewPool("x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free not caught")
+		}
+	}()
+	p.Free()
+}
+
+func TestPoolInvariantProperty(t *testing.T) {
+	// Property: InUse is always in [0, cap] under any alloc/free pattern.
+	f := func(ops []bool) bool {
+		p := NewPool("q", 8)
+		for _, alloc := range ops {
+			if alloc {
+				p.TryAlloc()
+			} else if p.InUse() > 0 {
+				p.Free()
+			}
+			if p.InUse() < 0 || p.InUse() > 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

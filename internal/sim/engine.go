@@ -1,0 +1,186 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that every FlexTOE substrate model (NFP-4000 SmartNIC, host CPUs, links,
+// switch) runs on.
+//
+// Time advances in integer picoseconds so that hardware clocks with
+// non-nanosecond periods (the NFP-4000's 800 MHz FPCs tick every 1250 ps)
+// stay exact. All state mutation happens inside events executed by a single
+// goroutine, so simulations are reproducible bit-for-bit from their seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulated instant or duration in picoseconds.
+type Time int64
+
+// Duration units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Nanoseconds returns the time as a float64 nanosecond count.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds returns the time as a float64 microsecond count.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds returns the time as a float64 millisecond count.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds returns the time as a float64 second count.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Microseconds())
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", t.Nanoseconds())
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// Cycles converts a cycle count at the given clock frequency to a Time.
+// The conversion rounds to the nearest picosecond.
+func Cycles(n int64, hz int64) Time {
+	if hz <= 0 {
+		panic("sim: non-positive clock frequency")
+	}
+	// n cycles * 1e12 ps/s / hz. Split to avoid overflow for large n.
+	whole := n / hz
+	rem := n % hz
+	return Time(whole*1e12 + (rem*1e12+hz/2)/hz)
+}
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among same-instant events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; construct with New.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	stopped bool
+	nRun    uint64
+}
+
+// New returns an empty engine at time zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.nRun }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d picoseconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) {
+	e.At(e.now+d, fn)
+}
+
+// Immediately schedules fn at the current instant, after all events already
+// queued for this instant.
+func (e *Engine) Immediately(fn func()) {
+	e.At(e.now, fn)
+}
+
+// Every schedules fn at start and then every interval thereafter, for as
+// long as fn returns true.
+func (e *Engine) Every(start, interval Time, fn func() bool) {
+	if interval <= 0 {
+		panic("sim: non-positive interval")
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			e.After(interval, tick)
+		}
+	}
+	e.At(start, tick)
+}
+
+// Step executes the next event. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.nRun++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock
+// to t (even if the queue still holds later events).
+func (e *Engine) RunUntil(t Time) {
+	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+}
+
+// Stop halts the engine: Step, Run and RunUntil become no-ops.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }

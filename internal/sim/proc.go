@@ -1,0 +1,56 @@
+package sim
+
+// Step is one segment of a Task: a burst of straight-line computation
+// followed by a stall (memory access, DMA wait, lock wait) during which the
+// processor's issue slot is free for other hardware threads.
+type Step struct {
+	Compute int64 // instructions, executed at 1 instruction/cycle
+	Stall   Time  // latency hidden from the issue slot
+}
+
+// Task is a unit of work submitted to a Proc: alternating compute bursts
+// and stalls. Tasks are value types and may be built incrementally.
+type Task struct {
+	Steps []Step
+}
+
+// TaskC returns a Task consisting of a single compute burst.
+func TaskC(instr int64) Task {
+	return Task{Steps: []Step{{Compute: instr}}}
+}
+
+// Add appends a step and returns the task for chaining.
+func (t Task) Add(instr int64, stall Time) Task {
+	t.Steps = append(t.Steps, Step{Compute: instr, Stall: stall})
+	return t
+}
+
+// Instructions returns the total compute in the task.
+func (t Task) Instructions() int64 {
+	var n int64
+	for _, s := range t.Steps {
+		n += s.Compute
+	}
+	return n
+}
+
+// StallTime returns the total stall time in the task.
+func (t Task) StallTime() Time {
+	var d Time
+	for _, s := range t.Steps {
+		d += s.Stall
+	}
+	return d
+}
+
+// Proc executes Tasks on simulated hardware. Implementations model how
+// compute bursts contend for issue slots and whether stalls overlap with
+// other work (the NFP's 8-threaded FPCs overlap them; a host core running a
+// single thread does not).
+type Proc interface {
+	// Submit queues the task for execution; done runs (as a simulation
+	// event) when the task completes. Submit never blocks the caller.
+	Submit(t Task, done func())
+	// Busy reports whether the processor currently has work in flight.
+	Busy() bool
+}

@@ -1,0 +1,101 @@
+package sim
+
+// Queue is a FIFO of work items flowing between pipeline stages. It tracks
+// occupancy statistics (used by the Table 2 profiling tracepoints) and
+// supports bounded capacity with explicit overflow, mirroring the CLS ring
+// buffers and IMEM/EMEM work queues of the NFP-4000.
+type Queue[T any] struct {
+	eng   *Engine
+	name  string
+	cap   int // 0 = unbounded
+	items []T
+	head  int
+
+	// occupancy statistics (time-weighted)
+	lastChange Time
+	weighted   float64 // integral of occupancy over time, in item*ps
+	maxOcc     int
+	pushes     uint64
+	drops      uint64
+}
+
+// NewQueue returns an empty queue. capacity 0 means unbounded.
+func NewQueue[T any](eng *Engine, name string, capacity int) *Queue[T] {
+	return &Queue[T]{eng: eng, name: name, cap: capacity}
+}
+
+// Name returns the queue's diagnostic name.
+func (q *Queue[T]) Name() string { return q.name }
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
+
+// Cap returns the configured capacity (0 = unbounded).
+func (q *Queue[T]) Cap() int { return q.cap }
+
+func (q *Queue[T]) account() {
+	now := q.eng.Now()
+	q.weighted += float64(q.Len()) * float64(now-q.lastChange)
+	q.lastChange = now
+}
+
+// Push appends an item. It reports false (and counts a drop) if the queue
+// is at capacity.
+func (q *Queue[T]) Push(v T) bool {
+	if q.cap > 0 && q.Len() >= q.cap {
+		q.drops++
+		return false
+	}
+	q.account()
+	q.items = append(q.items, v)
+	q.pushes++
+	if occ := q.Len(); occ > q.maxOcc {
+		q.maxOcc = occ
+	}
+	return true
+}
+
+// Pop removes and returns the oldest item. ok is false when empty.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	if q.Len() == 0 {
+		return v, false
+	}
+	q.account()
+	v = q.items[q.head]
+	var zero T
+	q.items[q.head] = zero
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return v, true
+}
+
+// Peek returns the oldest item without removing it.
+func (q *Queue[T]) Peek() (v T, ok bool) {
+	if q.Len() == 0 {
+		return v, false
+	}
+	return q.items[q.head], true
+}
+
+// Drops returns the number of rejected pushes.
+func (q *Queue[T]) Drops() uint64 { return q.drops }
+
+// Pushes returns the number of accepted pushes.
+func (q *Queue[T]) Pushes() uint64 { return q.pushes }
+
+// MaxOccupancy returns the high-water mark.
+func (q *Queue[T]) MaxOccupancy() int { return q.maxOcc }
+
+// MeanOccupancy returns the time-weighted mean occupancy so far.
+func (q *Queue[T]) MeanOccupancy() float64 {
+	now := q.eng.Now()
+	total := q.weighted + float64(q.Len())*float64(now-q.lastChange)
+	if now == 0 {
+		return 0
+	}
+	return total / float64(now)
+}

@@ -1,0 +1,244 @@
+package tcpseg
+
+import "flextoe/internal/packet"
+
+// RXResult describes the side effects of processing one received segment.
+// The protocol stage computes it; the post-processing, DMA and context-
+// queue stages carry it out.
+type RXResult struct {
+	// Drop: the segment carries nothing useful (stale duplicate outside
+	// every window). An ACK may still be requested to resynchronize the
+	// sender.
+	Drop bool
+
+	// Payload placement (one-shot DMA directly into the host RX buffer).
+	WriteLen   uint32 // bytes of payload to place (after trimming)
+	WriteOff   uint32 // offset into the segment payload of the first byte
+	WritePos   uint32 // RX buffer offset for the first byte
+	NewInOrder uint32 // bytes newly in-order (notify application)
+
+	// Sender-side bookkeeping from the ACK field.
+	AckedBytes   uint32 // TX-buffer bytes newly acknowledged (free them)
+	FinAcked     bool   // our FIN is now acknowledged
+	WindowUpdate bool   // remote window changed
+
+	// Acknowledgment generation.
+	SendAck bool
+	AckSeq  uint32 // sequence number for the ACK segment
+	AckAck  uint32 // acknowledgment number for the ACK segment
+	AckWin  uint16 // scaled window to advertise
+	EchoTS  uint32 // timestamp echo for the ACK
+	AckECE  bool   // set ECE: segment arrived CE-marked
+
+	// Loss handling.
+	DupAck         bool // this was a duplicate ACK
+	FastRetransmit bool // third duplicate ACK: go-back-N reset performed
+	WasOOO         bool // payload accepted out of order
+	OOODrop        bool // payload outside the tracked interval: dropped
+
+	// Lifecycle.
+	FinRx bool // peer FIN consumed (in order)
+}
+
+// ProcessRX performs the protocol stage's receive work ("Win" in Fig. 6):
+// advance the window, locate the payload in the host receive buffer
+// (trimming to fit), merge or reject out-of-order data against the single
+// tracked interval, account acknowledged bytes, detect duplicate ACKs and
+// trigger fast retransmission, and decide the ACK to send.
+//
+// tsNow is the local timestamp clock (microseconds) used for RTT
+// estimation via the echoed timestamp option.
+func ProcessRX(st *ProtoState, post *PostState, seg *SegInfo, tsNow uint32) RXResult {
+	var res RXResult
+
+	// --- Sender-side: process the segment's ACK field. -----------------
+	una := st.UnackedBase()
+	ackNo := seg.Ack
+	if seg.Flags&packet.FlagACK != 0 {
+		switch {
+		case SeqGT(ackNo, st.Seq):
+			// Acks data we never sent — possible only for our FIN's
+			// sequence slot.
+			if st.Flags&flagFinSent != 0 && ackNo == st.Seq+1 {
+				acked := st.TxSent
+				st.TxSent = 0
+				st.Flags |= flagFinAcked
+				res.AckedBytes = acked
+				res.FinAcked = true
+				post.CntACKB += acked
+				st.DupAcks = 0
+			}
+		case SeqGT(ackNo, una):
+			acked := uint32(SeqDiff(ackNo, una))
+			if acked > st.TxSent {
+				acked = st.TxSent
+			}
+			st.TxSent -= acked
+			res.AckedBytes = acked
+			post.CntACKB += acked
+			if seg.ECNCE || seg.Flags&packet.FlagECE != 0 {
+				post.CntECNB += acked
+			}
+			st.DupAcks = 0
+		default: // ackNo == una (or older)
+			// Duplicate ACK detection: same ack number, no payload, no
+			// window change, and we actually have data outstanding.
+			if ackNo == una && seg.PayloadLen == 0 && st.TxSent > 0 &&
+				uint32(seg.Window) == uint32(st.RemoteWin) && seg.Flags&packet.FlagFIN == 0 {
+				res.DupAck = true
+				if st.DupAcks < 15 {
+					st.DupAcks++
+				}
+				if st.DupAcks == 3 {
+					gobackN(st)
+					res.FastRetransmit = true
+					post.CntFRetx++
+				}
+			}
+		}
+		if seg.Window != st.RemoteWin {
+			st.RemoteWin = seg.Window
+			res.WindowUpdate = true
+		}
+	}
+
+	// RTT estimation from the echoed timestamp.
+	if seg.HasTS && seg.TSEcr != 0 {
+		if rtt := tsNow - seg.TSEcr; int32(rtt) >= 0 {
+			if post.RTTEst == 0 {
+				post.RTTEst = rtt
+			} else {
+				// EWMA with alpha = 1/8, division-free. The difference is
+				// signed: shorter samples must pull the estimate down.
+				diff := int32(rtt-post.RTTEst) >> 3
+				post.RTTEst = uint32(int32(post.RTTEst) + diff)
+			}
+		}
+	}
+	if seg.HasTS {
+		st.NextTS = seg.TSVal
+	}
+	if seg.ECNCE {
+		st.Flags |= flagECNSeen
+	}
+
+	// --- Receiver-side: place the payload. ------------------------------
+	payloadEnd := seg.Seq + seg.PayloadLen
+	hasPayload := seg.PayloadLen > 0
+	if hasPayload {
+		windowEnd := st.Ack + st.RxAvail
+		start, end := seg.Seq, payloadEnd
+		// Trim data before RCV.NXT (retransmitted overlap).
+		if SeqLT(start, st.Ack) {
+			start = st.Ack
+		}
+		// Trim data beyond the receive window (§3.1.3: trim to fit).
+		if SeqGT(end, windowEnd) {
+			end = windowEnd
+		}
+		if SeqGEQ(start, end) {
+			// Nothing accepted: stale duplicate or fully out of window.
+			res.Drop = true
+			res.SendAck = true // resynchronize the sender
+		} else {
+			switch {
+			case start == st.Ack:
+				// In order (possibly after trimming an overlapping head).
+				n := uint32(SeqDiff(end, start))
+				res.WriteOff = uint32(SeqDiff(start, seg.Seq))
+				res.WriteLen = n
+				res.WritePos = st.RxPos
+				advance := n
+				st.Ack += n
+				// Merge the out-of-order interval if now contiguous.
+				if st.OOOLen > 0 && SeqLEQ(st.OOOStart, st.Ack) {
+					oooEnd := st.OOOStart + st.OOOLen
+					if SeqGT(oooEnd, st.Ack) {
+						extra := uint32(SeqDiff(oooEnd, st.Ack))
+						st.Ack = oooEnd
+						advance += extra
+					}
+					st.OOOLen = 0
+				}
+				st.RxPos = wrap(st.RxPos+advance, post.RxSize)
+				st.RxAvail -= advance
+				res.NewInOrder = advance
+			default:
+				// Out of order: accept only within/adjacent to the single
+				// tracked interval (TAS-style, §3.1.3).
+				n := uint32(SeqDiff(end, start))
+				if st.OOOLen == 0 {
+					st.OOOStart, st.OOOLen = start, n
+					res.WasOOO = true
+				} else if SeqLEQ(start, st.OOOStart+st.OOOLen) && SeqLEQ(st.OOOStart, end) {
+					// Overlaps or abuts the interval: extend to the union.
+					newStart := SeqMin(st.OOOStart, start)
+					newEnd := SeqMax(st.OOOStart+st.OOOLen, end)
+					st.OOOStart = newStart
+					st.OOOLen = uint32(SeqDiff(newEnd, newStart))
+					res.WasOOO = true
+				} else {
+					// Disjoint from the interval: drop, ACK with the
+					// expected sequence number to trigger retransmission.
+					res.OOODrop = true
+					res.Drop = true
+				}
+				if res.WasOOO {
+					res.WriteOff = uint32(SeqDiff(start, seg.Seq))
+					res.WriteLen = n
+					res.WritePos = wrap(st.RxPos+uint32(SeqDiff(start, st.Ack)), post.RxSize)
+				}
+			}
+			res.SendAck = true
+		}
+	}
+
+	// FIN processing: consumed only when all preceding data is in order.
+	if seg.Flags&packet.FlagFIN != 0 && st.Flags&flagFinRx == 0 {
+		finSeq := payloadEnd // FIN occupies the octet after the payload
+		if st.Ack == finSeq && st.OOOLen == 0 {
+			st.Flags |= flagFinRx
+			st.Ack++
+			res.FinRx = true
+			res.SendAck = true
+		} else if SeqLT(st.Ack, finSeq) {
+			res.SendAck = true // can't consume yet; ack what we have
+		}
+	}
+
+	if res.SendAck {
+		res.AckSeq = st.Seq
+		if st.Flags&flagFinSent != 0 {
+			res.AckSeq = st.Seq + 1
+		}
+		res.AckAck = st.Ack
+		res.AckWin = st.LocalWindow()
+		res.EchoTS = st.NextTS
+		res.AckECE = seg.ECNCE
+		st.Flags &^= flagECNSeen
+	}
+	return res
+}
+
+// gobackN resets transmission state to the last acknowledged position
+// (§3.1.1 "Reset"): unacked bytes return to the available pool and the
+// buffer head rewinds.
+func gobackN(st *ProtoState) {
+	st.Seq -= st.TxSent
+	st.TxPos = st.TxPos - st.TxSent // callers wrap via buffer size mask on use
+	st.TxAvail += st.TxSent
+	st.TxSent = 0
+	if st.Flags&flagFinSent != 0 && st.Flags&flagFinAcked == 0 {
+		// FIN must be retransmitted too.
+		st.Flags &^= flagFinSent
+		st.Flags |= flagFinPending
+	}
+}
+
+// wrap reduces pos modulo a power-of-two buffer size.
+func wrap(pos, size uint32) uint32 {
+	if size == 0 {
+		return pos
+	}
+	return pos & (size - 1)
+}

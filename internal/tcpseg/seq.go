@@ -1,0 +1,53 @@
+// Package tcpseg implements the TCP data-path protocol logic that FlexTOE
+// offloads: per-segment receive processing (window advance, one-interval
+// out-of-order reassembly, duplicate-ACK tracking), transmit segmentation,
+// and host-control operations (transmit-window bumps, FIN, go-back-N
+// resets).
+//
+// The package is deliberately pure: operations take a connection state and
+// a header summary and return a result describing the side effects (bytes
+// to place where, ACKs to emit, retransmits to trigger). The FlexTOE
+// protocol pipeline stage, the TAS baseline model, and the tests all drive
+// the same functions — mirroring the paper, where FlexTOE inherits TAS's
+// data-path semantics (§3).
+//
+// Connection state is partitioned by pipeline stage exactly as in Table 5
+// of the paper: pre-processor state (connection identification, 15 B),
+// protocol state (TCP state machine, 43 B), and post-processor state
+// (context queue and congestion control, 51 B). DMA and context-queue
+// stages are stateless.
+package tcpseg
+
+// Sequence-number arithmetic modulo 2^32. TCP sequence comparisons must be
+// wraparound-safe; these helpers implement RFC 793 serial-number compare.
+
+// SeqLT reports a < b in sequence space.
+func SeqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// SeqLEQ reports a <= b in sequence space.
+func SeqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// SeqGT reports a > b in sequence space.
+func SeqGT(a, b uint32) bool { return int32(a-b) > 0 }
+
+// SeqGEQ reports a >= b in sequence space.
+func SeqGEQ(a, b uint32) bool { return int32(a-b) >= 0 }
+
+// SeqDiff returns a - b as a signed distance in sequence space.
+func SeqDiff(a, b uint32) int32 { return int32(a - b) }
+
+// SeqMax returns the later of a and b in sequence space.
+func SeqMax(a, b uint32) uint32 {
+	if SeqGT(a, b) {
+		return a
+	}
+	return b
+}
+
+// SeqMin returns the earlier of a and b in sequence space.
+func SeqMin(a, b uint32) uint32 {
+	if SeqLT(a, b) {
+		return a
+	}
+	return b
+}

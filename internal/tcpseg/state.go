@@ -1,0 +1,202 @@
+package tcpseg
+
+import (
+	"encoding/binary"
+
+	"flextoe/internal/packet"
+)
+
+// WindowScale is the fixed window-scale shift FlexTOE's control plane
+// negotiates on every connection, so the 16-bit remote_win field in the
+// protocol state covers up to 8 MB of in-flight data.
+const WindowScale = 7
+
+// PreState is the pre-processor's partition of connection state:
+// connection identification for header preparation and filtering (Table 5,
+// 15 bytes). Read-only after connection establishment.
+type PreState struct {
+	PeerMAC    packet.EtherAddr
+	PeerIP     packet.IPv4Addr
+	LocalIP    packet.IPv4Addr // implicit in the paper (NIC-global); kept per-conn for multi-host sims
+	LocalPort  uint16
+	RemotePort uint16
+	FlowGroup  uint8 // hash(4-tuple) % flow groups, 2 bits on the Agilio
+}
+
+// preStateWire is the packed wire size of the Table 5 pre-processor
+// partition (peer MAC 48b + peer IP 32b + ports 32b + flow group 2b,
+// rounded up): 15 bytes.
+const preStateWire = 15
+
+// MarshalTable5 packs the paper's pre-processor fields (LocalIP excluded:
+// the Agilio stores it NIC-globally).
+func (s *PreState) MarshalTable5() []byte {
+	b := make([]byte, preStateWire)
+	copy(b[0:6], s.PeerMAC[:])
+	binary.BigEndian.PutUint32(b[6:10], uint32(s.PeerIP))
+	binary.BigEndian.PutUint16(b[10:12], s.LocalPort)
+	binary.BigEndian.PutUint16(b[12:14], s.RemotePort)
+	b[14] = s.FlowGroup & 0x3
+	return b
+}
+
+// Proto state flags.
+const (
+	flagFinPending uint8 = 1 << 0 // local close requested, FIN not yet sent
+	flagFinSent    uint8 = 1 << 1 // FIN transmitted (occupies one seq)
+	flagFinAcked   uint8 = 1 << 2 // our FIN acknowledged
+	flagFinRx      uint8 = 1 << 3 // peer FIN consumed
+	flagECNSeen    uint8 = 1 << 4 // CE observed since last ACK sent
+)
+
+// ProtoState is the protocol stage's partition: the TCP state machine
+// (Table 5, 43 bytes). The protocol stage is the only pipeline stage that
+// mutates it, and does so atomically per connection.
+type ProtoState struct {
+	RxPos     uint32 // RX buffer head: offset where the next in-order byte lands
+	TxPos     uint32 // TX buffer head: offset of the next byte to transmit
+	TxAvail   uint32 // bytes in the TX buffer not yet transmitted
+	RxAvail   uint32 // free RX buffer space measured from Ack
+	RemoteWin uint16 // peer receive window, scaled by WindowScale
+	TxSent    uint32 // transmitted but unacknowledged bytes
+	Seq       uint32 // next local sequence number to transmit
+	Ack       uint32 // next expected remote sequence number (RCV.NXT)
+	OOOStart  uint32 // out-of-order interval start (valid when OOOLen > 0)
+	OOOLen    uint32 // out-of-order interval length
+	DupAcks   uint8  // duplicate-ACK count (4 bits in hardware)
+	NextTS    uint32 // peer timestamp to echo in ACKs
+	Flags     uint8  // connection lifecycle bits (above)
+}
+
+// protoStateWire is the packed Table 5 size of the protocol partition:
+// 43 bytes.
+const protoStateWire = 43
+
+// MarshalTable5 packs the protocol partition with the paper's field
+// widths. The lifecycle flags share the dup-ACK byte's upper nibble, as
+// the 4-bit dupack_cnt field implies.
+func (s *ProtoState) MarshalTable5() []byte {
+	b := make([]byte, protoStateWire)
+	binary.BigEndian.PutUint32(b[0:], s.RxPos)
+	binary.BigEndian.PutUint32(b[4:], s.TxPos)
+	binary.BigEndian.PutUint32(b[8:], s.TxAvail)
+	binary.BigEndian.PutUint32(b[12:], s.RxAvail)
+	binary.BigEndian.PutUint16(b[16:], s.RemoteWin)
+	binary.BigEndian.PutUint32(b[18:], s.TxSent)
+	binary.BigEndian.PutUint32(b[22:], s.Seq)
+	binary.BigEndian.PutUint32(b[26:], s.Ack)
+	binary.BigEndian.PutUint32(b[30:], s.OOOStart)
+	binary.BigEndian.PutUint32(b[34:], s.OOOLen)
+	b[38] = s.DupAcks&0xf | s.Flags<<4&0xf0
+	binary.BigEndian.PutUint32(b[39:], s.NextTS)
+	return b
+}
+
+// UnackedBase returns SND.UNA: the oldest unacknowledged sequence number.
+func (s *ProtoState) UnackedBase() uint32 { return s.Seq - s.TxSent }
+
+// RemoteWindowBytes returns the peer's receive window in bytes.
+func (s *ProtoState) RemoteWindowBytes() uint32 {
+	return uint32(s.RemoteWin) << WindowScale
+}
+
+// LocalWindow returns the window to advertise, scaled for the header.
+func (s *ProtoState) LocalWindow() uint16 {
+	w := s.RxAvail >> WindowScale
+	if w > 0xffff {
+		w = 0xffff
+	}
+	return uint16(w)
+}
+
+// FinRx reports whether the peer's FIN has been consumed.
+func (s *ProtoState) FinRx() bool { return s.Flags&flagFinRx != 0 }
+
+// FinAcked reports whether our FIN has been acknowledged.
+func (s *ProtoState) FinAcked() bool { return s.Flags&flagFinAcked != 0 }
+
+// FinSent reports whether our FIN has been transmitted.
+func (s *ProtoState) FinSent() bool { return s.Flags&flagFinSent != 0 }
+
+// PostState is the post-processor's partition: application interface and
+// congestion-control accounting (Table 5, 51 bytes). Read-mostly; the
+// counters are only incremented (updates commute, §3.1).
+type PostState struct {
+	Opaque   uint64 // application connection identifier
+	Context  uint16 // context-queue id (application thread)
+	RxBase   uint64 // host physical address of RX payload buffer
+	TxBase   uint64 // host physical address of TX payload buffer
+	RxSize   uint32 // RX buffer size (power of two)
+	TxSize   uint32 // TX buffer size (power of two)
+	CntACKB  uint32 // acknowledged bytes since last control-plane poll
+	CntECNB  uint32 // ECN-marked acknowledged bytes since last poll
+	CntFRetx uint8  // fast-retransmit count since last poll
+	RTTEst   uint32 // RTT estimate from timestamps, microseconds
+	Rate     uint32 // configured transmit rate, kbit/s (0 = unlimited)
+}
+
+// postStateWire is the packed Table 5 size of the post partition: 51 bytes.
+const postStateWire = 51
+
+// MarshalTable5 packs the post-processor partition.
+func (s *PostState) MarshalTable5() []byte {
+	b := make([]byte, postStateWire)
+	binary.BigEndian.PutUint64(b[0:], s.Opaque)
+	binary.BigEndian.PutUint16(b[8:], s.Context)
+	binary.BigEndian.PutUint64(b[10:], s.RxBase)
+	binary.BigEndian.PutUint64(b[18:], s.TxBase)
+	binary.BigEndian.PutUint32(b[26:], s.RxSize)
+	binary.BigEndian.PutUint32(b[30:], s.TxSize)
+	binary.BigEndian.PutUint32(b[34:], s.CntACKB)
+	binary.BigEndian.PutUint32(b[38:], s.CntECNB)
+	b[42] = s.CntFRetx
+	binary.BigEndian.PutUint32(b[43:], s.RTTEst)
+	binary.BigEndian.PutUint32(b[47:], s.Rate)
+	return b
+}
+
+// State bundles the three partitions of one established connection. The
+// pipeline stages each touch only their own partition; the bundle exists
+// for the control plane, which owns connection setup and teardown.
+type State struct {
+	Pre   PreState
+	Proto ProtoState
+	Post  PostState
+}
+
+// TotalTable5Bytes is the aggregate per-connection state footprint,
+// matching Table 5's total (the paper reports 108 B from raw bit widths;
+// byte-aligned packing gives 15+43+51 = 109 B).
+const TotalTable5Bytes = preStateWire + protoStateWire + postStateWire
+
+// SegInfo is the pre-processor's header summary (§3.1.3 "Sum"): only the
+// fields later pipeline stages need, so the protocol stage never touches
+// the raw packet.
+type SegInfo struct {
+	Flow       packet.Flow
+	Seq        uint32
+	Ack        uint32
+	Flags      uint8
+	Window     uint16
+	PayloadLen uint32
+	HasTS      bool
+	TSVal      uint32
+	TSEcr      uint32
+	ECNCE      bool // IP header carried Congestion Experienced
+}
+
+// Summarize extracts a SegInfo from a decoded packet.
+func Summarize(p *packet.Packet) SegInfo {
+	return SegInfo{
+		Flow:       p.Flow(),
+		Seq:        p.TCP.Seq,
+		Ack:        p.TCP.Ack,
+		Flags:      p.TCP.Flags,
+		Window:     p.TCP.Window,
+		PayloadLen: uint32(len(p.Payload)),
+		HasTS:      p.TCP.HasTimestamp,
+		TSVal:      p.TCP.TSVal,
+		TSEcr:      p.TCP.TSEcr,
+		ECNCE:      p.IP.ECN() == packet.ECNCE,
+	}
+}

@@ -1,0 +1,264 @@
+package tcpseg
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"flextoe/internal/packet"
+	"flextoe/internal/stats"
+)
+
+// streamHarness wires two connection endpoints through an adversarial
+// channel (loss, reordering, duplication) and checks that the receiver
+// reconstructs the sender's byte stream exactly. This is the core
+// correctness property of the whole offload: §3.1's pipeline stages are
+// alternative executions of exactly this logic.
+type endpoint struct {
+	st    *ProtoState
+	post  *PostState
+	tx    []byte // bytes the app wants to send (source of truth)
+	sent  uint32 // bytes handed to the TX buffer so far
+	rxBuf []byte // the receive payload buffer (simulated host memory)
+	rxGot []byte // reconstructed in-order stream
+}
+
+type wireSeg struct {
+	info    SegInfo
+	payload []byte
+}
+
+func newEndpoint(bufSize uint32) *endpoint {
+	st, post := newConn(bufSize)
+	return &endpoint{st: st, post: post, rxBuf: make([]byte, bufSize)}
+}
+
+// pump moves application data into the TX buffer and emits all sendable
+// segments.
+func (e *endpoint) pump(mss uint32) []wireSeg {
+	// Append up to free TX buffer space.
+	free := e.post.TxSize - (e.st.TxAvail + e.st.TxSent)
+	if n := uint32(len(e.tx)) - e.sent; n > 0 {
+		if n > free {
+			n = free
+		}
+		if n > 0 {
+			ProcessHC(e.st, HCOp{Kind: HCTx, Bytes: n})
+			e.sent += n
+		}
+	}
+	var out []wireSeg
+	for {
+		seg, ok := ProcessTX(e.st, e.post, mss, 0)
+		if !ok {
+			break
+		}
+		// Fetch payload from the circular TX buffer position. The
+		// stream offset of seg.Seq is just seg.Seq (ISS = 0).
+		payload := make([]byte, seg.Len)
+		copy(payload, e.tx[seg.Seq:seg.Seq+seg.Len])
+		flags := packet.FlagACK
+		if seg.FIN {
+			flags |= packet.FlagFIN
+		}
+		out = append(out, wireSeg{
+			info: SegInfo{
+				Seq: seg.Seq, Ack: seg.Ack, Flags: flags,
+				Window: seg.Win, PayloadLen: seg.Len,
+			},
+			payload: payload,
+		})
+	}
+	return out
+}
+
+// receive processes one segment, places payload into the RX buffer, and
+// returns any ACK to send back.
+func (e *endpoint) receive(ws wireSeg) (wireSeg, bool) {
+	res := ProcessRX(e.st, e.post, &ws.info, 0)
+	if res.WriteLen > 0 {
+		// One-shot placement into the circular receive buffer.
+		for i := uint32(0); i < res.WriteLen; i++ {
+			e.rxBuf[(res.WritePos+i)&(e.post.RxSize-1)] = ws.payload[res.WriteOff+i]
+		}
+	}
+	if res.NewInOrder > 0 {
+		// The application consumes newly in-order bytes immediately.
+		start := uint32(len(e.rxGot))
+		for i := uint32(0); i < res.NewInOrder; i++ {
+			e.rxGot = append(e.rxGot, e.rxBuf[(start+i)&(e.post.RxSize-1)])
+		}
+		ProcessHC(e.st, HCOp{Kind: HCRxConsumed, Bytes: res.NewInOrder})
+	}
+	if res.SendAck {
+		return wireSeg{info: SegInfo{
+			Seq: res.AckSeq, Ack: res.AckAck, Flags: packet.FlagACK,
+			Window: res.AckWin,
+		}}, true
+	}
+	return wireSeg{}, false
+}
+
+// runTransfer pushes data from a to b through a channel that drops with
+// probability lossP and reorders with probability reorderP, using a simple
+// RTO (sender-side go-back-N reset) when progress stalls.
+func runTransfer(t *testing.T, data []byte, bufSize uint32, mss uint32, lossP, reorderP float64, seed uint64) {
+	t.Helper()
+	if err := transferErr(data, bufSize, mss, lossP, reorderP, seed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func transferErr(data []byte, bufSize uint32, mss uint32, lossP, reorderP float64, seed uint64) error {
+	rng := stats.NewRNG(seed)
+	a := newEndpoint(bufSize)
+	b := newEndpoint(bufSize)
+	a.tx = data
+
+	var wire []wireSeg // in-flight segments toward b
+	var backWire []wireSeg
+	stall := 0
+	for round := 0; round < 200000; round++ {
+		outs := a.pump(mss)
+		progress := len(outs) > 0
+		for _, s := range outs {
+			if rng.Bool(lossP) {
+				continue // dropped
+			}
+			if len(wire) > 0 && rng.Bool(reorderP) {
+				wire = append(wire[:len(wire)-1], s, wire[len(wire)-1])
+			} else {
+				wire = append(wire, s)
+			}
+		}
+		// Deliver everything currently on the wire to b.
+		for _, s := range wire {
+			if ack, ok := b.receive(s); ok {
+				if !rng.Bool(lossP) {
+					backWire = append(backWire, ack)
+				}
+			}
+			progress = true
+		}
+		wire = wire[:0]
+		// Deliver acks back to a.
+		for _, s := range backWire {
+			a.receive(s)
+		}
+		backWire = backWire[:0]
+
+		if uint32(len(b.rxGot)) == uint32(len(data)) {
+			break
+		}
+		if !progress {
+			stall++
+		} else {
+			stall = 0
+		}
+		if stall > 2 {
+			// RTO fires: go-back-N reset on the sender.
+			ProcessHC(a.st, HCOp{Kind: HCRetransmit})
+			stall = 0
+		}
+	}
+	if !bytes.Equal(b.rxGot, data) {
+		for i := range data {
+			if i >= len(b.rxGot) || b.rxGot[i] != data[i] {
+				return fmt.Errorf("stream mismatch at byte %d (got %d bytes of %d)", i, len(b.rxGot), len(data))
+			}
+		}
+		return fmt.Errorf("stream longer than expected: %d > %d", len(b.rxGot), len(data))
+	}
+	return nil
+}
+
+func pattern(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + i>>8)
+	}
+	return b
+}
+
+func TestStreamLossless(t *testing.T) {
+	runTransfer(t, pattern(100_000), 16384, 1448, 0, 0, 1)
+}
+
+func TestStreamSmallMSS(t *testing.T) {
+	runTransfer(t, pattern(10_000), 4096, 64, 0, 0, 2)
+}
+
+func TestStreamWithLoss(t *testing.T) {
+	for _, loss := range []float64{0.001, 0.01, 0.05, 0.2} {
+		loss := loss
+		t.Run(fmt.Sprintf("loss=%v", loss), func(t *testing.T) {
+			runTransfer(t, pattern(50_000), 16384, 1448, loss, 0, 3)
+		})
+	}
+}
+
+func TestStreamWithReordering(t *testing.T) {
+	runTransfer(t, pattern(50_000), 16384, 1448, 0, 0.3, 4)
+}
+
+func TestStreamWithLossAndReordering(t *testing.T) {
+	runTransfer(t, pattern(50_000), 16384, 1448, 0.02, 0.2, 5)
+}
+
+func TestStreamTinyBuffer(t *testing.T) {
+	// Buffer much smaller than the transfer: exercises flow control and
+	// buffer wraparound continuously.
+	runTransfer(t, pattern(20_000), 512, 128, 0, 0, 6)
+}
+
+func TestStreamTinyBufferWithLoss(t *testing.T) {
+	runTransfer(t, pattern(8_000), 512, 128, 0.05, 0.1, 7)
+}
+
+func TestStreamPropertyRandom(t *testing.T) {
+	// Property: for arbitrary payload sizes, loss rates up to 25%, and
+	// reordering up to 50%, the stream always reconstructs exactly.
+	f := func(sizeRaw uint16, lossRaw, reorderRaw uint8, seed uint64) bool {
+		size := int(sizeRaw)%20000 + 1
+		loss := float64(lossRaw%64) / 256.0    // 0..25%
+		reorder := float64(reorderRaw) / 512.0 // 0..50%
+		return transferErr(pattern(size), 4096, 512, loss, reorder, seed) == nil
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBidirectionalStreams(t *testing.T) {
+	// Both endpoints send simultaneously; acks piggyback on data.
+	dataA := pattern(30_000)
+	dataB := pattern(25_000)
+	a := newEndpoint(8192)
+	b := newEndpoint(8192)
+	a.tx = dataA
+	b.tx = dataB
+
+	for round := 0; round < 100000; round++ {
+		for _, s := range a.pump(1448) {
+			if ack, ok := b.receive(s); ok {
+				a.receive(ack)
+			}
+		}
+		for _, s := range b.pump(1448) {
+			if ack, ok := a.receive(s); ok {
+				b.receive(ack)
+			}
+		}
+		if len(b.rxGot) == len(dataA) && len(a.rxGot) == len(dataB) {
+			break
+		}
+	}
+	if !bytes.Equal(b.rxGot, dataA) {
+		t.Fatalf("a->b stream mismatch: %d/%d", len(b.rxGot), len(dataA))
+	}
+	if !bytes.Equal(a.rxGot, dataB) {
+		t.Fatalf("b->a stream mismatch: %d/%d", len(a.rxGot), len(dataB))
+	}
+}

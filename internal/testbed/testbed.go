@@ -1,0 +1,173 @@
+// Package testbed assembles simulated clusters: machines running any of
+// the four stacks (FlexTOE, Linux, TAS, Chelsio) attached to one switch,
+// mirroring the paper's testbed (§5: two Xeon Gold 6138 machines with
+// Agilio-CX40 / Terminator / XL710 NICs plus four client machines, all on
+// a 100 Gbps switch).
+package testbed
+
+import (
+	"fmt"
+
+	"flextoe/internal/api"
+	"flextoe/internal/baseline"
+	"flextoe/internal/core"
+	"flextoe/internal/ctrl"
+	"flextoe/internal/host"
+	"flextoe/internal/libtoe"
+	"flextoe/internal/netsim"
+	"flextoe/internal/packet"
+	"flextoe/internal/sim"
+)
+
+// StackKind names a TCP stack implementation.
+type StackKind string
+
+// Stack kinds.
+const (
+	FlexTOE StackKind = "FlexTOE"
+	Linux   StackKind = "Linux"
+	TAS     StackKind = "TAS"
+	Chelsio StackKind = "Chelsio"
+)
+
+// AllStacks lists the four stacks in the paper's presentation order.
+var AllStacks = []StackKind{Linux, Chelsio, TAS, FlexTOE}
+
+// MachineSpec describes one machine.
+type MachineSpec struct {
+	Name    string
+	Kind    StackKind
+	Cores   int   // application cores
+	CoreHz  int64 // default 2 GHz (Xeon Gold 6138)
+	BufSize uint32
+	NICGbps float64 // default 40 (Chelsio: 100)
+
+	// FlexTOE knobs.
+	FlexCfg *core.Config // nil = AgilioCX40Config
+	CC      ctrl.CCAlgo
+
+	// TAS knobs.
+	StackCores int // dedicated fast-path cores (default 1)
+
+	Seed uint64
+}
+
+// Machine is one assembled host.
+type Machine struct {
+	Spec  MachineSpec
+	IP    packet.IPv4Addr
+	MAC   packet.EtherAddr
+	Stack api.Stack
+	Iface *netsim.Iface
+
+	// Set when Kind == FlexTOE.
+	TOE  *core.TOE
+	Flex *libtoe.Stack
+	Ctrl *ctrl.Plane
+	// Set otherwise.
+	Base *baseline.Stack
+}
+
+// Testbed is the cluster.
+type Testbed struct {
+	Eng      *sim.Engine
+	Net      *netsim.Network
+	Machines map[string]*Machine
+	macOf    map[packet.IPv4Addr]packet.EtherAddr
+}
+
+// New builds a cluster with the given switch behaviour and machines.
+func New(swCfg netsim.SwitchConfig, specs ...MachineSpec) *Testbed {
+	eng := sim.New()
+	tb := &Testbed{
+		Eng:      eng,
+		Net:      netsim.NewNetwork(eng, swCfg),
+		Machines: make(map[string]*Machine),
+		macOf:    make(map[packet.IPv4Addr]packet.EtherAddr),
+	}
+	for i, spec := range specs {
+		tb.add(i, spec)
+	}
+	// Install static ARP everywhere.
+	resolve := func(ip packet.IPv4Addr) packet.EtherAddr { return tb.macOf[ip] }
+	for _, m := range tb.Machines {
+		if m.Flex != nil {
+			m.Flex.ResolveMAC = resolve
+		}
+		if m.Base != nil {
+			m.Base.ResolveMAC = resolve
+		}
+	}
+	return tb
+}
+
+func (tb *Testbed) add(idx int, spec MachineSpec) {
+	if spec.Cores <= 0 {
+		spec.Cores = 1
+	}
+	if spec.CoreHz == 0 {
+		spec.CoreHz = 2e9
+	}
+	if spec.BufSize == 0 {
+		spec.BufSize = 65536
+	}
+	if spec.NICGbps == 0 {
+		spec.NICGbps = 40
+		if spec.Kind == Chelsio {
+			spec.NICGbps = 100
+		}
+	}
+	ip := packet.IP(10, 0, byte(idx>>8), byte(idx+1))
+	mac := packet.MAC(0x02, 0, 0, 0, byte(idx>>8), byte(idx+1))
+	iface := tb.Net.AttachHost(spec.Name, mac, netsim.GbpsToBytesPerSec(spec.NICGbps), 150*sim.Nanosecond)
+	machine := host.NewMachine(tb.Eng, spec.Name, spec.Cores, spec.CoreHz)
+
+	m := &Machine{Spec: spec, IP: ip, MAC: mac, Iface: iface}
+	switch spec.Kind {
+	case FlexTOE:
+		cfg := core.AgilioCX40Config()
+		if spec.FlexCfg != nil {
+			cfg = *spec.FlexCfg
+		}
+		m.TOE = core.New(tb.Eng, cfg, iface)
+		m.Ctrl = ctrl.New(tb.Eng, m.TOE, ctrl.Config{
+			LocalIP:  ip,
+			LocalMAC: mac,
+			BufSize:  spec.BufSize,
+			CC:       spec.CC,
+			Seed:     spec.Seed ^ uint64(idx),
+		})
+		m.Flex = libtoe.NewStack(tb.Eng, m.TOE, m.Ctrl, machine, ip)
+		m.Stack = m.Flex
+	case Linux, TAS, Chelsio:
+		var prof baseline.Profile
+		switch spec.Kind {
+		case Linux:
+			prof = baseline.LinuxProfile()
+		case TAS:
+			prof = baseline.TASProfile()
+		default:
+			prof = baseline.ChelsioProfile()
+		}
+		if spec.StackCores > 0 {
+			prof.StackCores = spec.StackCores
+		}
+		m.Base = baseline.NewStack(tb.Eng, prof, iface, machine, ip, spec.BufSize, spec.Seed^uint64(idx))
+		m.Stack = m.Base
+	default:
+		panic(fmt.Sprintf("testbed: unknown stack kind %q", spec.Kind))
+	}
+	tb.Machines[spec.Name] = m
+	tb.macOf[ip] = mac
+}
+
+// M returns a machine by name.
+func (tb *Testbed) M(name string) *Machine { return tb.Machines[name] }
+
+// Addr returns a machine's endpoint address for a port.
+func (tb *Testbed) Addr(name string, port uint16) api.Addr {
+	return api.Addr{IP: tb.Machines[name].IP, Port: port}
+}
+
+// Run advances the simulation to the given time.
+func (tb *Testbed) Run(until sim.Time) { tb.Eng.RunUntil(until) }
