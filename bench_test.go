@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"flextoe/internal/experiments"
+	"flextoe/internal/packet"
+	"flextoe/internal/tcpseg"
 )
 
 func runExperiment(b *testing.B, id string) {
@@ -84,3 +86,60 @@ func BenchmarkFig15LossRobustness(b *testing.B) { runExperiment(b, "fig15") }
 // BenchmarkFig16Fairness regenerates Figure 16: per-connection goodput
 // distribution at line rate.
 func BenchmarkFig16Fairness(b *testing.B) { runExperiment(b, "fig16") }
+
+// ---------------------------------------------------------------------
+// Reassembly microbenchmarks: the protocol stage's RX hot path under
+// in-order delivery, a single hole (the paper's N=1 sweet spot), and
+// many concurrent holes (where only the multi-interval configuration
+// keeps payload). One iteration reassembles a full 32 KB window.
+// ---------------------------------------------------------------------
+
+func benchReassembly(b *testing.B, oooCap uint8, skipEvery int) {
+	const segN = 64
+	const segSz = 512
+	const winSz = segN * segSz
+	b.ReportAllocs()
+	b.SetBytes(winSz)
+	for i := 0; i < b.N; i++ {
+		st := &tcpseg.ProtoState{RxAvail: winSz, RemoteWin: winSz >> tcpseg.WindowScale, OOOCap: oooCap}
+		post := &tcpseg.PostState{RxSize: winSz, TxSize: winSz}
+		// First pass: deliver everything except the holes.
+		for s := 0; s < segN; s++ {
+			if skipEvery > 0 && s%skipEvery == 0 {
+				continue
+			}
+			info := tcpseg.SegInfo{Seq: uint32(s * segSz), PayloadLen: segSz, Flags: packet.FlagACK}
+			tcpseg.ProcessRX(st, post, &info, 0)
+		}
+		// Second pass: retransmissions fill the holes in order.
+		for s := 0; s < segN; s++ {
+			if !(skipEvery > 0 && s%skipEvery == 0) {
+				continue
+			}
+			info := tcpseg.SegInfo{Seq: uint32(s * segSz), PayloadLen: segSz, Flags: packet.FlagACK}
+			tcpseg.ProcessRX(st, post, &info, 0)
+		}
+		// Whatever a capacity-limited tracker dropped arrives again as
+		// in-order retransmissions until the window closes.
+		for st.Ack < winSz {
+			info := tcpseg.SegInfo{Seq: st.Ack, PayloadLen: segSz, Flags: packet.FlagACK}
+			tcpseg.ProcessRX(st, post, &info, 0)
+		}
+		if st.Ack != winSz || st.OOOCnt != 0 {
+			b.Fatalf("window not reassembled: ack=%d ivs=%d", st.Ack, st.OOOCnt)
+		}
+	}
+}
+
+// BenchmarkReassemblyInOrder is the no-loss fast path.
+func BenchmarkReassemblyInOrder(b *testing.B) { benchReassembly(b, 1, 0) }
+
+// BenchmarkReassemblySingleHole drops one head segment: one interval
+// suffices (the TAS/FlexTOE design point).
+func BenchmarkReassemblySingleHoleN1(b *testing.B) { benchReassembly(b, 1, 64) }
+func BenchmarkReassemblySingleHoleN4(b *testing.B) { benchReassembly(b, 4, 64) }
+
+// BenchmarkReassemblyMultiHole drops every 8th segment: concurrent holes
+// overflow a single interval and force drops + retransmissions at N=1.
+func BenchmarkReassemblyMultiHoleN1(b *testing.B) { benchReassembly(b, 1, 8) }
+func BenchmarkReassemblyMultiHoleN4(b *testing.B) { benchReassembly(b, 4, 8) }

@@ -1,0 +1,3 @@
+module flextoe
+
+go 1.24

@@ -103,9 +103,6 @@ func (s *Stack) SetStackCores(n int) {
 	}
 }
 
-// interval is one contiguous received range (selective reassembly).
-type interval struct{ start, end uint64 }
-
 // bconn is one baseline connection.
 type bconn struct {
 	stack   *Stack
@@ -136,7 +133,11 @@ type bconn struct {
 	readPos uint64 // app read position
 	rxData  []byte
 	rxAvail uint32
-	ivs     []interval // out-of-order intervals (policy-capped)
+	// Out-of-order intervals (policy-capped), shared with the FlexTOE
+	// protocol stage: stored as truncated 32-bit stream offsets, valid
+	// because every interval lies within the (< 2^31) receive window of
+	// rcvd.
+	ivs     []tcpseg.SeqInterval
 	peerFin bool
 
 	sock    *bsocket
@@ -345,25 +346,15 @@ func (s *Stack) receivePayload(c *bconn, pkt *packet.Packet) {
 		end = winEnd
 	}
 
-	maxIvs := 0
-	switch s.prof.Recovery {
-	case RecoverySACK:
-		maxIvs = 32
-	case RecoveryGBN:
-		maxIvs = 1
-	}
+	maxIvs := s.prof.oooIvs()
 
 	if start == c.rcvd {
 		// In order: write, merge intervals, deliver.
 		writeCirc(c.rxData, start, data)
 		before := c.rcvd
-		c.rcvd = end
-		for len(c.ivs) > 0 && c.ivs[0].start <= c.rcvd {
-			if c.ivs[0].end > c.rcvd {
-				c.rcvd = c.ivs[0].end
-			}
-			c.ivs = c.ivs[1:]
-		}
+		ivs, ack32, _ := tcpseg.MergeAdvance(c.ivs, uint32(end))
+		c.ivs = ivs
+		c.rcvd = before + uint64(ack32-uint32(before))
 		newBytes := uint32(c.rcvd - before)
 		c.rxAvail -= newBytes
 		if c.sock != nil {
@@ -371,49 +362,15 @@ func (s *Stack) receivePayload(c *bconn, pkt *packet.Packet) {
 		}
 	} else if maxIvs > 0 {
 		// Out of order: insert into the interval set (capacity-limited).
-		if ok := insertInterval(&c.ivs, interval{start, end}, maxIvs); ok {
+		var ir tcpseg.IvResult
+		c.ivs, ir = tcpseg.InsertSeqInterval(c.ivs,
+			tcpseg.SeqInterval{Start: uint32(start), End: uint32(end)}, maxIvs)
+		if ir.Accepted {
 			writeCirc(c.rxData, start, data)
 		}
 	}
 	// RecoveryDiscard: out-of-order data silently dropped.
 	s.sendAck(c, ece)
-}
-
-// insertInterval merges iv into the sorted set; reports acceptance.
-func insertInterval(ivs *[]interval, iv interval, max int) bool {
-	set := *ivs
-	// Merge all overlapping/adjacent.
-	var out []interval
-	placed := false
-	for _, e := range set {
-		switch {
-		case e.end < iv.start:
-			out = append(out, e)
-		case iv.end < e.start:
-			if !placed {
-				out = append(out, iv)
-				placed = true
-			}
-			out = append(out, e)
-		default:
-			if e.start < iv.start {
-				iv.start = e.start
-			}
-			if e.end > iv.end {
-				iv.end = e.end
-			}
-		}
-	}
-	if !placed {
-		out = append(out, iv)
-	}
-	if len(out) > max {
-		// Single-interval policy: only accept extensions of the tracked
-		// interval; larger sets drop the new data.
-		return false
-	}
-	*ivs = out
-	return true
 }
 
 func writeCirc(buf []byte, pos uint64, data []byte) {

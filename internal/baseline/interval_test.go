@@ -2,91 +2,49 @@ package baseline
 
 import (
 	"testing"
-	"testing/quick"
+
+	"flextoe/internal/tcpseg"
 )
 
-func ivsEqual(a, b []interval) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
+// The interval-set implementation itself lives in tcpseg (shared with the
+// FlexTOE protocol stage) and is property-tested there; these tests cover
+// the baseline-side policy wiring and the circular-buffer/sequence
+// helpers.
 
-func TestInsertIntervalMerging(t *testing.T) {
-	var ivs []interval
-	if !insertInterval(&ivs, interval{10, 20}, 32) {
-		t.Fatal("insert into empty failed")
+func TestProfileOOOIntervalDefaults(t *testing.T) {
+	l, ta, ch := LinuxProfile(), TASProfile(), ChelsioProfile()
+	if l.oooIvs() != 32 {
+		t.Fatalf("Linux/SACK intervals = %d, want 32", l.oooIvs())
 	}
-	// Disjoint after.
-	insertInterval(&ivs, interval{30, 40}, 32)
-	if !ivsEqual(ivs, []interval{{10, 20}, {30, 40}}) {
-		t.Fatalf("ivs = %v", ivs)
+	if ta.oooIvs() != 1 {
+		t.Fatalf("TAS/GBN intervals = %d, want 1", ta.oooIvs())
 	}
-	// Bridging segment merges everything.
-	insertInterval(&ivs, interval{15, 35}, 32)
-	if !ivsEqual(ivs, []interval{{10, 40}}) {
-		t.Fatalf("ivs = %v", ivs)
+	if ch.oooIvs() != 0 {
+		t.Fatalf("Chelsio/Discard intervals = %d, want 0", ch.oooIvs())
 	}
-	// Adjacent extends.
-	insertInterval(&ivs, interval{40, 50}, 32)
-	if !ivsEqual(ivs, []interval{{10, 50}}) {
-		t.Fatalf("ivs = %v", ivs)
-	}
-	// Disjoint before.
-	insertInterval(&ivs, interval{0, 5}, 32)
-	if !ivsEqual(ivs, []interval{{0, 5}, {10, 50}}) {
-		t.Fatalf("ivs = %v", ivs)
+	// Explicit override wins (the multi-interval generalization knob).
+	ta.OOOIntervals = 4
+	if ta.oooIvs() != 4 {
+		t.Fatalf("override = %d, want 4", ta.oooIvs())
 	}
 }
 
-func TestInsertIntervalSingleIntervalPolicy(t *testing.T) {
-	// The TAS/FlexTOE policy: max one interval; disjoint data rejected.
-	var ivs []interval
-	if !insertInterval(&ivs, interval{100, 200}, 1) {
+func TestBaselineIntervalPolicy(t *testing.T) {
+	// GBN keeps one interval: disjoint OOO payload is rejected.
+	tas, linux := TASProfile(), LinuxProfile()
+	var ivs []tcpseg.SeqInterval
+	ivs, r := tcpseg.InsertSeqInterval(ivs, tcpseg.SeqInterval{Start: 100, End: 200}, tas.oooIvs())
+	if !r.Accepted {
 		t.Fatal("first interval rejected")
 	}
-	if insertInterval(&ivs, interval{300, 400}, 1) {
-		t.Fatal("second disjoint interval accepted with max=1")
+	ivs, r = tcpseg.InsertSeqInterval(ivs, tcpseg.SeqInterval{Start: 300, End: 400}, tas.oooIvs())
+	if r.Accepted {
+		t.Fatal("GBN accepted a second disjoint interval")
 	}
-	if !ivsEqual(ivs, []interval{{100, 200}}) {
-		t.Fatalf("ivs mutated on rejection: %v", ivs)
-	}
-	// Extension of the tracked interval is accepted.
-	if !insertInterval(&ivs, interval{200, 250}, 1) {
-		t.Fatal("adjacent extension rejected")
-	}
-	if !ivsEqual(ivs, []interval{{100, 250}}) {
-		t.Fatalf("ivs = %v", ivs)
-	}
-}
-
-func TestInsertIntervalPropertySortedDisjoint(t *testing.T) {
-	// Property: after any insertion sequence the set is sorted, disjoint,
-	// and non-adjacent.
-	f := func(raw []uint16) bool {
-		var ivs []interval
-		for i := 0; i+1 < len(raw); i += 2 {
-			a, b := uint64(raw[i]), uint64(raw[i])+uint64(raw[i+1]%512)+1
-			insertInterval(&ivs, interval{a, b}, 32)
-		}
-		for i := 0; i < len(ivs); i++ {
-			if ivs[i].start >= ivs[i].end {
-				return false
-			}
-			if i > 0 && ivs[i-1].end >= ivs[i].start {
-				return false // overlapping or adjacent: should have merged
-			}
-		}
-		return true
-	}
-	cfg := &quick.Config{MaxCount: 200}
-	if err := quick.Check(f, cfg); err != nil {
-		t.Fatal(err)
+	// SACK-style capacity takes it.
+	ivs, r = tcpseg.InsertSeqInterval(ivs, tcpseg.SeqInterval{Start: 300, End: 400}, linux.oooIvs())
+	if !r.Accepted || len(ivs) != 2 {
+		t.Fatalf("SACK insert failed: %v %+v", ivs, r)
 	}
 }
 

@@ -87,6 +87,11 @@ type Profile struct {
 
 	Recovery Recovery
 
+	// OOOIntervals caps the receiver's out-of-order reassembly interval
+	// set (shared with the FlexTOE protocol stage). 0 defaults by
+	// recovery policy: SACK 32, GBN 1 (the TAS design), Discard 0.
+	OOOIntervals int
+
 	// MinRTO for this stack's retransmission timer.
 	MinRTO sim.Time
 
@@ -100,6 +105,21 @@ func (p *Profile) mss() uint64 {
 		return 1448
 	}
 	return uint64(p.MSS)
+}
+
+// oooIvs returns the reassembly interval capacity with the
+// recovery-policy default applied.
+func (p *Profile) oooIvs() int {
+	if p.OOOIntervals > 0 {
+		return p.OOOIntervals
+	}
+	switch p.Recovery {
+	case RecoverySACK:
+		return 32
+	case RecoveryGBN:
+		return 1
+	}
+	return 0
 }
 
 // LinuxProfile models the in-kernel stack (Table 1 column 1: 12.13 kc

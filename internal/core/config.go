@@ -16,6 +16,7 @@ package core
 import (
 	"flextoe/internal/nfp"
 	"flextoe/internal/sim"
+	"flextoe/internal/tcpseg"
 )
 
 // Config shapes one FlexTOE data-path instance.
@@ -39,6 +40,12 @@ type Config struct {
 	MSS           uint32
 	AckEvery      int // 1 = ack every data segment (paper); N>1 = delayed ACKs extension
 	UseTimestamps bool
+	// OOOIntervals is the receive-reassembly interval-set capacity per
+	// connection. 1 (default) reproduces the paper's TAS-style single
+	// interval within the Table 5 state budget; up to
+	// tcpseg.MaxOOOIntervals trades 8 B of protocol state per extra
+	// interval for fewer out-of-order drops under heavy reordering.
+	OOOIntervals int
 
 	// Resource pools (bounded, §3.1.1).
 	SegPoolSize  int // CTM segment buffers
@@ -157,6 +164,12 @@ func (c *Config) Validate() {
 	}
 	if c.AckEvery <= 0 {
 		c.AckEvery = 1
+	}
+	if c.OOOIntervals <= 0 {
+		c.OOOIntervals = 1
+	}
+	if c.OOOIntervals > tcpseg.MaxOOOIntervals {
+		c.OOOIntervals = tcpseg.MaxOOOIntervals
 	}
 	if c.CostScale == 0 {
 		c.CostScale = 1.0

@@ -66,8 +66,10 @@ func (t *TOE) AddConnection(flow packet.Flow, peerMAC packet.EtherAddr, iss, irs
 		},
 		Proto: tcpseg.ProtoState{
 			Seq:     iss,
+			TxMax:   iss,
 			Ack:     irs,
 			RxAvail: rxBuf.Size(),
+			OOOCap:  uint8(t.cfg.OOOIntervals),
 		},
 		Post: tcpseg.PostState{
 			Opaque: opaque,

@@ -8,6 +8,7 @@ import (
 	"flextoe/internal/packet"
 	"flextoe/internal/shm"
 	"flextoe/internal/sim"
+	"flextoe/internal/tcpseg"
 )
 
 // endpoint is a minimal application driving one TOE connection directly
@@ -430,5 +431,76 @@ func TestRemoveConnectionStopsTraffic(t *testing.T) {
 	// Segments for the removed connection go to the control plane.
 	if p.toeB.RxToControl == 0 {
 		t.Fatal("no segments redirected to control plane after removal")
+	}
+}
+
+func runLossyTransfer(t *testing.T, oooIntervals int, seed uint64) *pair {
+	t.Helper()
+	cfg := AgilioCX40Config()
+	cfg.OOOIntervals = oooIntervals
+	p := newPair(t, cfg, cfg, netsim.SwitchConfig{LossProb: 0.25, Seed: seed}, 32768)
+	data := testData(30000)
+	p.eng.At(0, func() { p.a.send(data) })
+	for i := 1; i <= 150; i++ {
+		at := sim.Time(i) * 3 * sim.Millisecond
+		p.eng.At(at, func() {
+			if len(p.b.got) < len(data) {
+				if at > 12*sim.Millisecond {
+					p.net.Switch.Config().LossProb = 0 // network heals
+				}
+				p.a.t.InjectHC(shm.Desc{Kind: shm.DescRetransmit, Conn: p.a.conn.ID})
+			}
+		})
+	}
+	p.eng.RunUntil(500 * sim.Millisecond)
+	if !bytes.Equal(p.b.got, data) {
+		t.Fatalf("stream not recovered: %d/%d", len(p.b.got), len(data))
+	}
+	return p
+}
+
+func TestMultiIntervalReassemblyUnderLoss(t *testing.T) {
+	// N=1 (the paper's configuration): loss-induced holes produce OOO
+	// accepts and, with a single interval, disjoint drops. DropsAvoided
+	// must be structurally impossible.
+	p1 := runLossyTransfer(t, 1, 7)
+	if p1.toeB.OOOAccepted == 0 {
+		t.Fatal("no OOO segments under 25% loss")
+	}
+	if p1.toeB.OOODropsAvoided != 0 {
+		t.Fatalf("N=1 cannot avoid drops: %d", p1.toeB.OOODropsAvoided)
+	}
+	if p1.toeB.OOOOccupancy.MaxSeen() > 1 {
+		t.Fatalf("N=1 occupancy exceeded 1: %v", p1.toeB.OOOOccupancy.Dist())
+	}
+
+	// N=4: same loss process; multiple concurrent holes are tracked and
+	// the occupancy histogram sees deeper sets.
+	p4 := runLossyTransfer(t, 4, 7)
+	if p4.toeB.OOOAccepted == 0 || p4.toeB.OOOOccupancy.Count() == 0 {
+		t.Fatal("no OOO activity recorded")
+	}
+	if p4.toeB.OOOOccupancy.MaxSeen() < 2 {
+		t.Fatalf("N=4 never tracked more than one interval: %v", p4.toeB.OOOOccupancy.Dist())
+	}
+	if p4.toeB.OOODropsAvoided == 0 {
+		t.Fatal("N=4 avoided no drops under this loss pattern")
+	}
+	if p4.toeB.OOOMerges == 0 {
+		t.Fatal("no interval merges recorded")
+	}
+}
+
+func TestOOOIntervalConfigClamped(t *testing.T) {
+	cfg := AgilioCX40Config()
+	cfg.OOOIntervals = 100
+	cfg.Validate()
+	if cfg.OOOIntervals != tcpseg.MaxOOOIntervals {
+		t.Fatalf("OOOIntervals not clamped: %d", cfg.OOOIntervals)
+	}
+	var zero Config
+	zero.Validate()
+	if zero.OOOIntervals != 1 {
+		t.Fatalf("default OOOIntervals = %d, want 1", zero.OOOIntervals)
 	}
 }

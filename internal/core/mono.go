@@ -55,6 +55,7 @@ func (t *TOE) monoRX(f *netsim.Frame) {
 		if res.FastRetransmit {
 			t.FastRetx++
 		}
+		t.countReassembly(&res)
 		if res.SendAck {
 			s := &segItem{kind: segRX, conn: conn2.ID, rx: res}
 			t.AcksSent++
@@ -108,8 +109,15 @@ func (t *TOE) monoHC(conn *Conn, d shm.Desc) {
 		if conn2 == nil {
 			return
 		}
-		tcpseg.ProcessHC(&conn2.Proto, hcOpOf(d))
+		res := tcpseg.ProcessHC(&conn2.Proto, &conn2.Post, hcOpOf(d))
 		t.HCOps++
+		if res.SendWindowUpdate {
+			// Re-advertise the reopened window (same zero-window
+			// deadlock repair as the pipeline's HC path).
+			s := &segItem{kind: segHC, conn: conn2.ID, rx: tcpseg.WindowUpdateAck(&conn2.Proto)}
+			t.AcksSent++
+			t.sendFrame(t.buildAck(conn2, s))
+		}
 		if tcpseg.SendableBytes(&conn2.Proto, conn2.CWnd) > 0 || conn2.Proto.TxAvail > 0 {
 			t.submitFlow(conn2)
 		}

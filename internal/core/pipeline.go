@@ -9,6 +9,7 @@ import (
 	"flextoe/internal/sched"
 	"flextoe/internal/shm"
 	"flextoe/internal/sim"
+	"flextoe/internal/stats"
 	"flextoe/internal/tcpseg"
 	"flextoe/internal/trace"
 	"flextoe/internal/xdp"
@@ -38,6 +39,9 @@ type Counters struct {
 	FastRetx       uint64
 	OOOAccepted    uint64
 	OOODropped     uint64
+	// Reassembly interval-set accounting (Config.OOOIntervals).
+	OOOMerges       uint64 // interval coalescings (insert-merge or in-order catch-up)
+	OOODropsAvoided uint64 // accepted OOO segments a single-interval tracker would drop
 }
 
 // TOE is one FlexTOE data-path instance bound to a NIC interface.
@@ -84,6 +88,10 @@ type TOE struct {
 	// MAC (tcpdump; Table 2's logging build charges its cost).
 	PacketTap     func(dir string, pkt *packet.Packet)
 	PacketTapCost int64
+
+	// OOOOccupancy samples the reassembly interval-set occupancy after
+	// every segment that touched the set (accept, merge, or drop).
+	OOOOccupancy *stats.LinearHist
 
 	Counters
 }
@@ -165,15 +173,16 @@ func (s *stage) pump() {
 func New(eng *sim.Engine, cfg Config, iface *netsim.Iface) *TOE {
 	cfg.Validate()
 	t := &TOE{
-		eng:        eng,
-		cfg:        cfg,
-		costs:      DefaultCosts(),
-		iface:      iface,
-		trace:      &trace.Registry{},
-		connByFlow: make(map[packet.Flow]*Conn),
-		segPool:    shm.NewPool("seg", cfg.SegPoolSize),
-		descPool:   shm.NewPool("desc", cfg.DescPoolSize),
-		preLookup:  nfp.NewCache(cfg.NFP.PreLookupEntries, 1),
+		eng:          eng,
+		cfg:          cfg,
+		costs:        DefaultCosts(),
+		iface:        iface,
+		trace:        &trace.Registry{},
+		connByFlow:   make(map[packet.Flow]*Conn),
+		segPool:      shm.NewPool("seg", cfg.SegPoolSize),
+		descPool:     shm.NewPool("desc", cfg.DescPoolSize),
+		preLookup:    nfp.NewCache(cfg.NFP.PreLookupEntries, 1),
+		OOOOccupancy: stats.NewLinearHist(tcpseg.MaxOOOIntervals),
 	}
 	t.dma = nfp.NewDMAEngine(eng, &cfg.NFP)
 	if cfg.CopyBytesPerSec > 0 {
@@ -415,14 +424,7 @@ func (t *TOE) protoExec(isl *island, s *segItem) {
 			t.FastRetx++
 			t.trace.Hit(trace.TPConnFastRetx)
 		}
-		if s.rx.WasOOO {
-			t.OOOAccepted++
-			t.trace.Hit(trace.TPConnOOO)
-		}
-		if s.rx.OOODrop {
-			t.OOODropped++
-			t.trace.Hit(trace.TPConnOOODrop)
-		}
+		t.countReassembly(&s.rx)
 		// Delayed-ACK extension: suppress all but every Nth ACK unless
 		// the segment demands attention (OOO, FIN, window edge).
 		if s.rx.SendAck && t.cfg.AckEvery > 1 && s.rx.WriteLen > 0 &&
@@ -451,7 +453,7 @@ func (t *TOE) protoExec(isl *island, s *segItem) {
 		s.nbiTicket = isl.nbi.ticket()
 	case segHC:
 		s.hcOp = hcOpOf(s.hc)
-		res := tcpseg.ProcessHC(&conn.Proto, s.hcOp)
+		res := tcpseg.ProcessHC(&conn.Proto, &conn.Post, s.hcOp)
 		if res.Reset {
 			t.trace.Hit(trace.TPConnRetransmit)
 		}
@@ -462,6 +464,27 @@ func (t *TOE) protoExec(isl *island, s *segItem) {
 			s.hasNBI = true
 			s.nbiTicket = isl.nbi.ticket()
 		}
+	}
+}
+
+// countReassembly updates the OOO reassembly counters and the occupancy
+// histogram from one RX result (shared by the pipeline's protocol stage
+// and the run-to-completion ablation).
+func (t *TOE) countReassembly(res *tcpseg.RXResult) {
+	if res.WasOOO {
+		t.OOOAccepted++
+		t.trace.Hit(trace.TPConnOOO)
+		if res.OOODropAvoided {
+			t.OOODropsAvoided++
+		}
+	}
+	if res.OOODrop {
+		t.OOODropped++
+		t.trace.Hit(trace.TPConnOOODrop)
+	}
+	t.OOOMerges += uint64(res.OOOMerged)
+	if res.WasOOO || res.OOODrop || res.OOOMerged > 0 {
+		t.OOOOccupancy.Record(int(res.OOOIvs))
 	}
 }
 

@@ -239,6 +239,16 @@ func Table5(Scale) []*Table {
 	t.AddRow("Protocol (TCP state machine)", fmt.Sprintf("%d", len(proto.MarshalTable5())))
 	t.AddRow("Post-processor (ctx queue, congestion control)", fmt.Sprintf("%d", len(post.MarshalTable5())))
 	t.AddRow("Total", fmt.Sprintf("%d", tcpseg.TotalTable5Bytes))
+	// The multi-interval reassembly extension (Config.OOOIntervals > 1)
+	// costs 8 B per extra interval actually in use, on top of the paper's
+	// budget. Shown at full occupancy for the maximum configuration.
+	proto.OOOCap = tcpseg.MaxOOOIntervals
+	proto.OOOCnt = tcpseg.MaxOOOIntervals
+	for i := range proto.OOO {
+		proto.OOO[i] = tcpseg.SeqInterval{Start: uint32(100 * i), End: uint32(100*i + 50)}
+	}
+	t.AddRow(fmt.Sprintf("OOO extension (N=%d, full)", tcpseg.MaxOOOIntervals),
+		fmt.Sprintf("+%d", len(proto.MarshalOOOExtension())))
 	return []*Table{t}
 }
 

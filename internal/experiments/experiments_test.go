@@ -35,11 +35,12 @@ func TestTable5Structural(t *testing.T) {
 		t.Fatalf("tables = %d", len(tables))
 	}
 	tb := tables[0]
-	if len(tb.Rows) != 4 {
+	// 4 partition rows plus the OOO-extension row.
+	if len(tb.Rows) != 5 {
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}
 	out := tb.Format()
-	for _, want := range []string{"Pre-processor", "15", "43", "51", "109"} {
+	for _, want := range []string{"Pre-processor", "15", "43", "51", "109", "+24"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("formatted table missing %q:\n%s", want, out)
 		}

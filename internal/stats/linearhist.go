@@ -1,0 +1,70 @@
+package stats
+
+// LinearHist counts observations of a small discrete quantity in [0, max]
+// with one exact bucket per value — occupancy-style statistics (queue
+// depths, reassembly interval counts) where the HDR histogram's
+// logarithmic buckets are overkill and its per-record cost too high for a
+// per-segment hot path. Recording is one bounds check and one increment.
+type LinearHist struct {
+	counts []uint64
+	n      uint64
+	sum    uint64
+}
+
+// NewLinearHist returns a histogram for values 0..max inclusive; larger
+// observations clamp to max.
+func NewLinearHist(max int) *LinearHist {
+	if max < 0 {
+		max = 0
+	}
+	return &LinearHist{counts: make([]uint64, max+1)}
+}
+
+// Record adds one observation (clamped to the bucket range).
+func (h *LinearHist) Record(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.counts) {
+		v = len(h.counts) - 1
+	}
+	h.counts[v]++
+	h.n++
+	h.sum += uint64(v)
+}
+
+// Count returns the number of observations.
+func (h *LinearHist) Count() uint64 { return h.n }
+
+// Mean returns the mean observation (0 when empty).
+func (h *LinearHist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// MaxSeen returns the largest recorded value (0 when empty).
+func (h *LinearHist) MaxSeen() int {
+	for v := len(h.counts) - 1; v >= 0; v-- {
+		if h.counts[v] > 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// Bucket returns the count of observations of exactly v (0 out of range).
+func (h *LinearHist) Bucket(v int) uint64 {
+	if v < 0 || v >= len(h.counts) {
+		return 0
+	}
+	return h.counts[v]
+}
+
+// Dist returns a copy of the per-value counts, index = value.
+func (h *LinearHist) Dist() []uint64 {
+	out := make([]uint64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}

@@ -306,3 +306,34 @@ func TestRNGSplitIndependence(t *testing.T) {
 		t.Fatalf("split streams correlated: %d/100", same)
 	}
 }
+
+func TestLinearHist(t *testing.T) {
+	h := NewLinearHist(4)
+	if h.Count() != 0 || h.Mean() != 0 || h.MaxSeen() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	for _, v := range []int{0, 1, 1, 2, 4, 9, -3} {
+		h.Record(v) // 9 clamps to 4, -3 clamps to 0
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.MaxSeen() != 4 {
+		t.Fatalf("max = %d", h.MaxSeen())
+	}
+	if h.Bucket(1) != 2 || h.Bucket(4) != 2 || h.Bucket(0) != 2 {
+		t.Fatalf("dist = %v", h.Dist())
+	}
+	if h.Bucket(99) != 0 || h.Bucket(-1) != 0 {
+		t.Fatal("out-of-range bucket not zero")
+	}
+	want := float64(0+1+1+2+4+4+0) / 7
+	if h.Mean() != want {
+		t.Fatalf("mean = %v, want %v", h.Mean(), want)
+	}
+	d := h.Dist()
+	d[0] = 77 // Dist must be a copy
+	if h.Bucket(0) == 77 {
+		t.Fatal("Dist aliases internal state")
+	}
+}

@@ -34,7 +34,17 @@ type RXResult struct {
 	DupAck         bool // this was a duplicate ACK
 	FastRetransmit bool // third duplicate ACK: go-back-N reset performed
 	WasOOO         bool // payload accepted out of order
-	OOODrop        bool // payload outside the tracked interval: dropped
+	OOODrop        bool // payload outside every tracked interval: dropped
+
+	// Reassembly accounting (interval-set extension).
+	OOOMerged uint8 // intervals coalesced by this segment
+	OOOIvs    uint8 // interval-set occupancy after processing
+	// OOODropAvoided: accepted, but a single-interval tracker would
+	// have dropped it. The counterfactual N=1 tracker is approximated
+	// as holding the head (lowest) interval; a real first-arrival
+	// tracker can differ once several intervals coexist, so treat the
+	// derived counter as an estimate, not an exact replay.
+	OOODropAvoided bool
 
 	// Lifecycle.
 	FinRx bool // peer FIN consumed (in order)
@@ -42,9 +52,11 @@ type RXResult struct {
 
 // ProcessRX performs the protocol stage's receive work ("Win" in Fig. 6):
 // advance the window, locate the payload in the host receive buffer
-// (trimming to fit), merge or reject out-of-order data against the single
-// tracked interval, account acknowledged bytes, detect duplicate ACKs and
-// trigger fast retransmission, and decide the ACK to send.
+// (trimming to fit), merge or reject out-of-order data against the
+// tracked interval set (capacity 1 by default, the paper's TAS-style
+// design; up to MaxOOOIntervals), account acknowledged bytes, detect
+// duplicate ACKs and trigger fast retransmission, and decide the ACK to
+// send.
 //
 // tsNow is the local timestamp clock (microseconds) used for RTT
 // estimation via the echoed timestamp option.
@@ -57,16 +69,45 @@ func ProcessRX(st *ProtoState, post *PostState, seg *SegInfo, tsNow uint32) RXRe
 	if seg.Flags&packet.FlagACK != 0 {
 		switch {
 		case SeqGT(ackNo, st.Seq):
-			// Acks data we never sent — possible only for our FIN's
-			// sequence slot.
-			if st.Flags&flagFinSent != 0 && ackNo == st.Seq+1 {
-				acked := st.TxSent
+			// The ack is beyond SND.NXT. This is legitimate in two ways.
+			// After a go-back-N reset rewound Seq, copies transmitted
+			// before the reset are still in flight: the peer may
+			// acknowledge anything up to SND.MAX (the reset returned
+			// those bytes to TxAvail, so they sit unchanged in the TX
+			// buffer). Ignoring such an ack — as a literal "acks data we
+			// never sent" check does — wedges the connection: the sender
+			// retransmits data the peer already has, and the peer's
+			// cumulative ack stays above Seq forever. Accept the ack and
+			// skip retransmitting the covered bytes. The other way is
+			// our FIN's sequence slot, one past SND.MAX. Anything beyond
+			// SND.MAX was never on the wire — bogus, ignored (RFC 9293).
+			horizon := st.TxMax
+			finSlot := st.Flags&flagFinEverTx != 0 &&
+				st.Flags&flagFinAcked == 0
+			dataAck := ackNo
+			finAcked := false
+			if finSlot && ackNo == horizon+1 {
+				dataAck = horizon
+				finAcked = true
+			}
+			if SeqLEQ(dataAck, horizon) {
+				skip := uint32(SeqDiff(dataAck, st.Seq))
+				acked := st.TxSent + skip
+				st.Seq = dataAck
+				st.TxPos = wrap(st.TxPos+skip, post.TxSize)
+				st.TxAvail -= skip
 				st.TxSent = 0
-				st.Flags |= flagFinAcked
-				res.AckedBytes = acked
-				res.FinAcked = true
-				post.CntACKB += acked
 				st.DupAcks = 0
+				res.AckedBytes = acked
+				post.CntACKB += acked
+				if seg.ECNCE || seg.Flags&packet.FlagECE != 0 {
+					post.CntECNB += acked
+				}
+				if finAcked {
+					st.Flags &^= flagFinPending
+					st.Flags |= flagFinSent | flagFinAcked
+					res.FinAcked = true
+				}
 			}
 		case SeqGT(ackNo, una):
 			acked := uint32(SeqDiff(ackNo, una))
@@ -90,7 +131,7 @@ func ProcessRX(st *ProtoState, post *PostState, seg *SegInfo, tsNow uint32) RXRe
 					st.DupAcks++
 				}
 				if st.DupAcks == 3 {
-					gobackN(st)
+					gobackN(st, post)
 					res.FastRetransmit = true
 					post.CntFRetx++
 				}
@@ -148,47 +189,44 @@ func ProcessRX(st *ProtoState, post *PostState, seg *SegInfo, tsNow uint32) RXRe
 				res.WriteOff = uint32(SeqDiff(start, seg.Seq))
 				res.WriteLen = n
 				res.WritePos = st.RxPos
-				advance := n
 				st.Ack += n
-				// Merge the out-of-order interval if now contiguous.
-				if st.OOOLen > 0 && SeqLEQ(st.OOOStart, st.Ack) {
-					oooEnd := st.OOOStart + st.OOOLen
-					if SeqGT(oooEnd, st.Ack) {
-						extra := uint32(SeqDiff(oooEnd, st.Ack))
-						st.Ack = oooEnd
-						advance += extra
-					}
-					st.OOOLen = 0
+				advance := n
+				// Merge every interval the advanced ack now reaches.
+				ivs, newAck, merged := MergeAdvance(st.OOOIntervals(), st.Ack)
+				if merged > 0 {
+					advance += uint32(SeqDiff(newAck, st.Ack))
+					st.Ack = newAck
+					st.setOOO(ivs)
+					res.OOOMerged = uint8(merged)
 				}
 				st.RxPos = wrap(st.RxPos+advance, post.RxSize)
 				st.RxAvail -= advance
 				res.NewInOrder = advance
 			default:
-				// Out of order: accept only within/adjacent to the single
-				// tracked interval (TAS-style, §3.1.3).
+				// Out of order: insert into the interval set (§3.1.3;
+				// capacity 1 reproduces the TAS-style single interval).
 				n := uint32(SeqDiff(end, start))
-				if st.OOOLen == 0 {
-					st.OOOStart, st.OOOLen = start, n
+				hadIvs := st.OOOCnt > 0
+				ivs, ir := InsertSeqInterval(st.OOOIntervals(), SeqInterval{start, end}, st.oooCap())
+				st.setOOO(ivs)
+				if ir.Accepted {
 					res.WasOOO = true
-				} else if SeqLEQ(start, st.OOOStart+st.OOOLen) && SeqLEQ(st.OOOStart, end) {
-					// Overlaps or abuts the interval: extend to the union.
-					newStart := SeqMin(st.OOOStart, start)
-					newEnd := SeqMax(st.OOOStart+st.OOOLen, end)
-					st.OOOStart = newStart
-					st.OOOLen = uint32(SeqDiff(newEnd, newStart))
-					res.WasOOO = true
+					res.OOOMerged = uint8(ir.Merged)
+					// A single-interval tracker accepts only data touching
+					// its one interval (approximated here as the head;
+					// see the RXResult field comment).
+					res.OOODropAvoided = hadIvs && !ir.AtHead
+					res.WriteOff = uint32(SeqDiff(start, seg.Seq))
+					res.WriteLen = n
+					res.WritePos = wrap(st.RxPos+uint32(SeqDiff(start, st.Ack)), post.RxSize)
 				} else {
-					// Disjoint from the interval: drop, ACK with the
+					// Disjoint and the set is full: drop, ACK with the
 					// expected sequence number to trigger retransmission.
 					res.OOODrop = true
 					res.Drop = true
 				}
-				if res.WasOOO {
-					res.WriteOff = uint32(SeqDiff(start, seg.Seq))
-					res.WriteLen = n
-					res.WritePos = wrap(st.RxPos+uint32(SeqDiff(start, st.Ack)), post.RxSize)
-				}
 			}
+			res.OOOIvs = st.OOOCnt
 			res.SendAck = true
 		}
 	}
@@ -196,7 +234,7 @@ func ProcessRX(st *ProtoState, post *PostState, seg *SegInfo, tsNow uint32) RXRe
 	// FIN processing: consumed only when all preceding data is in order.
 	if seg.Flags&packet.FlagFIN != 0 && st.Flags&flagFinRx == 0 {
 		finSeq := payloadEnd // FIN occupies the octet after the payload
-		if st.Ack == finSeq && st.OOOLen == 0 {
+		if st.Ack == finSeq && st.OOOCnt == 0 {
 			st.Flags |= flagFinRx
 			st.Ack++
 			res.FinRx = true
@@ -222,10 +260,12 @@ func ProcessRX(st *ProtoState, post *PostState, seg *SegInfo, tsNow uint32) RXRe
 
 // gobackN resets transmission state to the last acknowledged position
 // (§3.1.1 "Reset"): unacked bytes return to the available pool and the
-// buffer head rewinds.
-func gobackN(st *ProtoState) {
+// buffer head rewinds, wrapped to the TX buffer so TxPos stays a valid
+// buffer offset (uint32 two's-complement subtraction masked by a
+// power-of-two size reduces correctly modulo the buffer).
+func gobackN(st *ProtoState, post *PostState) {
 	st.Seq -= st.TxSent
-	st.TxPos = st.TxPos - st.TxSent // callers wrap via buffer size mask on use
+	st.TxPos = wrap(st.TxPos-st.TxSent, post.TxSize)
 	st.TxAvail += st.TxSent
 	st.TxSent = 0
 	if st.Flags&flagFinSent != 0 && st.Flags&flagFinAcked == 0 {

@@ -1,8 +1,8 @@
 // Package tcpseg implements the TCP data-path protocol logic that FlexTOE
-// offloads: per-segment receive processing (window advance, one-interval
-// out-of-order reassembly, duplicate-ACK tracking), transmit segmentation,
-// and host-control operations (transmit-window bumps, FIN, go-back-N
-// resets).
+// offloads: per-segment receive processing (window advance, interval-set
+// out-of-order reassembly — capacity 1 by default, matching the paper —
+// duplicate-ACK tracking), transmit segmentation, and host-control
+// operations (transmit-window bumps, FIN, go-back-N resets).
 //
 // The package is deliberately pure: operations take a connection state and
 // a header summary and return a result describing the side effects (bytes

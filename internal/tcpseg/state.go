@@ -47,6 +47,11 @@ const (
 	flagFinAcked   uint8 = 1 << 2 // our FIN acknowledged
 	flagFinRx      uint8 = 1 << 3 // peer FIN consumed
 	flagECNSeen    uint8 = 1 << 4 // CE observed since last ACK sent
+	// flagFinEverTx: some copy of our FIN has been on the wire, even if
+	// a go-back-N reset has since rewound flagFinSent. Only then can an
+	// ack of the FIN's sequence slot be legitimate. (Like flagECNSeen,
+	// this bit is outside the packed Table 5 nibble.)
+	flagFinEverTx uint8 = 1 << 5
 )
 
 // ProtoState is the protocol stage's partition: the TCP state machine
@@ -60,12 +65,40 @@ type ProtoState struct {
 	RemoteWin uint16 // peer receive window, scaled by WindowScale
 	TxSent    uint32 // transmitted but unacknowledged bytes
 	Seq       uint32 // next local sequence number to transmit
+	TxMax     uint32 // highest sequence number ever transmitted (SND.MAX)
 	Ack       uint32 // next expected remote sequence number (RCV.NXT)
-	OOOStart  uint32 // out-of-order interval start (valid when OOOLen > 0)
-	OOOLen    uint32 // out-of-order interval length
 	DupAcks   uint8  // duplicate-ACK count (4 bits in hardware)
 	NextTS    uint32 // peer timestamp to echo in ACKs
 	Flags     uint8  // connection lifecycle bits (above)
+
+	// Out-of-order reassembly: a sorted, disjoint set of received ranges
+	// beyond Ack. OOOCap is the policy limit (0 or 1 = the paper's
+	// single-interval Table 5 budget; up to MaxOOOIntervals). Only the
+	// head interval is part of the packed Table 5 state.
+	OOO    [MaxOOOIntervals]SeqInterval
+	OOOCnt uint8
+	OOOCap uint8
+}
+
+// oooCap returns the effective interval-set capacity.
+func (s *ProtoState) oooCap() int {
+	if s.OOOCap == 0 {
+		return 1
+	}
+	if s.OOOCap > MaxOOOIntervals {
+		return MaxOOOIntervals
+	}
+	return int(s.OOOCap)
+}
+
+// OOOIntervals returns the live out-of-order interval set (aliases the
+// state; callers must not retain it across ProcessRX calls).
+func (s *ProtoState) OOOIntervals() []SeqInterval { return s.OOO[:s.OOOCnt] }
+
+// setOOO copies an interval slice (possibly aliasing a suffix of the
+// backing array, as MergeAdvance returns) back down into the state.
+func (s *ProtoState) setOOO(ivs []SeqInterval) {
+	s.OOOCnt = uint8(copy(s.OOO[:], ivs))
 }
 
 // protoStateWire is the packed Table 5 size of the protocol partition:
@@ -74,7 +107,10 @@ const protoStateWire = 43
 
 // MarshalTable5 packs the protocol partition with the paper's field
 // widths. The lifecycle flags share the dup-ACK byte's upper nibble, as
-// the 4-bit dupack_cnt field implies.
+// the 4-bit dupack_cnt field implies. Only the head out-of-order interval
+// is packed (the paper's ooo_start/ooo_len); additional intervals are an
+// extension beyond the Table 5 budget and marshalled separately by
+// MarshalOOOExtension.
 func (s *ProtoState) MarshalTable5() []byte {
 	b := make([]byte, protoStateWire)
 	binary.BigEndian.PutUint32(b[0:], s.RxPos)
@@ -85,10 +121,30 @@ func (s *ProtoState) MarshalTable5() []byte {
 	binary.BigEndian.PutUint32(b[18:], s.TxSent)
 	binary.BigEndian.PutUint32(b[22:], s.Seq)
 	binary.BigEndian.PutUint32(b[26:], s.Ack)
-	binary.BigEndian.PutUint32(b[30:], s.OOOStart)
-	binary.BigEndian.PutUint32(b[34:], s.OOOLen)
+	var headStart, headLen uint32
+	if s.OOOCnt > 0 {
+		headStart = s.OOO[0].Start
+		headLen = uint32(SeqDiff(s.OOO[0].End, s.OOO[0].Start))
+	}
+	binary.BigEndian.PutUint32(b[30:], headStart)
+	binary.BigEndian.PutUint32(b[34:], headLen)
 	b[38] = s.DupAcks&0xf | s.Flags<<4&0xf0
 	binary.BigEndian.PutUint32(b[39:], s.NextTS)
+	return b
+}
+
+// MarshalOOOExtension packs intervals beyond the first: 8 bytes per extra
+// interval actually in use. Empty for the paper's N=1 configuration, so
+// the Table 5 budget is preserved exactly there.
+func (s *ProtoState) MarshalOOOExtension() []byte {
+	if s.OOOCnt <= 1 {
+		return nil
+	}
+	b := make([]byte, 8*(int(s.OOOCnt)-1))
+	for i := 1; i < int(s.OOOCnt); i++ {
+		binary.BigEndian.PutUint32(b[8*(i-1):], s.OOO[i].Start)
+		binary.BigEndian.PutUint32(b[8*(i-1)+4:], uint32(SeqDiff(s.OOO[i].End, s.OOO[i].Start)))
+	}
 	return b
 }
 

@@ -3,6 +3,7 @@ package tcpseg
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -11,10 +12,11 @@ import (
 )
 
 // streamHarness wires two connection endpoints through an adversarial
-// channel (loss, reordering, duplication) and checks that the receiver
-// reconstructs the sender's byte stream exactly. This is the core
-// correctness property of the whole offload: §3.1's pipeline stages are
-// alternative executions of exactly this logic.
+// channel (loss, reordering, duplication, stale retransmits) and checks
+// that the receiver reconstructs the sender's byte stream exactly. This
+// is the core correctness property of the whole offload: §3.1's pipeline
+// stages are alternative executions of exactly this logic. The channel
+// itself lives in conformance_test.go.
 type endpoint struct {
 	st    *ProtoState
 	post  *PostState
@@ -44,7 +46,7 @@ func (e *endpoint) pump(mss uint32) []wireSeg {
 			n = free
 		}
 		if n > 0 {
-			ProcessHC(e.st, HCOp{Kind: HCTx, Bytes: n})
+			ProcessHC(e.st, e.post, HCOp{Kind: HCTx, Bytes: n})
 			e.sent += n
 		}
 	}
@@ -73,8 +75,20 @@ func (e *endpoint) pump(mss uint32) []wireSeg {
 	return out
 }
 
+func ackSeg(r RXResult) wireSeg {
+	return wireSeg{info: SegInfo{
+		Seq: r.AckSeq, Ack: r.AckAck, Flags: packet.FlagACK,
+		Window: r.AckWin,
+	}}
+}
+
 // receive processes one segment, places payload into the RX buffer, and
-// returns any ACK to send back.
+// returns any ACK to send back. The application consumes newly in-order
+// bytes immediately; when that reopens a closed receive window the
+// returned ACK is regenerated from the post-consumption state — the
+// pipeline's HC path (ProcessHC SendWindowUpdate -> WindowUpdateAck).
+// Without it, an OOO merge that fills the whole window advertises zero
+// and the peer stalls forever.
 func (e *endpoint) receive(ws wireSeg) (wireSeg, bool) {
 	res := ProcessRX(e.st, e.post, &ws.info, 0)
 	if res.WriteLen > 0 {
@@ -89,13 +103,13 @@ func (e *endpoint) receive(ws wireSeg) (wireSeg, bool) {
 		for i := uint32(0); i < res.NewInOrder; i++ {
 			e.rxGot = append(e.rxGot, e.rxBuf[(start+i)&(e.post.RxSize-1)])
 		}
-		ProcessHC(e.st, HCOp{Kind: HCRxConsumed, Bytes: res.NewInOrder})
+		hc := ProcessHC(e.st, e.post, HCOp{Kind: HCRxConsumed, Bytes: res.NewInOrder})
+		if hc.SendWindowUpdate {
+			return ackSeg(WindowUpdateAck(e.st)), true
+		}
 	}
 	if res.SendAck {
-		return wireSeg{info: SegInfo{
-			Seq: res.AckSeq, Ack: res.AckAck, Flags: packet.FlagACK,
-			Window: res.AckWin,
-		}}, true
+		return ackSeg(res), true
 	}
 	return wireSeg{}, false
 }
@@ -110,67 +124,15 @@ func runTransfer(t *testing.T, data []byte, bufSize uint32, mss uint32, lossP, r
 	}
 }
 
+// transferErr runs a one-directional transfer over the adversarial
+// channel (loss + reordering only; see conformanceTransfer for the full
+// channel with duplication and stale-retransmit injection).
 func transferErr(data []byte, bufSize uint32, mss uint32, lossP, reorderP float64, seed uint64) error {
-	rng := stats.NewRNG(seed)
-	a := newEndpoint(bufSize)
-	b := newEndpoint(bufSize)
-	a.tx = data
-
-	var wire []wireSeg // in-flight segments toward b
-	var backWire []wireSeg
-	stall := 0
-	for round := 0; round < 200000; round++ {
-		outs := a.pump(mss)
-		progress := len(outs) > 0
-		for _, s := range outs {
-			if rng.Bool(lossP) {
-				continue // dropped
-			}
-			if len(wire) > 0 && rng.Bool(reorderP) {
-				wire = append(wire[:len(wire)-1], s, wire[len(wire)-1])
-			} else {
-				wire = append(wire, s)
-			}
-		}
-		// Deliver everything currently on the wire to b.
-		for _, s := range wire {
-			if ack, ok := b.receive(s); ok {
-				if !rng.Bool(lossP) {
-					backWire = append(backWire, ack)
-				}
-			}
-			progress = true
-		}
-		wire = wire[:0]
-		// Deliver acks back to a.
-		for _, s := range backWire {
-			a.receive(s)
-		}
-		backWire = backWire[:0]
-
-		if uint32(len(b.rxGot)) == uint32(len(data)) {
-			break
-		}
-		if !progress {
-			stall++
-		} else {
-			stall = 0
-		}
-		if stall > 2 {
-			// RTO fires: go-back-N reset on the sender.
-			ProcessHC(a.st, HCOp{Kind: HCRetransmit})
-			stall = 0
-		}
-	}
-	if !bytes.Equal(b.rxGot, data) {
-		for i := range data {
-			if i >= len(b.rxGot) || b.rxGot[i] != data[i] {
-				return fmt.Errorf("stream mismatch at byte %d (got %d bytes of %d)", i, len(b.rxGot), len(data))
-			}
-		}
-		return fmt.Errorf("stream longer than expected: %d > %d", len(b.rxGot), len(data))
-	}
-	return nil
+	return conformanceTransfer(data, chanCfg{
+		BufSize: bufSize, MSS: mss,
+		Loss: lossP, Reorder: reorderP,
+		Seed: seed,
+	})
 }
 
 func pattern(n int) []byte {
@@ -216,43 +178,106 @@ func TestStreamTinyBufferWithLoss(t *testing.T) {
 	runTransfer(t, pattern(8_000), 512, 128, 0.05, 0.1, 7)
 }
 
+// TestStreamRegressionGoBackNWedge is the counterexample
+// TestStreamPropertyRandom found before the rand seed was pinned: a
+// transfer exactly one RX buffer long stalls at byte 4096. Two defects
+// compounded. An OOO merge that filled the whole 4096-byte window made
+// the receiver advertise a zero window that nothing re-advertised after
+// the application drained it; and once go-back-N had rewound SND.NXT, the
+// in-flight cumulative ACK for 4096 landed above Seq and was discarded as
+// "acks data we never sent", wedging SND.UNA below the peer's RCV.NXT
+// forever.
+func TestStreamRegressionGoBackNWedge(t *testing.T) {
+	sizeRaw, lossRaw, reorderRaw, seed := uint16(0x83f6), uint8(0xd), uint8(0xcd), uint64(0xf7b2560f62cf85cf)
+	size := int(sizeRaw)%20000 + 1
+	loss := float64(lossRaw%64) / 256.0
+	reorder := float64(reorderRaw) / 512.0
+	if err := transferErr(pattern(size), 4096, 512, loss, reorder, seed); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestStreamPropertyRandom(t *testing.T) {
 	// Property: for arbitrary payload sizes, loss rates up to 25%, and
-	// reordering up to 50%, the stream always reconstructs exactly.
+	// reordering up to 50%, the stream always reconstructs exactly. The
+	// quick.Config rand is pinned so a failure reproduces: promote any
+	// counterexample to a named regression test (see
+	// TestStreamRegressionGoBackNWedge).
 	f := func(sizeRaw uint16, lossRaw, reorderRaw uint8, seed uint64) bool {
 		size := int(sizeRaw)%20000 + 1
 		loss := float64(lossRaw%64) / 256.0    // 0..25%
 		reorder := float64(reorderRaw) / 512.0 // 0..50%
 		return transferErr(pattern(size), 4096, 512, loss, reorder, seed) == nil
 	}
-	cfg := &quick.Config{MaxCount: 25}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(0x5eedf1ec70e))}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestBidirectionalStreams(t *testing.T) {
-	// Both endpoints send simultaneously; acks piggyback on data.
-	dataA := pattern(30_000)
-	dataB := pattern(25_000)
-	a := newEndpoint(8192)
-	b := newEndpoint(8192)
+// runBidirectional drives both endpoints sending simultaneously (acks
+// piggyback on data) over a lossy, reordering channel.
+func runBidirectional(t *testing.T, sizeA, sizeB int, bufSize, mss uint32, lossP, reorderP float64, seed uint64, oooCap uint8) {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	dataA := pattern(sizeA)
+	dataB := pattern(sizeB)
+	a := newEndpoint(bufSize)
+	b := newEndpoint(bufSize)
+	a.st.OOOCap, b.st.OOOCap = oooCap, oooCap
 	a.tx = dataA
 	b.tx = dataB
 
-	for round := 0; round < 100000; round++ {
-		for _, s := range a.pump(1448) {
-			if ack, ok := b.receive(s); ok {
-				a.receive(ack)
+	// One direction's in-flight segments, delivered next round.
+	var toB, toA []wireSeg
+	deliver := func(dst *endpoint, in []wireSeg, back *[]wireSeg) bool {
+		progress := false
+		for _, s := range in {
+			if ack, ok := dst.receive(s); ok && !rng.Bool(lossP) {
+				*back = append(*back, ack)
 			}
+			progress = true
 		}
-		for _, s := range b.pump(1448) {
-			if ack, ok := a.receive(s); ok {
-				b.receive(ack)
+		return progress
+	}
+	stall := 0
+	for round := 0; round < 200000; round++ {
+		progress := false
+		for _, s := range a.pump(mss) {
+			if rng.Bool(lossP) {
+				continue
 			}
+			toB = pushWire(rng, toB, s, reorderP)
+			progress = true
 		}
+		for _, s := range b.pump(mss) {
+			if rng.Bool(lossP) {
+				continue
+			}
+			toA = pushWire(rng, toA, s, reorderP)
+			progress = true
+		}
+		progress = deliver(b, toB, &toA) || progress
+		toB = toB[:0]
+		progress = deliver(a, toA, &toB) || progress
+		toA = toA[:0]
+
 		if len(b.rxGot) == len(dataA) && len(a.rxGot) == len(dataB) {
 			break
+		}
+		if progress {
+			stall = 0
+		} else if stall++; stall > 2 {
+			// RTO + persist probe on both sides (see conformanceTransfer).
+			ProcessHC(a.st, a.post, HCOp{Kind: HCRetransmit})
+			ProcessHC(b.st, b.post, HCOp{Kind: HCRetransmit})
+			if !rng.Bool(lossP) {
+				a.receive(ackSeg(WindowUpdateAck(b.st)))
+			}
+			if !rng.Bool(lossP) {
+				b.receive(ackSeg(WindowUpdateAck(a.st)))
+			}
+			stall = 0
 		}
 	}
 	if !bytes.Equal(b.rxGot, dataA) {
@@ -260,5 +285,25 @@ func TestBidirectionalStreams(t *testing.T) {
 	}
 	if !bytes.Equal(a.rxGot, dataB) {
 		t.Fatalf("b->a stream mismatch: %d/%d", len(a.rxGot), len(dataB))
+	}
+}
+
+func TestBidirectionalStreams(t *testing.T) {
+	runBidirectional(t, 30_000, 25_000, 8192, 1448, 0, 0, 8, 0)
+}
+
+func TestBidirectionalStreamsWithLoss(t *testing.T) {
+	for _, c := range []struct {
+		loss, reorder float64
+		cap           uint8
+	}{
+		{0.02, 0, 1},
+		{0.05, 0.2, 1},
+		{0.05, 0.2, 4},
+	} {
+		c := c
+		t.Run(fmt.Sprintf("loss=%v,reorder=%v,N=%d", c.loss, c.reorder, c.cap), func(t *testing.T) {
+			runBidirectional(t, 20_000, 15_000, 4096, 512, c.loss, c.reorder, 9, c.cap)
+		})
 	}
 }

@@ -108,15 +108,18 @@ func TestRXOutOfOrderSingleInterval(t *testing.T) {
 	if res.AckAck != 0 {
 		t.Fatalf("OOO ack should repeat expected seq: %+v", res)
 	}
-	if st.OOOStart != 100 || st.OOOLen != 100 {
-		t.Fatalf("interval = [%d,+%d)", st.OOOStart, st.OOOLen)
+	if st.OOOCnt != 1 || st.OOO[0] != (SeqInterval{100, 200}) {
+		t.Fatalf("interval set = %v", st.OOOIntervals())
 	}
 	// Segment 1 arrives: delivers both.
 	res = ProcessRX(st, post, dataSeg(0, 100, 0, 32), 0)
 	if res.NewInOrder != 200 {
 		t.Fatalf("NewInOrder = %d", res.NewInOrder)
 	}
-	if st.Ack != 200 || st.OOOLen != 0 {
+	if res.OOOMerged != 1 {
+		t.Fatalf("OOOMerged = %d", res.OOOMerged)
+	}
+	if st.Ack != 200 || st.OOOCnt != 0 {
 		t.Fatalf("state = %+v", st)
 	}
 	if st.RxAvail != 4096-200 {
@@ -129,13 +132,13 @@ func TestRXOOOIntervalExtension(t *testing.T) {
 	ProcessRX(st, post, dataSeg(200, 100, 0, 32), 0) // [200,300)
 	// Adjacent after: extends.
 	res := ProcessRX(st, post, dataSeg(300, 50, 0, 32), 0)
-	if !res.WasOOO || st.OOOStart != 200 || st.OOOLen != 150 {
-		t.Fatalf("extension failed: %+v interval [%d,+%d)", res, st.OOOStart, st.OOOLen)
+	if !res.WasOOO || st.OOOCnt != 1 || st.OOO[0] != (SeqInterval{200, 350}) {
+		t.Fatalf("extension failed: %+v interval set %v", res, st.OOOIntervals())
 	}
 	// Adjacent before: extends.
 	res = ProcessRX(st, post, dataSeg(100, 100, 0, 32), 0)
-	if !res.WasOOO || st.OOOStart != 100 || st.OOOLen != 250 {
-		t.Fatalf("front extension failed: interval [%d,+%d)", st.OOOStart, st.OOOLen)
+	if !res.WasOOO || st.OOOCnt != 1 || st.OOO[0] != (SeqInterval{100, 350}) {
+		t.Fatalf("front extension failed: interval set %v", st.OOOIntervals())
 	}
 	// Disjoint: dropped with an ACK for the expected sequence number.
 	res = ProcessRX(st, post, dataSeg(500, 100, 0, 32), 0)
@@ -189,7 +192,7 @@ func TestRXBufferWraparound(t *testing.T) {
 	st, post := newConn(256)
 	// Fill and consume to move RxPos near the end.
 	ProcessRX(st, post, dataSeg(0, 200, 0, 32), 0)
-	ProcessHC(st, HCOp{Kind: HCRxConsumed, Bytes: 200})
+	ProcessHC(st, post, HCOp{Kind: HCRxConsumed, Bytes: 200})
 	res := ProcessRX(st, post, dataSeg(200, 100, 0, 32), 0)
 	if res.WritePos != 200 || res.WriteLen != 100 {
 		t.Fatalf("placement = %+v", res)
@@ -201,7 +204,7 @@ func TestRXBufferWraparound(t *testing.T) {
 
 func TestTXSegmentation(t *testing.T) {
 	st, post := newConn(8192)
-	ProcessHC(st, HCOp{Kind: HCTx, Bytes: 3000})
+	ProcessHC(st, post, HCOp{Kind: HCTx, Bytes: 3000})
 	var segs []TXResult
 	for {
 		seg, ok := ProcessTX(st, post, 1448, 0)
@@ -227,7 +230,7 @@ func TestTXSegmentation(t *testing.T) {
 func TestTXFlowControl(t *testing.T) {
 	st, post := newConn(8192)
 	st.RemoteWin = 2000 >> WindowScale // ~15 * 128 = 1920 bytes
-	ProcessHC(st, HCOp{Kind: HCTx, Bytes: 5000})
+	ProcessHC(st, post, HCOp{Kind: HCTx, Bytes: 5000})
 	var total uint32
 	for {
 		seg, ok := ProcessTX(st, post, 1448, 0)
@@ -243,7 +246,7 @@ func TestTXFlowControl(t *testing.T) {
 
 func TestTXCongestionWindow(t *testing.T) {
 	st, post := newConn(8192)
-	ProcessHC(st, HCOp{Kind: HCTx, Bytes: 5000})
+	ProcessHC(st, post, HCOp{Kind: HCTx, Bytes: 5000})
 	var total uint32
 	for {
 		seg, ok := ProcessTX(st, post, 1448, 2000)
@@ -262,7 +265,7 @@ func TestTXCongestionWindow(t *testing.T) {
 
 func TestAckFreesTxBuffer(t *testing.T) {
 	st, post := newConn(8192)
-	ProcessHC(st, HCOp{Kind: HCTx, Bytes: 2000})
+	ProcessHC(st, post, HCOp{Kind: HCTx, Bytes: 2000})
 	ProcessTX(st, post, 1448, 0)
 	ProcessTX(st, post, 1448, 0)
 	// Peer acks the first segment.
@@ -280,7 +283,7 @@ func TestAckFreesTxBuffer(t *testing.T) {
 
 func TestDupAcksTriggerFastRetransmit(t *testing.T) {
 	st, post := newConn(8192)
-	ProcessHC(st, HCOp{Kind: HCTx, Bytes: 4000})
+	ProcessHC(st, post, HCOp{Kind: HCTx, Bytes: 4000})
 	for {
 		if _, ok := ProcessTX(st, post, 1448, 0); !ok {
 			break
@@ -317,7 +320,7 @@ func TestDupAcksTriggerFastRetransmit(t *testing.T) {
 
 func TestDupAckRequiresNoPayloadAndSameWindow(t *testing.T) {
 	st, post := newConn(8192)
-	ProcessHC(st, HCOp{Kind: HCTx, Bytes: 2000})
+	ProcessHC(st, post, HCOp{Kind: HCTx, Bytes: 2000})
 	ProcessTX(st, post, 1448, 0)
 	// Window update is not a dup ack.
 	seg := &SegInfo{Seq: 0, Ack: 0, Flags: packet.FlagACK, Window: st.RemoteWin + 1}
@@ -333,9 +336,9 @@ func TestDupAckRequiresNoPayloadAndSameWindow(t *testing.T) {
 
 func TestHCRetransmitReset(t *testing.T) {
 	st, post := newConn(8192)
-	ProcessHC(st, HCOp{Kind: HCTx, Bytes: 1000})
+	ProcessHC(st, post, HCOp{Kind: HCTx, Bytes: 1000})
 	ProcessTX(st, post, 1448, 0)
-	res := ProcessHC(st, HCOp{Kind: HCRetransmit})
+	res := ProcessHC(st, post, HCOp{Kind: HCRetransmit})
 	if !res.Reset || !res.TxWindowOpened {
 		t.Fatalf("HC retransmit = %+v", res)
 	}
@@ -343,7 +346,7 @@ func TestHCRetransmitReset(t *testing.T) {
 		t.Fatalf("state = %+v", st)
 	}
 	// Idempotent when nothing is outstanding.
-	res = ProcessHC(st, HCOp{Kind: HCRetransmit})
+	res = ProcessHC(st, post, HCOp{Kind: HCRetransmit})
 	if res.Reset {
 		// nothing sent since the reset, but TxAvail>0 means data is
 		// pending, not sent — no reset should occur
@@ -354,8 +357,8 @@ func TestHCRetransmitReset(t *testing.T) {
 func TestFINHandshake(t *testing.T) {
 	// Local side sends FIN after data; peer acks it.
 	st, post := newConn(4096)
-	ProcessHC(st, HCOp{Kind: HCTx, Bytes: 100})
-	ProcessHC(st, HCOp{Kind: HCFin})
+	ProcessHC(st, post, HCOp{Kind: HCTx, Bytes: 100})
+	ProcessHC(st, post, HCOp{Kind: HCFin})
 	seg, ok := ProcessTX(st, post, 1448, 0)
 	if !ok || !seg.FIN || seg.Len != 100 {
 		t.Fatalf("FIN segment = %+v ok=%v", seg, ok)
@@ -417,10 +420,10 @@ func TestFINOutOfOrderNotConsumed(t *testing.T) {
 
 func TestGoBackNRestoresFIN(t *testing.T) {
 	st, post := newConn(4096)
-	ProcessHC(st, HCOp{Kind: HCTx, Bytes: 100})
-	ProcessHC(st, HCOp{Kind: HCFin})
+	ProcessHC(st, post, HCOp{Kind: HCTx, Bytes: 100})
+	ProcessHC(st, post, HCOp{Kind: HCFin})
 	ProcessTX(st, post, 1448, 0) // data+FIN out
-	ProcessHC(st, HCOp{Kind: HCRetransmit})
+	ProcessHC(st, post, HCOp{Kind: HCRetransmit})
 	if st.FinSent() {
 		t.Fatal("FIN still marked sent after go-back-N")
 	}
@@ -440,7 +443,7 @@ func TestECNFeedback(t *testing.T) {
 	}
 	// Sender side: ECE-marked ack attributes acked bytes to ECN counter.
 	st2, post2 := newConn(4096)
-	ProcessHC(st2, HCOp{Kind: HCTx, Bytes: 1000})
+	ProcessHC(st2, post2, HCOp{Kind: HCTx, Bytes: 1000})
 	ProcessTX(st2, post2, 1448, 0)
 	ack := &SegInfo{Seq: 0, Ack: 1000, Flags: packet.FlagACK | packet.FlagECE, Window: st2.RemoteWin}
 	ProcessRX(st2, post2, ack, 0)
@@ -451,7 +454,7 @@ func TestECNFeedback(t *testing.T) {
 
 func TestTimestampRTTEstimate(t *testing.T) {
 	st, post := newConn(4096)
-	ProcessHC(st, HCOp{Kind: HCTx, Bytes: 100})
+	ProcessHC(st, post, HCOp{Kind: HCTx, Bytes: 100})
 	ProcessTX(st, post, 1448, 0)
 	ack := &SegInfo{Seq: 0, Ack: 100, Flags: packet.FlagACK, Window: st.RemoteWin,
 		HasTS: true, TSVal: 500, TSEcr: 1000}
@@ -483,5 +486,266 @@ func TestLocalWindowScaling(t *testing.T) {
 	st.RxAvail = 100 // below one window unit
 	if st.LocalWindow() != 0 {
 		t.Fatalf("LocalWindow floor = %d", st.LocalWindow())
+	}
+}
+
+func TestRXMultiIntervalReassembly(t *testing.T) {
+	st, post := newConn(4096)
+	st.OOOCap = 4
+	// Three disjoint holes: all accepted, sorted.
+	r1 := ProcessRX(st, post, dataSeg(100, 100, 0, 32), 0) // [100,200)
+	r2 := ProcessRX(st, post, dataSeg(500, 100, 0, 32), 0) // [500,600)
+	r3 := ProcessRX(st, post, dataSeg(300, 100, 0, 32), 0) // [300,400)
+	if !r1.WasOOO || !r2.WasOOO || !r3.WasOOO {
+		t.Fatalf("OOO accepts: %v %v %v", r1.WasOOO, r2.WasOOO, r3.WasOOO)
+	}
+	if r1.OOODropAvoided {
+		t.Fatal("first interval cannot be a drop avoided")
+	}
+	if !r2.OOODropAvoided || !r3.OOODropAvoided {
+		t.Fatalf("disjoint accepts must count as drops avoided: %v %v", r2.OOODropAvoided, r3.OOODropAvoided)
+	}
+	if r3.OOOIvs != 3 {
+		t.Fatalf("occupancy = %d", r3.OOOIvs)
+	}
+	want := []SeqInterval{{100, 200}, {300, 400}, {500, 600}}
+	for i, iv := range st.OOOIntervals() {
+		if iv != want[i] {
+			t.Fatalf("interval set = %v", st.OOOIntervals())
+		}
+	}
+	// A bridging segment coalesces the middle: [200,500) merges all three.
+	r := ProcessRX(st, post, dataSeg(200, 300, 0, 32), 0)
+	if !r.WasOOO || r.OOOMerged != 2 || st.OOOCnt != 1 || st.OOO[0] != (SeqInterval{100, 600}) {
+		t.Fatalf("bridge: %+v set %v", r, st.OOOIntervals())
+	}
+	// The head fill delivers everything in one in-order advance.
+	r = ProcessRX(st, post, dataSeg(0, 100, 0, 32), 0)
+	if r.NewInOrder != 600 || st.Ack != 600 || st.OOOCnt != 0 {
+		t.Fatalf("fill: %+v set %v ack %d", r, st.OOOIntervals(), st.Ack)
+	}
+	if st.RxAvail != 4096-600 || st.RxPos != 600 {
+		t.Fatalf("state = %+v", st)
+	}
+}
+
+func TestRXMultiIntervalCapacity(t *testing.T) {
+	st, post := newConn(4096)
+	st.OOOCap = 4
+	for i := uint32(0); i < 4; i++ {
+		if res := ProcessRX(st, post, dataSeg(100+200*i, 100, 0, 32), 0); !res.WasOOO {
+			t.Fatalf("interval %d rejected", i)
+		}
+	}
+	// Fifth disjoint interval: set full, dropped.
+	res := ProcessRX(st, post, dataSeg(2000, 100, 0, 32), 0)
+	if !res.OOODrop || !res.Drop || st.OOOCnt != 4 {
+		t.Fatalf("over-capacity segment = %+v set %v", res, st.OOOIntervals())
+	}
+	if !res.SendAck || res.AckAck != 0 {
+		t.Fatalf("drop must re-ack expected seq: %+v", res)
+	}
+	// Extending a tracked interval still works at capacity.
+	if res := ProcessRX(st, post, dataSeg(200, 50, 0, 32), 0); !res.WasOOO || st.OOOCnt != 4 {
+		t.Fatalf("extension at capacity = %+v", res)
+	}
+}
+
+func TestRXSingleIntervalPolicyDefault(t *testing.T) {
+	// OOOCap zero value must reproduce the paper's single interval.
+	st, post := newConn(4096)
+	ProcessRX(st, post, dataSeg(100, 100, 0, 32), 0)
+	res := ProcessRX(st, post, dataSeg(400, 100, 0, 32), 0)
+	if !res.OOODrop || st.OOOCnt != 1 {
+		t.Fatalf("default capacity not 1: %+v set %v", res, st.OOOIntervals())
+	}
+}
+
+func TestGoBackNWrapsTxPosAtBufferBoundary(t *testing.T) {
+	st, post := newConn(256)
+	// First lap: send and ack 200 bytes.
+	ProcessHC(st, post, HCOp{Kind: HCTx, Bytes: 200})
+	for {
+		if _, ok := ProcessTX(st, post, 128, 0); !ok {
+			break
+		}
+	}
+	ProcessRX(st, post, &SegInfo{Seq: 0, Ack: 200, Flags: packet.FlagACK, Window: st.RemoteWin}, 0)
+	// Second lap crosses the TX buffer boundary: positions 200..400 wrap.
+	ProcessHC(st, post, HCOp{Kind: HCTx, Bytes: 200})
+	var segs []TXResult
+	for {
+		seg, ok := ProcessTX(st, post, 128, 0)
+		if !ok {
+			break
+		}
+		segs = append(segs, seg)
+	}
+	if len(segs) != 2 || segs[0].BufPos != 200 || segs[1].BufPos != (200+128)&255 {
+		t.Fatalf("segments = %+v", segs)
+	}
+	if st.TxPos != 400&255 {
+		t.Fatalf("TxPos = %d, want %d", st.TxPos, 400&255)
+	}
+	// Fast retransmit rewinds across the boundary: TxPos must land on
+	// SND.UNA's buffer offset, already wrapped.
+	ack := &SegInfo{Seq: 0, Ack: 200, Flags: packet.FlagACK, Window: st.RemoteWin}
+	var last RXResult
+	for i := 0; i < 3; i++ {
+		last = ProcessRX(st, post, ack, 0)
+	}
+	if !last.FastRetransmit {
+		t.Fatal("no fast retransmit")
+	}
+	if st.TxPos != 200 {
+		t.Fatalf("TxPos after go-back-N = %d, want 200", st.TxPos)
+	}
+	if seg, ok := ProcessTX(st, post, 128, 0); !ok || seg.BufPos != 200 || seg.Seq != 200 {
+		t.Fatalf("retransmission = %+v ok=%v", seg, ok)
+	}
+}
+
+func TestAckBeyondSndNxtAfterReset(t *testing.T) {
+	// After go-back-N rewinds Seq, a cumulative ack for data sent before
+	// the reset arrives "from the future". It must advance SND.UNA and
+	// skip retransmitting the covered bytes, not be discarded.
+	st, post := newConn(8192)
+	ProcessHC(st, post, HCOp{Kind: HCTx, Bytes: 1000})
+	ProcessTX(st, post, 1448, 0)
+	ProcessHC(st, post, HCOp{Kind: HCRetransmit}) // RTO: Seq back to 0
+	if st.Seq != 0 || st.TxAvail != 1000 {
+		t.Fatalf("reset state = %+v", st)
+	}
+	res := ProcessRX(st, post, &SegInfo{Seq: 0, Ack: 1000, Flags: packet.FlagACK, Window: st.RemoteWin}, 0)
+	if res.AckedBytes != 1000 {
+		t.Fatalf("AckedBytes = %d", res.AckedBytes)
+	}
+	if st.Seq != 1000 || st.TxAvail != 0 || st.TxSent != 0 || st.TxPos != 1000 {
+		t.Fatalf("state = %+v", st)
+	}
+	if post.CntACKB != 1000 {
+		t.Fatalf("CntACKB = %d", post.CntACKB)
+	}
+}
+
+func TestAckBeyondSndNxtPartial(t *testing.T) {
+	st, post := newConn(8192)
+	ProcessHC(st, post, HCOp{Kind: HCTx, Bytes: 1000})
+	ProcessTX(st, post, 1448, 0)
+	ProcessHC(st, post, HCOp{Kind: HCRetransmit})
+	// Only the first 400 bytes of the pre-reset transmission arrived.
+	res := ProcessRX(st, post, &SegInfo{Seq: 0, Ack: 400, Flags: packet.FlagACK, Window: st.RemoteWin}, 0)
+	if res.AckedBytes != 400 || st.Seq != 400 || st.TxAvail != 600 {
+		t.Fatalf("partial: %+v state %+v", res, st)
+	}
+	// Retransmission resumes exactly at the ack point.
+	if seg, ok := ProcessTX(st, post, 1448, 0); !ok || seg.Seq != 400 || seg.Len != 600 {
+		t.Fatalf("resume = %+v ok=%v", seg, ok)
+	}
+}
+
+func TestAckBeyondStagedDataIgnored(t *testing.T) {
+	// An ack past everything ever staged is bogus and must not corrupt
+	// sender state.
+	st, post := newConn(8192)
+	ProcessHC(st, post, HCOp{Kind: HCTx, Bytes: 1000})
+	ProcessTX(st, post, 1448, 0)
+	before := *st
+	res := ProcessRX(st, post, &SegInfo{Seq: 0, Ack: 5000, Flags: packet.FlagACK, Window: st.RemoteWin}, 0)
+	if res.AckedBytes != 0 {
+		t.Fatalf("bogus ack accepted: %+v", res)
+	}
+	if st.Seq != before.Seq || st.TxSent != before.TxSent || st.TxAvail != before.TxAvail {
+		t.Fatalf("state mutated: %+v", st)
+	}
+}
+
+func TestAckOfRewoundFin(t *testing.T) {
+	// FIN sent, go-back-N rewinds it to pending, then the old copy's ack
+	// (data + FIN slot) arrives: both the data and the FIN are done.
+	st, post := newConn(4096)
+	ProcessHC(st, post, HCOp{Kind: HCTx, Bytes: 100})
+	ProcessHC(st, post, HCOp{Kind: HCFin})
+	ProcessTX(st, post, 1448, 0) // data+FIN out
+	ProcessHC(st, post, HCOp{Kind: HCRetransmit})
+	if st.FinSent() {
+		t.Fatal("FIN still marked sent after go-back-N")
+	}
+	res := ProcessRX(st, post, &SegInfo{Seq: 0, Ack: 101, Flags: packet.FlagACK, Window: st.RemoteWin}, 0)
+	if !res.FinAcked || !st.FinAcked() || res.AckedBytes != 100 {
+		t.Fatalf("rewound FIN ack: %+v state %+v", res, st)
+	}
+	// No FIN retransmission must follow.
+	if seg, ok := ProcessTX(st, post, 1448, 0); ok {
+		t.Fatalf("unexpected segment after acked FIN: %+v", seg)
+	}
+}
+
+func TestMarshalOOOExtension(t *testing.T) {
+	st, post := newConn(4096)
+	st.OOOCap = 4
+	ProcessRX(st, post, dataSeg(100, 100, 0, 32), 0)
+	ProcessRX(st, post, dataSeg(300, 100, 0, 32), 0)
+	b := st.MarshalTable5()
+	if len(b) != 43 {
+		t.Fatalf("Table 5 size changed: %d", len(b))
+	}
+	// Head interval rides in the paper's ooo_start/ooo_len slots.
+	if start := uint32(b[30])<<24 | uint32(b[31])<<16 | uint32(b[32])<<8 | uint32(b[33]); start != 100 {
+		t.Fatalf("marshalled head start = %d", start)
+	}
+	if l := uint32(b[34])<<24 | uint32(b[35])<<16 | uint32(b[36])<<8 | uint32(b[37]); l != 100 {
+		t.Fatalf("marshalled head len = %d", l)
+	}
+	if ext := st.MarshalOOOExtension(); len(ext) != 8 {
+		t.Fatalf("extension = %d bytes, want 8", len(ext))
+	}
+	// The paper's N=1 configuration stays exactly in budget.
+	st2, _ := newConn(4096)
+	if ext := st2.MarshalOOOExtension(); len(ext) != 0 {
+		t.Fatalf("N=1 extension = %d bytes, want 0", len(ext))
+	}
+}
+
+func TestAckOfStagedButNeverTransmittedIgnored(t *testing.T) {
+	// An ack between SND.NXT and the staged-data horizon, with no reset
+	// having happened, covers bytes that were never on the wire: SND.MAX
+	// bounds acceptance, so it must be ignored (accepting it would skip
+	// transmitting those bytes and silently corrupt the stream).
+	st, post := newConn(8192)
+	ProcessHC(st, post, HCOp{Kind: HCTx, Bytes: 1000})
+	ProcessTX(st, post, 500, 0) // 500 of 1000 staged bytes transmitted
+	if st.Seq != 500 || st.TxMax != 500 || st.TxAvail != 500 {
+		t.Fatalf("setup state = %+v", st)
+	}
+	res := ProcessRX(st, post, &SegInfo{Seq: 0, Ack: 800, Flags: packet.FlagACK, Window: st.RemoteWin}, 0)
+	if res.AckedBytes != 0 || st.Seq != 500 || st.TxAvail != 500 {
+		t.Fatalf("ack of untransmitted bytes accepted: %+v state %+v", res, st)
+	}
+	// After a reset, the same ack value is within SND.MAX and valid.
+	ProcessTX(st, post, 500, 0) // transmit the rest: SND.MAX = 1000
+	ProcessHC(st, post, HCOp{Kind: HCRetransmit})
+	res = ProcessRX(st, post, &SegInfo{Seq: 0, Ack: 800, Flags: packet.FlagACK, Window: st.RemoteWin}, 0)
+	if res.AckedBytes != 800 || st.Seq != 800 {
+		t.Fatalf("post-reset ack rejected: %+v state %+v", res, st)
+	}
+}
+
+func TestAckOfNeverTransmittedFinIgnored(t *testing.T) {
+	// FIN requested but not yet on the wire: a bogus ack of its future
+	// sequence slot must not mark it acked (that would suppress the FIN
+	// transmission forever and wedge the close).
+	st, post := newConn(4096)
+	ProcessHC(st, post, HCOp{Kind: HCTx, Bytes: 100})
+	ProcessTX(st, post, 1448, 0)
+	ProcessRX(st, post, &SegInfo{Seq: 0, Ack: 100, Flags: packet.FlagACK, Window: st.RemoteWin}, 0)
+	ProcessHC(st, post, HCOp{Kind: HCFin}) // pending, never transmitted
+	res := ProcessRX(st, post, &SegInfo{Seq: 0, Ack: 101, Flags: packet.FlagACK, Window: st.RemoteWin}, 0)
+	if res.FinAcked || st.FinAcked() {
+		t.Fatalf("never-transmitted FIN marked acked: %+v state %+v", res, st)
+	}
+	// The FIN must still go out.
+	if seg, ok := ProcessTX(st, post, 1448, 0); !ok || !seg.FIN {
+		t.Fatalf("FIN not transmitted: %+v ok=%v", seg, ok)
 	}
 }

@@ -55,12 +55,15 @@ func ProcessTX(st *ProtoState, post *PostState, mss uint32, cwnd uint32) (TXResu
 		EchoTS: st.NextTS,
 	}
 	st.Seq += sendable
-	st.TxPos += sendable
+	if SeqGT(st.Seq, st.TxMax) {
+		st.TxMax = st.Seq
+	}
+	st.TxPos = wrap(st.TxPos+sendable, post.TxSize)
 	st.TxAvail -= sendable
 	st.TxSent += sendable
 	if fin {
 		st.Flags &^= flagFinPending
-		st.Flags |= flagFinSent
+		st.Flags |= flagFinSent | flagFinEverTx
 	}
 	return res, true
 }
@@ -117,8 +120,9 @@ type HCResult struct {
 }
 
 // ProcessHC applies a host-control operation to the protocol state
-// ("Win"/"Fin"/"Reset" in Fig. 4).
-func ProcessHC(st *ProtoState, op HCOp) HCResult {
+// ("Win"/"Fin"/"Reset" in Fig. 4). post supplies the buffer geometry a
+// go-back-N reset needs to rewind the TX buffer head.
+func ProcessHC(st *ProtoState, post *PostState, op HCOp) HCResult {
 	var res HCResult
 	switch op.Kind {
 	case HCTx:
@@ -134,7 +138,7 @@ func ProcessHC(st *ProtoState, op HCOp) HCResult {
 		res.TxWindowOpened = true // scheduler must emit the FIN segment
 	case HCRetransmit:
 		if st.TxSent > 0 || (st.Flags&flagFinSent != 0 && st.Flags&flagFinAcked == 0) {
-			gobackN(st)
+			gobackN(st, post)
 			res.Reset = true
 			res.TxWindowOpened = true
 		}
