@@ -143,3 +143,89 @@ func BenchmarkReassemblySingleHoleN4(b *testing.B) { benchReassembly(b, 4, 64) }
 // overflow a single interval and force drops + retransmissions at N=1.
 func BenchmarkReassemblyMultiHoleN1(b *testing.B) { benchReassembly(b, 1, 8) }
 func BenchmarkReassemblyMultiHoleN4(b *testing.B) { benchReassembly(b, 4, 8) }
+
+// ---------------------------------------------------------------------
+// Retransmission microbenchmark: one window with every 16th segment lost
+// on the first flight, recovered via duplicate ACKs — go-back-N resends
+// everything from the loss, SACK repairs only the four holes. Reports
+// retransmitted bytes per recovered window alongside the usual
+// throughput numbers; CI runs it as a smoke test for the recovery path.
+// ---------------------------------------------------------------------
+
+func benchRetransmit(b *testing.B, sack bool) {
+	const segN = 64
+	const segSz = 512
+	const winSz = segN * segSz
+	b.ReportAllocs()
+	b.SetBytes(winSz)
+	var retx uint64
+	ackInfoOf := func(r tcpseg.RXResult) tcpseg.SegInfo {
+		info := tcpseg.SegInfo{
+			Seq: r.AckSeq, Ack: r.AckAck, Flags: packet.FlagACK, Window: r.AckWin,
+		}
+		copy(info.SACK[:], r.AckSACK[:r.AckSACKCnt])
+		info.SACKCnt = r.AckSACKCnt
+		return info
+	}
+	for i := 0; i < b.N; i++ {
+		snd := &tcpseg.ProtoState{RxAvail: winSz, RemoteWin: winSz >> tcpseg.WindowScale, OOOCap: 4}
+		sndPost := &tcpseg.PostState{RxSize: winSz, TxSize: winSz}
+		rcv := &tcpseg.ProtoState{RxAvail: winSz, RemoteWin: winSz >> tcpseg.WindowScale, OOOCap: 4}
+		rcvPost := &tcpseg.PostState{RxSize: winSz, TxSize: winSz}
+		snd.SetSACKPerm(sack)
+		rcv.SetSACKPerm(sack)
+		tcpseg.ProcessHC(snd, sndPost, tcpseg.HCOp{Kind: tcpseg.HCTx, Bytes: winSz})
+
+		var acks []tcpseg.SegInfo
+		deliver := func(seg tcpseg.TXResult, drop bool) {
+			retx += uint64(seg.RetxBytes)
+			if drop {
+				return
+			}
+			info := tcpseg.SegInfo{Seq: seg.Seq, Ack: seg.Ack, Flags: packet.FlagACK, Window: seg.Win, PayloadLen: seg.Len}
+			if res := tcpseg.ProcessRX(rcv, rcvPost, &info, 0); res.SendAck {
+				acks = append(acks, ackInfoOf(res))
+			}
+		}
+		// First flight: every 16th segment lost.
+		for {
+			seg, ok := tcpseg.ProcessTX(snd, sndPost, segSz, 0)
+			if !ok {
+				break
+			}
+			deliver(seg, (seg.Seq/segSz)%16 == 0)
+		}
+		// Recovery rounds: loss-free from here.
+		for round := 0; rcv.Ack != winSz; round++ {
+			if round > 64 {
+				b.Fatalf("recovery did not converge: rcv.Ack=%d", rcv.Ack)
+			}
+			pending := acks
+			acks = nil
+			progress := len(pending) > 0
+			for i := range pending {
+				tcpseg.ProcessRX(snd, sndPost, &pending[i], 0)
+			}
+			for {
+				seg, ok := tcpseg.ProcessTX(snd, sndPost, segSz, 0)
+				if !ok {
+					break
+				}
+				progress = true
+				deliver(seg, false)
+			}
+			if !progress {
+				// Control-plane RTO: go-back-N reset.
+				tcpseg.ProcessHC(snd, sndPost, tcpseg.HCOp{Kind: tcpseg.HCRetransmit})
+			}
+		}
+	}
+	b.ReportMetric(float64(retx)/float64(b.N), "retx-B/op")
+}
+
+// BenchmarkRetransmitSACKvsGBN compares the two recovery schemes on the
+// identical loss pattern; the retx-B/op metric is the headline.
+func BenchmarkRetransmitSACKvsGBN(b *testing.B) {
+	b.Run("GBN", func(b *testing.B) { benchRetransmit(b, false) })
+	b.Run("SACK", func(b *testing.B) { benchRetransmit(b, true) })
+}

@@ -140,6 +140,12 @@ type bconn struct {
 	ivs     []tcpseg.SeqInterval
 	peerFin bool
 
+	// SACK scoreboard (RecoverySACK): peer-held ranges in sender sequence
+	// space, fed by incoming SACK blocks — the same interval machinery
+	// the FlexTOE protocol stage uses, so Linux's selective repeat and
+	// the offloaded path share one implementation.
+	sack []tcpseg.SeqInterval
+
 	sock    *bsocket
 	pumping bool
 
@@ -251,6 +257,7 @@ func (s *Stack) handleSeg(c *bconn, pkt *packet.Packet) {
 
 	// --- ACK processing (sender side). ---------------------------------
 	if tcp.HasFlag(packet.FlagACK) {
+		s.ingestSACK(c, tcp)
 		ackOff := c.ackOff(tcp.Ack)
 		finAckOff := c.finAt
 		if finAckOff != ^uint64(0) {
@@ -264,6 +271,7 @@ func (s *Stack) handleSeg(c *bconn, pkt *packet.Packet) {
 				acked--
 			}
 			c.una += acked
+			c.trimSACK()
 			c.dupacks = 0
 			c.lastProgress = s.eng.Now()
 			c.backoff = 0
@@ -286,8 +294,12 @@ func (s *Stack) handleSeg(c *bconn, pkt *packet.Packet) {
 				c.halveCwnd()
 				switch s.prof.Recovery {
 				case RecoverySACK:
-					// Retransmit only the missing head segment.
-					s.emitSegment(c, c.una, c.retxLen(), false)
+					// Selective repeat from the scoreboard; without any
+					// reported blocks, retransmit the missing head
+					// segment.
+					if !s.sackRetransmit(c) {
+						s.emitSegment(c, c.una, c.retxLen(), false)
+					}
 				case RecoveryGBN:
 					c.nxt = c.una // go-back-N
 				case RecoveryDiscard:
@@ -391,6 +403,93 @@ func readCirc(buf []byte, pos uint64, out []byte) {
 	}
 }
 
+// ingestSACK merges incoming SACK blocks into the sender scoreboard
+// (RecoverySACK only), clamped to [SND.UNA, SND.NXT).
+func (s *Stack) ingestSACK(c *bconn, tcp *packet.TCP) {
+	if s.prof.Recovery != RecoverySACK || tcp.NumSACK == 0 {
+		return
+	}
+	una32 := c.sndSeq(c.una)
+	nxt32 := c.sndSeq(c.nxt)
+	for i := uint8(0); i < tcp.NumSACK; i++ {
+		b := tcp.SACKBlocks[i]
+		if tcpseg.SeqLT(b.Start, una32) {
+			b.Start = una32
+		}
+		if tcpseg.SeqGT(b.End, nxt32) {
+			b.End = nxt32
+		}
+		if tcpseg.SeqGEQ(b.Start, b.End) {
+			continue
+		}
+		c.sack, _ = tcpseg.InsertSeqInterval(c.sack,
+			tcpseg.SeqInterval{Start: b.Start, End: b.End}, s.prof.oooIvs())
+	}
+}
+
+// trimSACK discards scoreboard coverage below the cumulative ack.
+func (c *bconn) trimSACK() {
+	if len(c.sack) == 0 {
+		return
+	}
+	una32 := c.sndSeq(c.una)
+	ivs := c.sack
+	for len(ivs) > 0 && tcpseg.SeqLEQ(ivs[0].End, una32) {
+		ivs = ivs[1:]
+	}
+	if len(ivs) > 0 && tcpseg.SeqLT(ivs[0].Start, una32) {
+		ivs[0].Start = una32
+	}
+	c.sack = ivs
+}
+
+// sackRetransmit re-sends only the holes below the highest SACKed
+// sequence, in MSS chunks, bounded by one (post-halving) congestion
+// window per recovery event — RFC 6675's pipe limit, and the analogue of
+// the FlexTOE path draining its retransmit queue under the flow
+// scheduler rather than bursting. Returns false when the scoreboard is
+// empty.
+func (s *Stack) sackRetransmit(c *bconn) bool {
+	if len(c.sack) == 0 {
+		return false
+	}
+	budget := uint64(c.cwnd)
+	if min := 2 * s.prof.mss(); budget < min {
+		budget = min
+	}
+	una32 := c.sndSeq(c.una)
+	high := c.sack[len(c.sack)-1].End
+	if tcpseg.SeqGT(high, c.sndSeq(c.nxt)) {
+		high = c.sndSeq(c.nxt)
+	}
+	prev := una32
+	sent := false
+	for i := 0; i <= len(c.sack) && tcpseg.SeqLT(prev, high) && budget > 0; i++ {
+		edge := high
+		if i < len(c.sack) {
+			edge = tcpseg.SeqMin(c.sack[i].Start, high)
+		}
+		for tcpseg.SeqLT(prev, edge) && budget > 0 {
+			n := uint64(uint32(tcpseg.SeqDiff(edge, prev)))
+			if mss := s.prof.mss(); n > mss {
+				n = mss
+			}
+			if n > budget {
+				n = budget
+			}
+			off := c.una + uint64(uint32(tcpseg.SeqDiff(prev, una32)))
+			s.emitSegment(c, off, n, false)
+			prev += uint32(n)
+			budget -= n
+			sent = true
+		}
+		if i < len(c.sack) && tcpseg.SeqGT(c.sack[i].End, prev) {
+			prev = c.sack[i].End
+		}
+	}
+	return sent
+}
+
 func (c *bconn) halveCwnd() {
 	c.ssthresh = c.cwnd / 2
 	if c.ssthresh < 2*1448 {
@@ -399,7 +498,9 @@ func (c *bconn) halveCwnd() {
 	c.cwnd = c.ssthresh
 }
 
-// sendAck emits a pure acknowledgment.
+// sendAck emits a pure acknowledgment. The SACK personality advertises
+// its out-of-order interval set (most recent intervals are simply the
+// set; the wire encoder truncates from the tail if space runs out).
 func (s *Stack) sendAck(c *bconn, ece bool) {
 	flags := packet.FlagACK
 	if ece {
@@ -412,6 +513,13 @@ func (s *Stack) sendAck(c *bconn, ece bool) {
 	ackSeq := c.sndSeq(c.nxt)
 	pkt := s.mkPacket(c, ackSeq, flags, nil)
 	pkt.TCP.Window = uint16(win)
+	if s.prof.Recovery == RecoverySACK {
+		for _, iv := range c.ivs {
+			// Intervals hold truncated stream offsets; wire sequence =
+			// IRS + offset.
+			pkt.TCP.AddSACK(packet.SACKBlock{Start: c.irs + iv.Start, End: c.irs + iv.End})
+		}
+	}
 	s.iface.Send(netsim.NewFrame(pkt, s.eng.Now()))
 }
 
@@ -549,6 +657,9 @@ func (s *Stack) rtoScan() {
 		c.cwnd = 2 * 1448
 		switch s.prof.Recovery {
 		case RecoverySACK:
+			// RFC 2018 reneging rule: a timeout must not trust the
+			// scoreboard; restart from the head.
+			c.sack = c.sack[:0]
 			s.emitSegment(c, c.una, c.retxLen(), false)
 		default:
 			c.nxt = c.una

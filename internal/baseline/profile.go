@@ -32,9 +32,11 @@ const (
 type Recovery int
 
 const (
-	// RecoverySACK: multi-interval reassembly, head-only fast
-	// retransmit (Linux; "more sophisticated reassembly and recovery
-	// algorithms, including selective acknowledgments", §5.3).
+	// RecoverySACK: multi-interval reassembly with real SACK blocks on
+	// the wire and scoreboard-driven selective repeat (Linux; "more
+	// sophisticated reassembly and recovery algorithms, including
+	// selective acknowledgments", §5.3). Shares the interval-set
+	// machinery with the FlexTOE protocol stage.
 	RecoverySACK Recovery = iota
 	// RecoveryGBN: go-back-N with one receiver out-of-order interval
 	// (TAS; identical semantics to FlexTOE's data-path).

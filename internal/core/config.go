@@ -46,6 +46,14 @@ type Config struct {
 	// tcpseg.MaxOOOIntervals trades 8 B of protocol state per extra
 	// interval for fewer out-of-order drops under heavy reordering.
 	OOOIntervals int
+	// EnableSACK lets the control plane negotiate SACK-permitted on new
+	// connections: the protocol stage then advertises the reassembly
+	// interval set as SACK blocks in ACKs and recovers from duplicate
+	// ACKs with selective retransmission (a bounded per-connection
+	// scoreboard, 8 B per interval in use beyond the Table 5 budget)
+	// instead of go-back-N. Off (default) reproduces the paper's
+	// TAS-style recovery exactly.
+	EnableSACK bool
 
 	// Resource pools (bounded, §3.1.1).
 	SegPoolSize  int // CTM segment buffers

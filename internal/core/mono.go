@@ -54,6 +54,9 @@ func (t *TOE) monoRX(f *netsim.Frame) {
 		t.RxBytes += uint64(info.PayloadLen)
 		if res.FastRetransmit {
 			t.FastRetx++
+			if res.SACKRetransmit {
+				t.SACKRetx++
+			}
 		}
 		t.countReassembly(&res)
 		if res.SendAck {
@@ -163,6 +166,10 @@ func (t *TOE) monoTXPump() {
 			s := &segItem{kind: segTX, conn: id, tx: txr}
 			t.TxSegs++
 			t.TxBytes += uint64(txr.Len)
+			if txr.RetxBytes > 0 {
+				t.RetxSegs++
+				t.RetxBytes += uint64(txr.RetxBytes)
+			}
 			t.sendFrame(t.buildData(conn2, s))
 			if tcpseg.SendableBytes(&conn2.Proto, conn2.CWnd) > 0 {
 				t.sched.Submit(id)

@@ -37,8 +37,12 @@ type Counters struct {
 	HCOps          uint64
 	Notifies       uint64
 	FastRetx       uint64
-	OOOAccepted    uint64
-	OOODropped     uint64
+	// SACK loss-recovery accounting (Config.EnableSACK).
+	SACKRetx    uint64 // fast retransmits repaired selectively (no reset)
+	RetxSegs    uint64 // transmitted segments carrying previously sent bytes
+	RetxBytes   uint64 // previously transmitted payload bytes re-sent
+	OOOAccepted uint64
+	OOODropped  uint64
 	// Reassembly interval-set accounting (Config.OOOIntervals).
 	OOOMerges       uint64 // interval coalescings (insert-merge or in-order catch-up)
 	OOODropsAvoided uint64 // accepted OOO segments a single-interval tracker would drop
@@ -422,13 +426,21 @@ func (t *TOE) protoExec(isl *island, s *segItem) {
 		s.rx = tcpseg.ProcessRX(&conn.Proto, &conn.Post, &s.info, t.tsNow())
 		if s.rx.FastRetransmit {
 			t.FastRetx++
+			if s.rx.SACKRetransmit {
+				t.SACKRetx++
+			}
 			t.trace.Hit(trace.TPConnFastRetx)
 		}
 		t.countReassembly(&s.rx)
 		// Delayed-ACK extension: suppress all but every Nth ACK unless
-		// the segment demands attention (OOO, FIN, window edge).
+		// the segment demands attention (OOO activity, FIN, window
+		// edge). ACKs that merge intervals, leave intervals outstanding,
+		// or carry SACK blocks are recovery-critical — the peer's
+		// selective-retransmit machinery keys off them — and are never
+		// suppressed.
 		if s.rx.SendAck && t.cfg.AckEvery > 1 && s.rx.WriteLen > 0 &&
-			!s.rx.WasOOO && !s.rx.OOODrop && !s.rx.FinRx && !s.rx.FastRetransmit {
+			!s.rx.WasOOO && !s.rx.OOODrop && !s.rx.FinRx && !s.rx.FastRetransmit &&
+			s.rx.OOOMerged == 0 && s.rx.OOOIvs == 0 && s.rx.AckSACKCnt == 0 {
 			conn.ackSkip++
 			if conn.ackSkip < t.cfg.AckEvery {
 				s.rx.SendAck = false
@@ -715,6 +727,10 @@ func (t *TOE) nbiOut(s *segItem) {
 	if s.kind == segTX {
 		t.TxSegs++
 		t.TxBytes += uint64(s.tx.Len)
+		if s.tx.RetxBytes > 0 {
+			t.RetxSegs++
+			t.RetxBytes += uint64(s.tx.RetxBytes)
+		}
 		t.txInflight--
 		t.kickTX()
 	} else {
@@ -776,6 +792,11 @@ func (t *TOE) buildAck(conn *Conn, s *segItem) *packet.Packet {
 			Seq: s.rx.AckSeq, Ack: s.rx.AckAck, Flags: flags,
 			Window: s.rx.AckWin, WScale: -1,
 		},
+	}
+	// SACK blocks the protocol stage derived from the reassembly interval
+	// set; the wire encoder fits 3 alongside timestamps, 4 otherwise.
+	for i := uint8(0); i < s.rx.AckSACKCnt; i++ {
+		pkt.TCP.AddSACK(packet.SACKBlock{Start: s.rx.AckSACK[i].Start, End: s.rx.AckSACK[i].End})
 	}
 	if t.cfg.UseTimestamps {
 		pkt.TCP.HasTimestamp = true

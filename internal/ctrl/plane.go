@@ -61,8 +61,9 @@ type Plane struct {
 	nextPort  uint16
 
 	// Statistics.
-	Established uint64
-	Timeouts    uint64
+	Established      uint64
+	Timeouts         uint64
+	ZeroWindowProbes uint64
 }
 
 // Conn is the control plane's view of an established connection, handed
@@ -80,6 +81,7 @@ type pendingConn struct {
 	peerMAC   packet.EtherAddr
 	iss, irs  uint32
 	active    bool // we sent the SYN
+	sackOK    bool // both sides agreed on SACK-permitted
 	connected func(*Conn)
 }
 
@@ -93,6 +95,17 @@ type ccState struct {
 	srtt      sim.Time
 	rto       sim.Time
 	backoff   int
+
+	// Persist timer (zero-window probing, RFC 9293 §3.8.6.1).
+	persistAt      sim.Time // next probe deadline (0 = timer off)
+	persistBackoff int
+
+	// seenUna is SND.UNA at the last rtoScan, so the scan itself detects
+	// forward progress. Without this, a run with congestion control off
+	// (ccLoop disabled) never refreshes lastAcked and the RTO fires
+	// spuriously every interval of a long transfer, go-back-N-resending
+	// data that was never lost.
+	seenUna uint32
 }
 
 // New attaches a control plane to a data-path.
@@ -141,6 +154,10 @@ func (p *Plane) Listen(port uint16, accept func(*Conn)) {
 	p.listeners[port] = accept
 }
 
+// sackEnabled reports whether the data-path is configured to negotiate
+// SACK on new connections.
+func (p *Plane) sackEnabled() bool { return p.toe.Config().EnableSACK }
+
 // Dial initiates a connection to a remote endpoint.
 func (p *Plane) Dial(remoteIP packet.IPv4Addr, remoteMAC packet.EtherAddr, remotePort uint16, connected func(*Conn)) {
 	p.nextPort++
@@ -148,12 +165,13 @@ func (p *Plane) Dial(remoteIP packet.IPv4Addr, remoteMAC packet.EtherAddr, remot
 	iss := uint32(p.rng.Uint64())
 	pc := &pendingConn{flow: flow, peerMAC: remoteMAC, iss: iss, active: true, connected: connected}
 	p.pending[flow] = pc
-	p.sendControl(flow, remoteMAC, packet.FlagSYN, iss, 0)
+	p.sendControl(flow, remoteMAC, packet.FlagSYN, iss, 0, p.sackEnabled())
 }
 
 // sendControl emits a handshake segment directly (the control plane's own
 // transmit path; these bypass the offloaded data-path by design).
-func (p *Plane) sendControl(flow packet.Flow, peerMAC packet.EtherAddr, flags uint8, seq, ack uint32) {
+// sackPerm offers/confirms SACK-permitted; only meaningful on SYNs.
+func (p *Plane) sendControl(flow packet.Flow, peerMAC packet.EtherAddr, flags uint8, seq, ack uint32, sackPerm bool) {
 	pkt := &packet.Packet{
 		Eth: packet.Ethernet{Src: p.cfg.LocalMAC, Dst: peerMAC, EtherType: packet.EtherTypeIPv4},
 		IP: packet.IPv4{
@@ -164,7 +182,7 @@ func (p *Plane) sendControl(flow packet.Flow, peerMAC packet.EtherAddr, flags ui
 			SrcPort: flow.SrcPort, DstPort: flow.DstPort,
 			Seq: seq, Ack: ack, Flags: flags,
 			Window: uint16(p.cfg.BufSize >> tcpseg.WindowScale),
-			MSS:    1448, WScale: tcpseg.WindowScale, SACKPerm: false,
+			MSS:    1448, WScale: tcpseg.WindowScale, SACKPerm: sackPerm,
 		},
 	}
 	p.toe.SendControlFrame(pkt)
@@ -182,23 +200,26 @@ func (p *Plane) handleSegment(pkt *packet.Packet) {
 			return
 		}
 		pc.irs = tcp.Seq + 1
+		// The peer echoes SACK-permitted only if it accepts our offer.
+		pc.sackOK = tcp.SACKPerm && p.sackEnabled()
 		// Complete the handshake.
-		p.sendControl(flow, pc.peerMAC, packet.FlagACK, pc.iss+1, pc.irs)
+		p.sendControl(flow, pc.peerMAC, packet.FlagACK, pc.iss+1, pc.irs, false)
 		p.establish(pc, tcp.Window)
 	case tcp.HasFlag(packet.FlagSYN):
 		accept, ok := p.listeners[pkt.TCP.DstPort]
 		if !ok {
-			p.sendControl(flow, pkt.Eth.Src, packet.FlagRST, 0, tcp.Seq+1)
+			p.sendControl(flow, pkt.Eth.Src, packet.FlagRST, 0, tcp.Seq+1, false)
 			return
 		}
 		iss := uint32(p.rng.Uint64())
 		pc := &pendingConn{
 			flow: flow, peerMAC: pkt.Eth.Src,
 			iss: iss, irs: tcp.Seq + 1,
+			sackOK:    tcp.SACKPerm && p.sackEnabled(),
 			connected: func(c *Conn) { accept(c) },
 		}
 		p.pending[flow] = pc
-		p.sendControl(flow, pc.peerMAC, packet.FlagSYN|packet.FlagACK, iss, pc.irs)
+		p.sendControl(flow, pc.peerMAC, packet.FlagSYN|packet.FlagACK, iss, pc.irs, pc.sackOK)
 	case tcp.HasFlag(packet.FlagACK):
 		// Final handshake ACK for a passive open.
 		if pc, ok := p.pending[flow]; ok && !pc.active {
@@ -220,6 +241,7 @@ func (p *Plane) establish(pc *pendingConn, peerWin uint16) {
 	rxBuf := shm.NewPayloadBuf(p.cfg.BufSize)
 	c := p.toe.AddConnection(pc.flow, pc.peerMAC, pc.iss+1, pc.irs, txBuf, rxBuf, 0, nil)
 	c.Proto.RemoteWin = peerWin
+	c.Proto.SetSACKPerm(pc.sackOK)
 	cc := &ccState{
 		conn:      c,
 		cwnd:      p.cfg.InitialCWnd,
@@ -254,7 +276,9 @@ func (p *Plane) Remove(id uint32) {
 // rtoScan fires go-back-N retransmissions for connections with
 // outstanding data and no forward progress within their RTO (§3.1.1:
 // "Retransmissions in response to timeouts are triggered by the
-// control-plane").
+// control-plane"; the retransmit HC op also clears the SACK scoreboard,
+// RFC 2018's reneging rule), and runs the sender-side persist timer
+// (RFC 9293 §3.8.6.1) for connections stalled against a zero window.
 func (p *Plane) rtoScan() {
 	now := p.eng.Now()
 	for id, cc := range p.conns {
@@ -262,12 +286,22 @@ func (p *Plane) rtoScan() {
 		if c == nil {
 			continue
 		}
+		if una := c.Proto.UnackedBase(); una != cc.seenUna {
+			// The cumulative ack moved since the last scan: forward
+			// progress, regardless of whether the CC loop is polling.
+			cc.seenUna = una
+			cc.lastAcked = now
+			cc.backoff = 0
+		}
 		outstanding := c.Proto.TxSent > 0 || (c.Proto.FinSent() && !c.Proto.FinAcked())
 		if !outstanding {
 			cc.lastAcked = now
 			cc.backoff = 0
+			p.persistScan(now, cc, c)
 			continue
 		}
+		cc.persistAt = 0
+		cc.persistBackoff = 0
 		rto := cc.rto << uint(cc.backoff)
 		if now-cc.lastAcked >= rto {
 			p.Timeouts++
@@ -283,6 +317,60 @@ func (p *Plane) rtoScan() {
 			}
 		}
 	}
+}
+
+// persistScan drives the zero-window persist timer: data waits in the
+// transmit buffer, nothing is in flight, and the peer's last advertised
+// window is zero. A lost window-update ACK would stall the connection
+// forever (the receiver has no reason to resend it); the sender must
+// probe. The probe re-sends the single byte preceding SND.NXT — already
+// acknowledged, so the receiver discards it and replies with an ACK
+// carrying its current window.
+func (p *Plane) persistScan(now sim.Time, cc *ccState, c *core.Conn) {
+	if c.Proto.TxAvail == 0 || c.Proto.RemoteWin != 0 {
+		cc.persistAt = 0
+		cc.persistBackoff = 0
+		return
+	}
+	if cc.persistAt == 0 {
+		cc.persistAt = now + cc.rto
+		return
+	}
+	if now < cc.persistAt {
+		return
+	}
+	p.ZeroWindowProbes++
+	p.sendZeroWindowProbe(c)
+	if cc.persistBackoff < 6 {
+		cc.persistBackoff++
+	}
+	cc.persistAt = now + (cc.rto << uint(cc.persistBackoff))
+}
+
+// sendZeroWindowProbe emits the persist probe via the control plane's own
+// transmit path (probes are timer-driven control actions, like timeout
+// retransmissions). Sequence SND.NXT-1 with one byte of already-delivered
+// payload: always outside the receiver's window, always re-ACKed.
+func (p *Plane) sendZeroWindowProbe(c *core.Conn) {
+	st := &c.Proto
+	payload := make([]byte, 1)
+	if c.Post.TxSize > 0 {
+		c.TxBuf.ReadAt((st.TxPos-1)&(c.Post.TxSize-1), payload)
+	}
+	pkt := &packet.Packet{
+		Eth: packet.Ethernet{Src: p.cfg.LocalMAC, Dst: c.Pre.PeerMAC, EtherType: packet.EtherTypeIPv4},
+		IP: packet.IPv4{
+			TTL: 64, Protocol: packet.ProtoTCP, TOS: packet.ECNECT0,
+			Src: c.Pre.LocalIP, Dst: c.Pre.PeerIP,
+		},
+		TCP: packet.TCP{
+			SrcPort: c.Pre.LocalPort, DstPort: c.Pre.RemotePort,
+			Seq: st.Seq - 1, Ack: st.Ack, Flags: packet.FlagACK,
+			Window: st.LocalWindow(), WScale: -1,
+		},
+		Payload: payload,
+	}
+	p.toe.SendControlFrame(pkt)
 }
 
 // ccLoop runs the periodic congestion-control iteration (§D): read

@@ -134,6 +134,120 @@ func TestRTORecoversFromBlackout(t *testing.T) {
 	}
 }
 
+// buildPairCfg is buildPair with explicit data-path configs and buffer
+// size (SACK negotiation and persist-timer tests).
+func buildPairCfg(t *testing.T, cfgA, cfgB core.Config, bufSize uint32) (*sim.Engine, *Plane, *Plane, *core.TOE, *core.TOE) {
+	t.Helper()
+	eng := sim.New()
+	n := netsim.NewNetwork(eng, netsim.SwitchConfig{})
+	macA := packet.MAC(2, 0, 0, 0, 0, 1)
+	macB := packet.MAC(2, 0, 0, 0, 0, 2)
+	rate := netsim.GbpsToBytesPerSec(40)
+	ifA := n.AttachHost("a", macA, rate, 100*sim.Nanosecond)
+	ifB := n.AttachHost("b", macB, rate, 100*sim.Nanosecond)
+	toeA := core.New(eng, cfgA, ifA)
+	toeB := core.New(eng, cfgB, ifB)
+	pa := New(eng, toeA, Config{LocalIP: packet.IP(10, 0, 0, 1), LocalMAC: macA, BufSize: bufSize, Seed: 1})
+	pb := New(eng, toeB, Config{LocalIP: packet.IP(10, 0, 0, 2), LocalMAC: macB, BufSize: bufSize, Seed: 2})
+	return eng, pa, pb, toeA, toeB
+}
+
+func TestSACKNegotiation(t *testing.T) {
+	sackCfg := core.AgilioCX40Config()
+	sackCfg.EnableSACK = true
+	plainCfg := core.AgilioCX40Config()
+	cases := []struct {
+		name       string
+		cfgA, cfgB core.Config
+		want       bool
+	}{
+		{"both-enabled", sackCfg, sackCfg, true},
+		{"client-only", sackCfg, plainCfg, false},
+		{"server-only", plainCfg, sackCfg, false},
+		{"neither", plainCfg, plainCfg, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			eng, pa, pb, _, _ := buildPairCfg(t, c.cfgA, c.cfgB, 0)
+			var serverConn, clientConn *Conn
+			pb.Listen(80, func(cn *Conn) { serverConn = cn })
+			eng.At(0, func() {
+				pa.Dial(packet.IP(10, 0, 0, 2), packet.MAC(2, 0, 0, 0, 0, 2), 80, func(cn *Conn) { clientConn = cn })
+			})
+			eng.RunUntil(5 * sim.Millisecond)
+			if serverConn == nil || clientConn == nil {
+				t.Fatal("handshake incomplete")
+			}
+			if got := clientConn.Core.Proto.SACKEnabled(); got != c.want {
+				t.Fatalf("client SACK = %v, want %v", got, c.want)
+			}
+			if got := serverConn.Core.Proto.SACKEnabled(); got != c.want {
+				t.Fatalf("server SACK = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestPersistProbeRecoversLostWindowUpdate(t *testing.T) {
+	// Fill the receiver's 4 KB window, stage more data, then reopen the
+	// receive window *silently* (emulating a window-update ACK lost on
+	// the wire — the receiver believes it told us). Only the sender-side
+	// persist probe (RFC 9293 §3.8.6.1) can discover the reopened window;
+	// before this timer existed the connection stalled forever.
+	cfg := core.AgilioCX40Config()
+	eng, pa, pb, toeA, _ := buildPairCfg(t, cfg, cfg, 4096)
+	var received uint32
+	var serverConn *Conn
+	pb.Listen(80, func(c *Conn) {
+		serverConn = c
+		c.Core.Notify = func(d shm.Desc) {
+			if d.Kind == shm.DescRxNotify {
+				received += d.Bytes
+			}
+		}
+	})
+	var conn *Conn
+	txFree := uint32(0)
+	eng.At(0, func() {
+		pa.Dial(packet.IP(10, 0, 0, 2), packet.MAC(2, 0, 0, 0, 0, 2), 80, func(c *Conn) {
+			conn = c
+			c.Core.Notify = func(d shm.Desc) {
+				if d.Kind == shm.DescTxFree {
+					txFree += d.Bytes
+				}
+			}
+			buf := make([]byte, 4096)
+			c.TxBuf.WriteAt(0, buf)
+			toeA.InjectHC(shm.Desc{Kind: shm.DescTxBump, Conn: c.ID, Bytes: 4096})
+		})
+	})
+	eng.RunUntil(10 * sim.Millisecond)
+	if conn == nil || serverConn == nil {
+		t.Fatal("no connection")
+	}
+	if received != 4096 || txFree != 4096 {
+		t.Fatalf("first window: received %d, freed %d", received, txFree)
+	}
+	if conn.Core.Proto.RemoteWin != 0 {
+		t.Fatalf("sender should see a zero window, got %d", conn.Core.Proto.RemoteWin)
+	}
+	// Stage more data against the closed window...
+	buf := make([]byte, 2048)
+	conn.TxBuf.WriteAt(0, buf)
+	toeA.InjectHC(shm.Desc{Kind: shm.DescTxBump, Conn: conn.ID, Bytes: 2048})
+	// ...and reopen the receive window without any window-update ACK
+	// reaching the sender (the "lost ACK" state).
+	eng.RunUntil(12 * sim.Millisecond)
+	serverConn.Core.Proto.RxAvail += 4096
+	eng.RunUntil(60 * sim.Millisecond)
+	if pa.ZeroWindowProbes == 0 {
+		t.Fatal("persist timer never probed")
+	}
+	if received != 4096+2048 {
+		t.Fatalf("stalled despite persist probe: received %d", received)
+	}
+}
+
 func TestDCTCPReactsToECN(t *testing.T) {
 	// Squeeze through an ECN-marking bottleneck: DCTCP must shrink the
 	// window below the buffer size while sustaining goodput.

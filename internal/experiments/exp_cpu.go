@@ -249,6 +249,15 @@ func Table5(Scale) []*Table {
 	}
 	t.AddRow(fmt.Sprintf("OOO extension (N=%d, full)", tcpseg.MaxOOOIntervals),
 		fmt.Sprintf("+%d", len(proto.MarshalOOOExtension())))
+	// The SACK scoreboard (Config.EnableSACK) likewise costs 8 B per
+	// peer-held interval actually tracked, only while loss is
+	// outstanding. Shown at full occupancy.
+	proto.SACKCnt = tcpseg.MaxOOOIntervals
+	for i := range proto.SACKScore {
+		proto.SACKScore[i] = tcpseg.SeqInterval{Start: uint32(100 * i), End: uint32(100*i + 50)}
+	}
+	t.AddRow(fmt.Sprintf("SACK scoreboard (cap %d, full)", tcpseg.MaxOOOIntervals),
+		fmt.Sprintf("+%d", len(proto.MarshalSACKExtension())))
 	return []*Table{t}
 }
 

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"flextoe/internal/sim"
 )
 
 func TestRunnerRegistry(t *testing.T) {
@@ -35,15 +37,37 @@ func TestTable5Structural(t *testing.T) {
 		t.Fatalf("tables = %d", len(tables))
 	}
 	tb := tables[0]
-	// 4 partition rows plus the OOO-extension row.
-	if len(tb.Rows) != 5 {
+	// 4 partition rows plus the OOO-extension and SACK-scoreboard rows.
+	if len(tb.Rows) != 6 {
 		t.Fatalf("rows = %d", len(tb.Rows))
 	}
 	out := tb.Format()
-	for _, want := range []string{"Pre-processor", "15", "43", "51", "109", "+24"} {
+	for _, want := range []string{"Pre-processor", "15", "43", "51", "109", "+24", "SACK scoreboard", "+32"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("formatted table missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestFig15SACKBeatsGBNAtOnePercentLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full testbed run")
+	}
+	// The PR's acceptance point: at 1% loss the SACK path must
+	// retransmit strictly fewer bytes than go-back-N while delivering at
+	// least the same goodput.
+	d := Quick.dur(15*sim.Millisecond, 0)
+	gbnG, gbnRetx := fig15RecoveryPoint(0.01, false, d)
+	sackG, sackRetx := fig15RecoveryPoint(0.01, true, d)
+	t.Logf("GBN: %.2f Gbps, %.1f KB retx; SACK: %.2f Gbps, %.1f KB retx", gbnG, gbnRetx, sackG, sackRetx)
+	if sackRetx >= gbnRetx {
+		t.Fatalf("SACK retransmitted %.1f KB, GBN %.1f KB: want strictly fewer", sackRetx, gbnRetx)
+	}
+	if sackG < gbnG {
+		t.Fatalf("SACK goodput %.3f Gbps below GBN %.3f Gbps", sackG, gbnG)
+	}
+	if gbnRetx == 0 {
+		t.Fatal("no loss induced: the comparison is vacuous")
 	}
 }
 

@@ -148,6 +148,14 @@ func decodeTCPOptions(t *TCP, opts []byte) error {
 			}
 		case OptSACKPerm:
 			t.SACKPerm = true
+		case OptSACK:
+			for i := 0; i+8 <= len(body) && t.NumSACK < MaxSACKBlocks; i += 8 {
+				t.SACKBlocks[t.NumSACK] = SACKBlock{
+					Start: binary.BigEndian.Uint32(body[i : i+4]),
+					End:   binary.BigEndian.Uint32(body[i+4 : i+8]),
+				}
+				t.NumSACK++
+			}
 		case OptWScale:
 			if len(body) == 1 {
 				t.WScale = int8(body[0])
@@ -158,8 +166,8 @@ func decodeTCPOptions(t *TCP, opts []byte) error {
 	return nil
 }
 
-// tcpOptionsLen returns the encoded (padded) option length for t.
-func (t *TCP) tcpOptionsLen() int {
+// baseOptionsLen is the unpadded length of all options except SACK.
+func (t *TCP) baseOptionsLen() int {
 	n := 0
 	if t.MSS != 0 {
 		n += 4
@@ -172,6 +180,33 @@ func (t *TCP) tcpOptionsLen() int {
 	}
 	if t.HasTimestamp {
 		n += 10
+	}
+	return n
+}
+
+// sackFit returns how many SACK blocks the remaining option space holds
+// (RFC 2018: 4 alone, 3 alongside the timestamp option). The encoder
+// truncates from the tail, so callers place the most important block
+// first.
+func (t *TCP) sackFit() int {
+	if t.NumSACK == 0 {
+		return 0
+	}
+	fit := (TCPMaxOptionLen - t.baseOptionsLen() - 2) / 8
+	if fit < 0 {
+		fit = 0
+	}
+	if fit > int(t.NumSACK) {
+		fit = int(t.NumSACK)
+	}
+	return fit
+}
+
+// tcpOptionsLen returns the encoded (padded) option length for t.
+func (t *TCP) tcpOptionsLen() int {
+	n := t.baseOptionsLen()
+	if fit := t.sackFit(); fit > 0 {
+		n += 2 + 8*fit
 	}
 	return (n + 3) &^ 3 // pad to 32-bit boundary
 }
@@ -298,6 +333,16 @@ func encodeTCPOptions(t *TCP, buf []byte) {
 		binary.BigEndian.PutUint32(buf[i+2:], t.TSVal)
 		binary.BigEndian.PutUint32(buf[i+6:], t.TSEcr)
 		i += 10
+	}
+	if fit := t.sackFit(); fit > 0 {
+		buf[i] = OptSACK
+		buf[i+1] = byte(2 + 8*fit)
+		i += 2
+		for k := 0; k < fit; k++ {
+			binary.BigEndian.PutUint32(buf[i:], t.SACKBlocks[k].Start)
+			binary.BigEndian.PutUint32(buf[i+4:], t.SACKBlocks[k].End)
+			i += 8
+		}
 	}
 	for ; i < len(buf); i++ {
 		buf[i] = OptNOP

@@ -91,7 +91,20 @@ const (
 	IPv4HeaderLen     = 20
 	TCPHeaderLen      = 20
 	TimestampOptLen   = 12 // 2 NOPs + kind/len/tsval/tsecr
+	TCPMaxOptionLen   = 40 // data offset is 4 bits: 60-byte header max
 )
+
+// MaxSACKBlocks bounds the SACK blocks a header carries. RFC 2018 allows
+// at most 4 in the 40-byte option space; with the timestamp option the
+// encoder fits only 3 and truncates from the tail, so the most important
+// block must be placed first.
+const MaxSACKBlocks = 4
+
+// SACKBlock is one selectively acknowledged range [Start, End) in the
+// peer's sequence space (RFC 2018 left/right edge; End is exclusive).
+type SACKBlock struct {
+	Start, End uint32
+}
 
 // Ethernet is the layer-2 header.
 type Ethernet struct {
@@ -145,6 +158,19 @@ type TCP struct {
 	TSEcr        uint32
 	SACKPerm     bool
 	WScale       int8 // -1 when absent
+
+	// SACK blocks (kind 5). The array is fixed so the hot-path decode
+	// stays allocation-free; NumSACK counts the valid prefix.
+	SACKBlocks [MaxSACKBlocks]SACKBlock
+	NumSACK    uint8
+}
+
+// AddSACK appends a SACK block, dropping silently at capacity.
+func (t *TCP) AddSACK(b SACKBlock) {
+	if t.NumSACK < MaxSACKBlocks {
+		t.SACKBlocks[t.NumSACK] = b
+		t.NumSACK++
+	}
 }
 
 // HasFlag reports whether all bits in f are set.

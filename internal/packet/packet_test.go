@@ -2,6 +2,7 @@ package packet
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -304,6 +305,112 @@ func TestSerializeRoundTripProperty(t *testing.T) {
 			q.TCP.Window == win && bytes.Equal(q.Payload, payload)
 	}
 	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSACKOptionRoundTrip(t *testing.T) {
+	p := samplePacket()
+	p.TCP.AddSACK(SACKBlock{Start: 1000, End: 2000})
+	p.TCP.AddSACK(SACKBlock{Start: 3000, End: 3500})
+	frame := p.Serialize(SerializeOptions{FixLengths: true, ComputeChecksums: true})
+	if err := VerifyChecksums(frame); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TCP.NumSACK != 2 {
+		t.Fatalf("NumSACK = %d", q.TCP.NumSACK)
+	}
+	if q.TCP.SACKBlocks[0] != (SACKBlock{1000, 2000}) || q.TCP.SACKBlocks[1] != (SACKBlock{3000, 3500}) {
+		t.Fatalf("blocks = %v", q.TCP.SACKBlocks[:2])
+	}
+	if !q.TCP.HasTimestamp || q.TCP.TSVal != 111 {
+		t.Fatalf("timestamp lost alongside SACK: %+v", q.TCP)
+	}
+}
+
+func TestSACKOptionSpaceTruncation(t *testing.T) {
+	// With the 10-byte timestamp option, only 3 of 4 blocks fit in the
+	// 40-byte option space; the tail is dropped (senders put the most
+	// recent block first, so the fresh news always survives).
+	p := samplePacket()
+	for i := uint32(0); i < 4; i++ {
+		p.TCP.AddSACK(SACKBlock{Start: 1000 * (i + 1), End: 1000*(i+1) + 500})
+	}
+	frame := p.Serialize(SerializeOptions{FixLengths: true, ComputeChecksums: true})
+	q, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.TCP.NumSACK != 3 {
+		t.Fatalf("NumSACK with timestamps = %d, want 3", q.TCP.NumSACK)
+	}
+	for i := 0; i < 3; i++ {
+		if q.TCP.SACKBlocks[i] != p.TCP.SACKBlocks[i] {
+			t.Fatalf("block %d = %v", i, q.TCP.SACKBlocks[i])
+		}
+	}
+	// Without timestamps all 4 fit.
+	p.TCP.HasTimestamp = false
+	frame = p.Serialize(SerializeOptions{FixLengths: true, ComputeChecksums: true})
+	if q, err = Decode(frame); err != nil {
+		t.Fatal(err)
+	}
+	if q.TCP.NumSACK != 4 {
+		t.Fatalf("NumSACK without timestamps = %d, want 4", q.TCP.NumSACK)
+	}
+	// A fifth block is silently refused at the API boundary.
+	p.TCP.AddSACK(SACKBlock{Start: 9000, End: 9500})
+	if p.TCP.NumSACK != 4 {
+		t.Fatalf("AddSACK overflowed: %d", p.TCP.NumSACK)
+	}
+}
+
+func TestSACKOptionRoundTripProperty(t *testing.T) {
+	// Property: for arbitrary block sets and option combinations, the
+	// encoded header stays within the 40-byte option space and decode
+	// recovers exactly the blocks that fit, in order.
+	f := func(nRaw uint8, starts, lens [MaxSACKBlocks]uint32, ts bool, payload []byte) bool {
+		if len(payload) > 1448 {
+			payload = payload[:1448]
+		}
+		n := int(nRaw) % (MaxSACKBlocks + 1)
+		p := samplePacket()
+		p.TCP.HasTimestamp = ts
+		p.Payload = payload
+		for i := 0; i < n; i++ {
+			p.TCP.AddSACK(SACKBlock{Start: starts[i], End: starts[i] + lens[i]})
+		}
+		frame := p.Serialize(SerializeOptions{FixLengths: true, ComputeChecksums: true})
+		if VerifyChecksums(frame) != nil {
+			return false
+		}
+		q, err := Decode(frame)
+		if err != nil {
+			return false
+		}
+		want := n
+		if max := 4; ts {
+			max = 3
+			if want > max {
+				want = max
+			}
+		}
+		if int(q.TCP.NumSACK) != want {
+			return false
+		}
+		for i := 0; i < want; i++ {
+			if q.TCP.SACKBlocks[i] != p.TCP.SACKBlocks[i] {
+				return false
+			}
+		}
+		return bytes.Equal(q.Payload, payload) && q.TCP.tcpOptionsLen() <= TCPMaxOptionLen
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(0x5ac4b10c))}
+	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -24,13 +24,26 @@ type chanCfg struct {
 	Dup     float64 // probability a delivered segment is delivered twice
 	Stale   float64 // per-round probability of replaying an old data segment
 	OOOCap  uint8   // reassembly interval capacity (0 = default, the paper's 1)
+	SACK    bool    // negotiate SACK: selective retransmit instead of go-back-N
 	Seed    uint64
 	Rounds  int // 0 = default 200000
 }
 
 func (c chanCfg) String() string {
-	return fmt.Sprintf("loss=%v,reorder=%v,dup=%v,stale=%v,N=%d",
-		c.Loss, c.Reorder, c.Dup, c.Stale, c.OOOCap)
+	rec := "gbn"
+	if c.SACK {
+		rec = "sack"
+	}
+	return fmt.Sprintf("loss=%v,reorder=%v,dup=%v,stale=%v,N=%d,%s",
+		c.Loss, c.Reorder, c.Dup, c.Stale, c.OOOCap, rec)
+}
+
+// xferStats summarizes one adversarial transfer's recovery behaviour.
+type xferStats struct {
+	TxBytes   uint64 // payload bytes the sender put on the wire
+	RetxBytes uint64 // of those, bytes transmitted more than once
+	FastRetx  int    // fast-retransmit events
+	SACKRetx  int    // of those, repaired via the selective queue
 }
 
 // pushWire enqueues s on the wire, swapping it ahead of the previous
@@ -45,15 +58,20 @@ func pushWire(rng *stats.RNG, wire []wireSeg, s wireSeg, reorderP float64) []wir
 
 // conformanceTransfer pushes data from a fresh sender to a fresh receiver
 // through the adversarial channel, using a simple RTO (sender go-back-N
-// reset) plus a persist-style receiver window re-advertisement when
+// reset) plus the sender-side persist probe (RFC 9293 §3.8.6.1) when
 // progress stalls — the two timer paths the control plane provides in the
 // real system.
-func conformanceTransfer(data []byte, cfg chanCfg) error {
+func conformanceTransfer(data []byte, cfg chanCfg) (xferStats, error) {
 	rng := stats.NewRNG(cfg.Seed)
 	a := newEndpoint(cfg.BufSize)
 	b := newEndpoint(cfg.BufSize)
 	a.st.OOOCap, b.st.OOOCap = cfg.OOOCap, cfg.OOOCap
+	a.st.SetSACKPerm(cfg.SACK)
+	b.st.SetSACKPerm(cfg.SACK)
 	a.tx = data
+	report := func() xferStats {
+		return xferStats{TxBytes: a.txBytes, RetxBytes: a.retxBytes, FastRetx: a.fastRetx, SACKRetx: a.sackRetx}
+	}
 
 	rounds := cfg.Rounds
 	if rounds == 0 {
@@ -61,13 +79,23 @@ func conformanceTransfer(data []byte, cfg chanCfg) error {
 	}
 	var wire []wireSeg     // in-flight segments toward b
 	var backWire []wireSeg // acks toward a
-	var history []wireSeg  // recently delivered data segments (stale-replay source)
+	var history []wireSeg  // transmitted data segments (stale-replay source)
 	checked := 0           // rxGot prefix already verified against the reference
 	stall := 0
 	for round := 0; round < rounds; round++ {
 		outs := a.pump(cfg.MSS)
 		progress := len(outs) > 0
 		for _, s := range outs {
+			// History captures at transmission time, before the loss
+			// roll, so replays can reach back across go-back-N epochs:
+			// after a rewind the history still holds copies with sequence
+			// numbers above the reset TxPos/SND.NXT.
+			if s.info.PayloadLen > 0 {
+				history = append(history, s)
+				if len(history) > 64 {
+					history = history[1:]
+				}
+			}
 			if rng.Bool(cfg.Loss) {
 				continue // dropped
 			}
@@ -77,18 +105,13 @@ func conformanceTransfer(data []byte, cfg chanCfg) error {
 			}
 		}
 		// Stale-retransmit injection: replay a segment the receiver has
-		// (usually) long since consumed.
+		// (usually) long since consumed — possibly from an earlier
+		// go-back-N epoch.
 		if len(history) > 0 && rng.Bool(cfg.Stale) {
 			wire = append(wire, history[rng.Intn(len(history))])
 		}
 		// Deliver everything currently on the wire to b.
 		for _, s := range wire {
-			if s.info.PayloadLen > 0 {
-				history = append(history, s)
-				if len(history) > 64 {
-					history = history[1:]
-				}
-			}
 			if ack, ok := b.receive(s); ok {
 				if !rng.Bool(cfg.Loss) {
 					backWire = append(backWire, ack)
@@ -102,10 +125,10 @@ func conformanceTransfer(data []byte, cfg chanCfg) error {
 			// caused it, not at the end of the transfer.
 			for ; checked < len(b.rxGot); checked++ {
 				if checked >= len(data) {
-					return fmt.Errorf("%v: delivered %d bytes beyond the %d-byte stream", cfg, len(b.rxGot)-len(data), len(data))
+					return report(), fmt.Errorf("%v: delivered %d bytes beyond the %d-byte stream", cfg, len(b.rxGot)-len(data), len(data))
 				}
 				if b.rxGot[checked] != data[checked] {
-					return fmt.Errorf("%v: stream mismatch at byte %d (got %d bytes of %d)", cfg, checked, len(b.rxGot), len(data))
+					return report(), fmt.Errorf("%v: stream mismatch at byte %d (got %d bytes of %d)", cfg, checked, len(b.rxGot), len(data))
 				}
 			}
 		}
@@ -117,7 +140,7 @@ func conformanceTransfer(data []byte, cfg chanCfg) error {
 		backWire = backWire[:0]
 
 		if len(b.rxGot) == len(data) {
-			return nil
+			return report(), nil
 		}
 		if !progress {
 			stall++
@@ -125,39 +148,46 @@ func conformanceTransfer(data []byte, cfg chanCfg) error {
 			stall = 0
 		}
 		if stall > 2 {
-			// RTO fires: go-back-N reset on the sender, and the receiver
-			// re-advertises its window (persist timer), repairing a lost
-			// window-update ack.
+			// RTO fires: go-back-N reset on the sender (an epoch
+			// boundary for the stale-replay history), then the sender's
+			// persist probe repairs a lost window-update ack without any
+			// receiver-side cooperation.
 			ProcessHC(a.st, a.post, HCOp{Kind: HCRetransmit})
-			if !rng.Bool(cfg.Loss) {
-				a.receive(ackSeg(WindowUpdateAck(b.st)))
+			if len(history) > 0 && cfg.Stale > 0 {
+				// Replay a pre-rewind copy right at the epoch boundary:
+				// its sequence number now sits above SND.NXT.
+				wire = append(wire, history[rng.Intn(len(history))])
 			}
+			sendProbe(rng, a, b, cfg.Loss)
 			stall = 0
 		}
 	}
-	return fmt.Errorf("%v: transfer incomplete after %d rounds (got %d bytes of %d)", cfg, rounds, len(b.rxGot), len(data))
+	return report(), fmt.Errorf("%v: transfer incomplete after %d rounds (got %d bytes of %d)", cfg, rounds, len(b.rxGot), len(data))
 }
 
-// TestConformanceMatrix sweeps loss x reorder x duplication for both the
-// paper's single-interval configuration and the N=4 extension.
+// TestConformanceMatrix sweeps loss x reorder x duplication x recovery
+// (go-back-N vs SACK) for both the paper's single-interval configuration
+// and the N=4 extension.
 func TestConformanceMatrix(t *testing.T) {
 	sizes := map[uint8]int{1: 13783, 4: 13783}
 	seed := uint64(0xc0f02fa7ce)
 	for _, oooCap := range []uint8{1, 4} {
-		for _, loss := range []float64{0, 0.05, 0.25} {
-			for _, reorder := range []float64{0, 0.3, 0.5} {
-				for _, dup := range []float64{0, 0.1} {
-					cfg := chanCfg{
-						BufSize: 4096, MSS: 512,
-						Loss: loss, Reorder: reorder, Dup: dup,
-						OOOCap: oooCap,
-						Seed:   seed ^ uint64(oooCap)<<56 ^ uint64(loss*256)<<40 ^ uint64(reorder*256)<<24 ^ uint64(dup*256)<<8,
-					}
-					t.Run(cfg.String(), func(t *testing.T) {
-						if err := conformanceTransfer(pattern(sizes[oooCap]), cfg); err != nil {
-							t.Fatal(err)
+		for _, sack := range []bool{false, true} {
+			for _, loss := range []float64{0, 0.05, 0.25} {
+				for _, reorder := range []float64{0, 0.3, 0.5} {
+					for _, dup := range []float64{0, 0.1} {
+						cfg := chanCfg{
+							BufSize: 4096, MSS: 512,
+							Loss: loss, Reorder: reorder, Dup: dup,
+							OOOCap: oooCap, SACK: sack,
+							Seed: seed ^ uint64(oooCap)<<56 ^ uint64(loss*256)<<40 ^ uint64(reorder*256)<<24 ^ uint64(dup*256)<<8,
 						}
-					})
+						t.Run(cfg.String(), func(t *testing.T) {
+							if _, err := conformanceTransfer(pattern(sizes[oooCap]), cfg); err != nil {
+								t.Fatal(err)
+							}
+						})
+					}
 				}
 			}
 		}
@@ -165,17 +195,91 @@ func TestConformanceMatrix(t *testing.T) {
 }
 
 // TestConformanceStaleRetransmits adds stale-replay injection on top of
-// the worst corner of the matrix.
+// the worst corner of the matrix. The history reaches across go-back-N
+// epochs, so replays include pre-rewind copies whose sequence numbers sit
+// above the reset SND.NXT — the PR 1 wedge-bug territory — and the SACK
+// path must reject them identically (the differential prefix check is the
+// arbiter for both).
 func TestConformanceStaleRetransmits(t *testing.T) {
 	for _, oooCap := range []uint8{1, 4} {
+		for _, sack := range []bool{false, true} {
+			cfg := chanCfg{
+				BufSize: 4096, MSS: 512,
+				Loss: 0.05, Reorder: 0.3, Dup: 0.1, Stale: 0.2,
+				OOOCap: oooCap, SACK: sack, Seed: 0x57a1e ^ uint64(oooCap),
+			}
+			t.Run(cfg.String(), func(t *testing.T) {
+				if _, err := conformanceTransfer(pattern(20_000), cfg); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceEpochReplayHighLoss drives the stale-replay channel at a
+// loss rate high enough that RTO epochs (go-back-N rewinds) happen
+// constantly, so replayed pre-rewind segments regularly arrive with
+// sequence numbers above the sender's rewound SND.NXT and their ACKs land
+// above SND.NXT at the sender.
+func TestConformanceEpochReplayHighLoss(t *testing.T) {
+	for _, sack := range []bool{false, true} {
 		cfg := chanCfg{
-			BufSize: 4096, MSS: 512,
-			Loss: 0.05, Reorder: 0.3, Dup: 0.1, Stale: 0.2,
-			OOOCap: oooCap, Seed: 0x57a1e ^ uint64(oooCap),
+			BufSize: 2048, MSS: 256,
+			Loss: 0.35, Reorder: 0.2, Dup: 0.1, Stale: 0.4,
+			OOOCap: 4, SACK: sack, Seed: 0xe90c4,
 		}
 		t.Run(cfg.String(), func(t *testing.T) {
-			if err := conformanceTransfer(pattern(20_000), cfg); err != nil {
+			if _, err := conformanceTransfer(pattern(6_000), cfg); err != nil {
 				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestConformanceDifferentialSACKvsGBN runs the identical channel (same
+// seed, same adversarial schedule) under go-back-N and under SACK: both
+// must deliver the exact stream (the in-loop prefix check enforces it),
+// and the SACK run must not retransmit more than go-back-N anywhere, with
+// a strict win at the lossy corners where selective repair matters.
+func TestConformanceDifferentialSACKvsGBN(t *testing.T) {
+	corners := []struct {
+		loss, reorder, dup float64
+		size               int
+		strict             bool // SACK must strictly reduce retransmitted bytes
+	}{
+		{0, 0, 0, 13783, false},
+		{0.01, 0, 0, 120_000, true}, // long stream so 1% loss actually bites
+		{0.05, 0.3, 0.1, 13783, true},
+		{0.25, 0.5, 0.1, 13783, true},
+	}
+	for _, c := range corners {
+		base := chanCfg{
+			BufSize: 4096, MSS: 512,
+			Loss: c.loss, Reorder: c.reorder, Dup: c.dup,
+			OOOCap: 4, Seed: 0xd1ff ^ uint64(c.loss*1024),
+		}
+		gbnCfg, sackCfg := base, base
+		sackCfg.SACK = true
+		name := fmt.Sprintf("loss=%v,reorder=%v,dup=%v", c.loss, c.reorder, c.dup)
+		t.Run(name, func(t *testing.T) {
+			gbn, err := conformanceTransfer(pattern(c.size), gbnCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sack, err := conformanceTransfer(pattern(c.size), sackCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sack.RetxBytes > gbn.RetxBytes {
+				t.Fatalf("SACK retransmitted more: %d > %d bytes", sack.RetxBytes, gbn.RetxBytes)
+			}
+			if c.strict && sack.RetxBytes >= gbn.RetxBytes {
+				t.Fatalf("SACK did not reduce retransmits: %d vs %d bytes (fastRetx %d/%d sackRetx %d)",
+					sack.RetxBytes, gbn.RetxBytes, sack.FastRetx, gbn.FastRetx, sack.SACKRetx)
+			}
+			if c.loss > 0 && sack.SACKRetx == 0 {
+				t.Fatal("selective retransmit path never exercised")
 			}
 		})
 	}
@@ -185,13 +289,17 @@ func TestConformanceStaleRetransmits(t *testing.T) {
 // buffer size so the circular positions wrap continuously under the full
 // adversarial channel.
 func TestConformanceTinyBufferWrap(t *testing.T) {
-	cfg := chanCfg{
-		BufSize: 512, MSS: 128,
-		Loss: 0.05, Reorder: 0.3, Dup: 0.1, Stale: 0.1,
-		OOOCap: 4, Seed: 0x11f7,
-	}
-	if err := conformanceTransfer(pattern(10_000), cfg); err != nil {
-		t.Fatal(err)
+	for _, sack := range []bool{false, true} {
+		cfg := chanCfg{
+			BufSize: 512, MSS: 128,
+			Loss: 0.05, Reorder: 0.3, Dup: 0.1, Stale: 0.1,
+			OOOCap: 4, SACK: sack, Seed: 0x11f7,
+		}
+		t.Run(cfg.String(), func(t *testing.T) {
+			if _, err := conformanceTransfer(pattern(10_000), cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 
@@ -210,10 +318,11 @@ func TestConformancePropertyRandom(t *testing.T) {
 			Dup:     float64(rnd.Intn(32)) / 256.0,
 			Stale:   float64(rnd.Intn(32)) / 256.0,
 			OOOCap:  uint8(1 + rnd.Intn(MaxOOOIntervals)),
+			SACK:    rnd.Bool(0.5),
 			Seed:    rnd.Uint64(),
 		}
 		size := 1 + rnd.Intn(20000)
-		if err := conformanceTransfer(pattern(size), cfg); err != nil {
+		if _, err := conformanceTransfer(pattern(size), cfg); err != nil {
 			t.Fatalf("case %d size %d: %v", i, size, err)
 		}
 	}

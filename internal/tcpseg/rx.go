@@ -32,9 +32,19 @@ type RXResult struct {
 
 	// Loss handling.
 	DupAck         bool // this was a duplicate ACK
-	FastRetransmit bool // third duplicate ACK: go-back-N reset performed
+	FastRetransmit bool // third duplicate ACK: recovery triggered
+	// SACKRetransmit: the fast retransmit repaired only the scoreboard
+	// holes via the selective-retransmit queue, instead of a go-back-N
+	// reset.
+	SACKRetransmit bool
 	WasOOO         bool // payload accepted out of order
 	OOODrop        bool // payload outside every tracked interval: dropped
+
+	// SACK generation (receiver side): the out-of-order interval set to
+	// advertise with the ACK, most recently touched interval first
+	// (RFC 2018), so wire-level truncation drops the oldest news.
+	AckSACK    [MaxOOOIntervals]SeqInterval
+	AckSACKCnt uint8
 
 	// Reassembly accounting (interval-set extension).
 	OOOMerged uint8 // intervals coalesced by this segment
@@ -67,6 +77,7 @@ func ProcessRX(st *ProtoState, post *PostState, seg *SegInfo, tsNow uint32) RXRe
 	una := st.UnackedBase()
 	ackNo := seg.Ack
 	if seg.Flags&packet.FlagACK != 0 {
+		ingestSACK(st, seg)
 		switch {
 		case SeqGT(ackNo, st.Seq):
 			// The ack is beyond SND.NXT. This is legitimate in two ways.
@@ -98,6 +109,8 @@ func ProcessRX(st *ProtoState, post *PostState, seg *SegInfo, tsNow uint32) RXRe
 				st.TxAvail -= skip
 				st.TxSent = 0
 				st.DupAcks = 0
+				trimSACKScore(st, dataAck)
+				trimRetxQueue(st, dataAck)
 				res.AckedBytes = acked
 				post.CntACKB += acked
 				if seg.ECNCE || seg.Flags&packet.FlagECE != 0 {
@@ -115,6 +128,14 @@ func ProcessRX(st *ProtoState, post *PostState, seg *SegInfo, tsNow uint32) RXRe
 				acked = st.TxSent
 			}
 			st.TxSent -= acked
+			trimSACKScore(st, st.UnackedBase())
+			trimRetxQueue(st, st.UnackedBase())
+			// Partial ack during SACK recovery (RFC 6675): the gap at the
+			// new UNA is still missing at the peer — keep repairing
+			// without waiting for three fresh duplicate ACKs.
+			if st.Flags&flagSACKRecovery != 0 && st.Flags&flagSACKRenege == 0 {
+				fillSACKRetx(st)
+			}
 			res.AckedBytes = acked
 			post.CntACKB += acked
 			if seg.ECNCE || seg.Flags&packet.FlagECE != 0 {
@@ -131,9 +152,34 @@ func ProcessRX(st *ProtoState, post *PostState, seg *SegInfo, tsNow uint32) RXRe
 					st.DupAcks++
 				}
 				if st.DupAcks == 3 {
-					gobackN(st, post)
+					// Selective retransmission (RFC 2018/6675) when the
+					// scoreboard holds trustworthy blocks; go-back-N reset
+					// otherwise (SACK not negotiated, no blocks reported,
+					// or the bounded scoreboard overflowed and understates
+					// what the peer holds). A fresh three-dupack burst
+					// restarts the episode from SND.UNA: the hole there is
+					// missing again even if it was repaired before (the
+					// repair itself was lost), and waiting for the RTO
+					// would cost a full go-back-N resend.
+					st.Flags &^= flagSACKRecovery
+					st.HighRetx = 0
+					st.RetxCnt = 0
+					if st.Flags&flagSACKRenege == 0 && fillSACKRetx(st) {
+						res.SACKRetransmit = true
+					} else {
+						gobackN(st, post)
+					}
 					res.FastRetransmit = true
 					post.CntFRetx++
+				} else if st.DupAcks > 3 && st.Flags&flagSACKRecovery != 0 &&
+					st.Flags&flagSACKRenege == 0 {
+					// Continued recovery: later duplicate ACKs reveal more
+					// blocks; repair newly exposed holes above HighRetx
+					// immediately (RFC 6675), never re-queueing repairs
+					// already in flight.
+					if fillSACKRetx(st) {
+						res.SACKRetransmit = true
+					}
 				}
 			}
 		}
@@ -202,6 +248,7 @@ func ProcessRX(st *ProtoState, post *PostState, seg *SegInfo, tsNow uint32) RXRe
 				st.RxPos = wrap(st.RxPos+advance, post.RxSize)
 				st.RxAvail -= advance
 				res.NewInOrder = advance
+				consumeOOOFin(st, &res)
 			default:
 				// Out of order: insert into the interval set (§3.1.3;
 				// capacity 1 reproduces the TAS-style single interval).
@@ -232,14 +279,24 @@ func ProcessRX(st *ProtoState, post *PostState, seg *SegInfo, tsNow uint32) RXRe
 	}
 
 	// FIN processing: consumed only when all preceding data is in order.
+	// A FIN beyond a hole is remembered alongside the interval set
+	// (FinOOOSeq) and consumed when the in-order advance reaches it, so
+	// the peer never has to retransmit a FIN whose data all arrived.
 	if seg.Flags&packet.FlagFIN != 0 && st.Flags&flagFinRx == 0 {
 		finSeq := payloadEnd // FIN occupies the octet after the payload
 		if st.Ack == finSeq && st.OOOCnt == 0 {
+			st.Flags &^= flagFinOOO
 			st.Flags |= flagFinRx
 			st.Ack++
 			res.FinRx = true
 			res.SendAck = true
 		} else if SeqLT(st.Ack, finSeq) {
+			// Remember only window-plausible slots: a forged FIN far
+			// beyond the window must not park a bogus marker.
+			if SeqLEQ(finSeq, st.Ack+st.RxAvail) {
+				st.Flags |= flagFinOOO
+				st.FinOOOSeq = finSeq
+			}
 			res.SendAck = true // can't consume yet; ack what we have
 		}
 	}
@@ -254,8 +311,171 @@ func ProcessRX(st *ProtoState, post *PostState, seg *SegInfo, tsNow uint32) RXRe
 		res.EchoTS = st.NextTS
 		res.AckECE = seg.ECNCE
 		st.Flags &^= flagECNSeen
+		emitSACK(st, &res, seg.Seq, res.WasOOO)
 	}
 	return res
+}
+
+// consumeOOOFin consumes a remembered out-of-order FIN once the in-order
+// stream reaches its sequence slot.
+func consumeOOOFin(st *ProtoState, res *RXResult) {
+	if st.Flags&flagFinOOO == 0 || st.Flags&flagFinRx != 0 {
+		return
+	}
+	if st.OOOCnt == 0 && st.Ack == st.FinOOOSeq {
+		st.Flags &^= flagFinOOO
+		st.Flags |= flagFinRx
+		st.Ack++
+		res.FinRx = true
+		res.SendAck = true
+	} else if SeqGT(st.Ack, st.FinOOOSeq) {
+		// The stream advanced past the remembered slot: the marker was
+		// bogus (data beyond a real FIN cannot exist). Drop it.
+		st.Flags &^= flagFinOOO
+	}
+}
+
+// emitSACK copies the out-of-order interval set into the ACK's SACK
+// blocks when the connection negotiated SACK-permitted. The interval
+// containing the most recently accepted segment leads (RFC 2018), so the
+// encoder's option-space truncation keeps the freshest information.
+func emitSACK(st *ProtoState, res *RXResult, recent uint32, hasRecent bool) {
+	if st.Flags&flagSACKPerm == 0 || st.OOOCnt == 0 {
+		return
+	}
+	n := int(st.OOOCnt)
+	first := 0
+	if hasRecent {
+		for i := 0; i < n; i++ {
+			if SeqLEQ(st.OOO[i].Start, recent) && SeqLEQ(recent, st.OOO[i].End) {
+				first = i
+				break
+			}
+		}
+	}
+	k := 0
+	res.AckSACK[k] = st.OOO[first]
+	k++
+	for i := 0; i < n && k < len(res.AckSACK); i++ {
+		if i == first {
+			continue
+		}
+		res.AckSACK[k] = st.OOO[i]
+		k++
+	}
+	res.AckSACKCnt = uint8(k)
+}
+
+// ingestSACK merges a segment's SACK blocks into the sender-side
+// scoreboard. Blocks are clamped to the transmitted range; a block the
+// bounded scoreboard cannot hold marks it untrustworthy (flagSACKRenege)
+// until it drains, forcing go-back-N recovery (RFC 2018 conservatism).
+func ingestSACK(st *ProtoState, seg *SegInfo) {
+	if st.Flags&flagSACKPerm == 0 || seg.SACKCnt == 0 {
+		return
+	}
+	una := st.UnackedBase()
+	for i := 0; i < int(seg.SACKCnt); i++ {
+		b := seg.SACK[i]
+		if SeqLT(b.Start, una) {
+			b.Start = una
+		}
+		if SeqGT(b.End, st.TxMax) {
+			b.End = st.TxMax // never trust blocks beyond SND.MAX
+		}
+		if SeqGEQ(b.Start, b.End) {
+			continue
+		}
+		ivs, ir := InsertSeqInterval(st.SACKIntervals(), b, MaxOOOIntervals)
+		st.setSACK(ivs)
+		if !ir.Accepted {
+			st.Flags |= flagSACKRenege
+		}
+	}
+}
+
+// trimSACKScore discards scoreboard coverage at or below the advanced
+// cumulative ack. An empty scoreboard is trustworthy again.
+func trimSACKScore(st *ProtoState, una uint32) {
+	ivs := st.SACKIntervals()
+	for len(ivs) > 0 && SeqLEQ(ivs[0].End, una) {
+		ivs = ivs[1:]
+	}
+	if len(ivs) > 0 && SeqLT(ivs[0].Start, una) {
+		ivs[0].Start = una
+	}
+	st.setSACK(ivs)
+	if st.SACKCnt == 0 {
+		// Recovery episode over: the peer holds nothing above UNA.
+		st.Flags &^= flagSACKRenege | flagSACKRecovery
+	}
+}
+
+// trimRetxQueue drops queued retransmit ranges the cumulative ack now
+// covers.
+func trimRetxQueue(st *ProtoState, una uint32) {
+	n := 0
+	for i := 0; i < int(st.RetxCnt); i++ {
+		h := st.RetxQ[i]
+		if SeqLEQ(h.End, una) {
+			continue
+		}
+		if SeqLT(h.Start, una) {
+			h.Start = una
+		}
+		st.RetxQ[n] = h
+		n++
+	}
+	st.RetxCnt = uint8(n)
+}
+
+// fillSACKRetx extends the selective-retransmit queue with the holes
+// between scoreboard intervals in [SND.UNA, high), where high is the
+// highest SACKed sequence (everything below it is presumed lost, FACK
+// style); data beyond SND.NXT is unsent and recovered by normal
+// transmission. During an ongoing recovery episode it resumes from
+// HighRetx (RFC 6675's HighRxt), so partial acks and freshly reported
+// blocks extend the repair without ever re-queueing a repaired hole.
+// Returns false when there is nothing new to repair, in which case the
+// first caller (the third duplicate ACK) falls back to go-back-N.
+func fillSACKRetx(st *ProtoState) bool {
+	if st.SACKCnt == 0 {
+		return false
+	}
+	high := st.SACKScore[st.SACKCnt-1].End
+	if SeqGT(high, st.Seq) {
+		high = st.Seq
+	}
+	prev := st.UnackedBase()
+	if st.Flags&flagSACKRecovery != 0 && SeqGT(st.HighRetx, prev) {
+		prev = st.HighRetx
+	}
+	added := false
+	for i := 0; i < int(st.SACKCnt) && int(st.RetxCnt) < len(st.RetxQ); i++ {
+		b := st.SACKScore[i]
+		if SeqGEQ(prev, high) {
+			break
+		}
+		if SeqLEQ(b.End, prev) {
+			continue
+		}
+		if SeqGT(b.Start, prev) {
+			end := SeqMin(b.Start, high)
+			if SeqLT(prev, end) {
+				st.RetxQ[st.RetxCnt] = SeqInterval{Start: prev, End: end}
+				st.RetxCnt++
+				st.HighRetx = end
+				added = true
+			}
+		}
+		if SeqGT(b.End, prev) {
+			prev = b.End
+		}
+	}
+	if added {
+		st.Flags |= flagSACKRecovery
+	}
+	return added
 }
 
 // gobackN resets transmission state to the last acknowledged position
@@ -268,6 +488,12 @@ func gobackN(st *ProtoState, post *PostState) {
 	st.TxPos = wrap(st.TxPos-st.TxSent, post.TxSize)
 	st.TxAvail += st.TxSent
 	st.TxSent = 0
+	// The reset retransmits everything from SND.UNA, so the selective
+	// queue is moot; the scoreboard is discarded per RFC 2018's reneging
+	// rule (a timeout must not trust previously reported blocks).
+	st.SACKCnt = 0
+	st.RetxCnt = 0
+	st.Flags &^= flagSACKRenege | flagSACKRecovery
 	if st.Flags&flagFinSent != 0 && st.Flags&flagFinAcked == 0 {
 		// FIN must be retransmitted too.
 		st.Flags &^= flagFinSent

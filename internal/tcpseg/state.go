@@ -40,18 +40,35 @@ func (s *PreState) MarshalTable5() []byte {
 	return b
 }
 
-// Proto state flags.
+// Proto state flags. Only the low nibble is part of the packed Table 5
+// state; the higher bits are extensions the marshaller drops.
 const (
-	flagFinPending uint8 = 1 << 0 // local close requested, FIN not yet sent
-	flagFinSent    uint8 = 1 << 1 // FIN transmitted (occupies one seq)
-	flagFinAcked   uint8 = 1 << 2 // our FIN acknowledged
-	flagFinRx      uint8 = 1 << 3 // peer FIN consumed
-	flagECNSeen    uint8 = 1 << 4 // CE observed since last ACK sent
+	flagFinPending uint16 = 1 << 0 // local close requested, FIN not yet sent
+	flagFinSent    uint16 = 1 << 1 // FIN transmitted (occupies one seq)
+	flagFinAcked   uint16 = 1 << 2 // our FIN acknowledged
+	flagFinRx      uint16 = 1 << 3 // peer FIN consumed
+	flagECNSeen    uint16 = 1 << 4 // CE observed since last ACK sent
 	// flagFinEverTx: some copy of our FIN has been on the wire, even if
 	// a go-back-N reset has since rewound flagFinSent. Only then can an
-	// ack of the FIN's sequence slot be legitimate. (Like flagECNSeen,
-	// this bit is outside the packed Table 5 nibble.)
-	flagFinEverTx uint8 = 1 << 5
+	// ack of the FIN's sequence slot be legitimate.
+	flagFinEverTx uint16 = 1 << 5
+	// flagSACKPerm: both SYNs carried SACK-permitted; ACKs advertise the
+	// out-of-order interval set and incoming SACK blocks feed the
+	// sender-side scoreboard.
+	flagSACKPerm uint16 = 1 << 6
+	// flagSACKRenege: the scoreboard could not hold every reported block,
+	// so it understates what the peer holds; loss recovery must fall back
+	// to go-back-N until the scoreboard drains (RFC 2018 conservatism).
+	flagSACKRenege uint16 = 1 << 7
+	// flagFinOOO: a FIN arrived beyond a reassembly hole; its sequence
+	// slot is remembered in FinOOOSeq and consumed when the cumulative
+	// ack reaches it, without waiting for a FIN retransmission.
+	flagFinOOO uint16 = 1 << 8
+	// flagSACKRecovery: a selective fast retransmit is in progress;
+	// HighRetx bounds what has been queued for repair so far, and
+	// partial acks / further SACK blocks extend the repair instead of
+	// waiting for three fresh duplicate ACKs (RFC 6675).
+	flagSACKRecovery uint16 = 1 << 9
 )
 
 // ProtoState is the protocol stage's partition: the TCP state machine
@@ -69,7 +86,7 @@ type ProtoState struct {
 	Ack       uint32 // next expected remote sequence number (RCV.NXT)
 	DupAcks   uint8  // duplicate-ACK count (4 bits in hardware)
 	NextTS    uint32 // peer timestamp to echo in ACKs
-	Flags     uint8  // connection lifecycle bits (above)
+	Flags     uint16 // connection lifecycle bits (above)
 
 	// Out-of-order reassembly: a sorted, disjoint set of received ranges
 	// beyond Ack. OOOCap is the policy limit (0 or 1 = the paper's
@@ -78,6 +95,31 @@ type ProtoState struct {
 	OOO    [MaxOOOIntervals]SeqInterval
 	OOOCnt uint8
 	OOOCap uint8
+
+	// FinOOOSeq is the remembered sequence slot of an out-of-order FIN
+	// (valid while flagFinOOO is set): the octet after the peer's last
+	// data byte.
+	FinOOOSeq uint32
+
+	// SACK scoreboard (sender side, RFC 2018): a sorted, disjoint set of
+	// peer-held ranges in (SND.UNA, SND.MAX], reported by incoming SACK
+	// blocks and trimmed as the cumulative ack advances. Same bounded
+	// representation as the receive interval set, so the Table 5 state
+	// delta is 8 B per interval in use (see MarshalSACKExtension).
+	SACKScore [MaxOOOIntervals]SeqInterval
+	SACKCnt   uint8
+
+	// Selective-retransmit queue: the holes between scoreboard intervals
+	// that the dup-ack path decided to repair. ProcessTX drains it ahead
+	// of new data, one MSS per call. At most SACKCnt+1 holes exist.
+	RetxQ   [MaxOOOIntervals + 1]SeqInterval
+	RetxCnt uint8
+
+	// HighRetx is RFC 6675's HighRxt: the highest sequence queued for
+	// selective retransmission in the current recovery episode (valid
+	// while flagSACKRecovery is set), so continued recovery never
+	// re-queues a hole it already repaired.
+	HighRetx uint32
 }
 
 // oooCap returns the effective interval-set capacity.
@@ -99,6 +141,27 @@ func (s *ProtoState) OOOIntervals() []SeqInterval { return s.OOO[:s.OOOCnt] }
 // backing array, as MergeAdvance returns) back down into the state.
 func (s *ProtoState) setOOO(ivs []SeqInterval) {
 	s.OOOCnt = uint8(copy(s.OOO[:], ivs))
+}
+
+// SACKIntervals returns the live sender-side scoreboard (aliases the
+// state; callers must not retain it across ProcessRX calls).
+func (s *ProtoState) SACKIntervals() []SeqInterval { return s.SACKScore[:s.SACKCnt] }
+
+func (s *ProtoState) setSACK(ivs []SeqInterval) {
+	s.SACKCnt = uint8(copy(s.SACKScore[:], ivs))
+}
+
+// SACKEnabled reports whether the connection negotiated SACK-permitted.
+func (s *ProtoState) SACKEnabled() bool { return s.Flags&flagSACKPerm != 0 }
+
+// SetSACKPerm records the handshake's SACK negotiation result (control
+// plane, at establishment).
+func (s *ProtoState) SetSACKPerm(on bool) {
+	if on {
+		s.Flags |= flagSACKPerm
+	} else {
+		s.Flags &^= flagSACKPerm
+	}
 }
 
 // protoStateWire is the packed Table 5 size of the protocol partition:
@@ -128,7 +191,7 @@ func (s *ProtoState) MarshalTable5() []byte {
 	}
 	binary.BigEndian.PutUint32(b[30:], headStart)
 	binary.BigEndian.PutUint32(b[34:], headLen)
-	b[38] = s.DupAcks&0xf | s.Flags<<4&0xf0
+	b[38] = s.DupAcks&0xf | byte(s.Flags<<4)&0xf0
 	binary.BigEndian.PutUint32(b[39:], s.NextTS)
 	return b
 }
@@ -144,6 +207,21 @@ func (s *ProtoState) MarshalOOOExtension() []byte {
 	for i := 1; i < int(s.OOOCnt); i++ {
 		binary.BigEndian.PutUint32(b[8*(i-1):], s.OOO[i].Start)
 		binary.BigEndian.PutUint32(b[8*(i-1)+4:], uint32(SeqDiff(s.OOO[i].End, s.OOO[i].Start)))
+	}
+	return b
+}
+
+// MarshalSACKExtension packs the sender-side scoreboard: 8 bytes per
+// interval actually in use. Empty when SACK is not negotiated or no loss
+// is outstanding, so the Table 5 budget is preserved exactly there.
+func (s *ProtoState) MarshalSACKExtension() []byte {
+	if s.SACKCnt == 0 {
+		return nil
+	}
+	b := make([]byte, 8*int(s.SACKCnt))
+	for i := 0; i < int(s.SACKCnt); i++ {
+		binary.BigEndian.PutUint32(b[8*i:], s.SACKScore[i].Start)
+		binary.BigEndian.PutUint32(b[8*i+4:], uint32(SeqDiff(s.SACKScore[i].End, s.SACKScore[i].Start)))
 	}
 	return b
 }
@@ -239,11 +317,15 @@ type SegInfo struct {
 	TSVal      uint32
 	TSEcr      uint32
 	ECNCE      bool // IP header carried Congestion Experienced
+
+	// SACK blocks carried in the header (valid prefix of length SACKCnt).
+	SACK    [packet.MaxSACKBlocks]SeqInterval
+	SACKCnt uint8
 }
 
 // Summarize extracts a SegInfo from a decoded packet.
 func Summarize(p *packet.Packet) SegInfo {
-	return SegInfo{
+	s := SegInfo{
 		Flow:       p.Flow(),
 		Seq:        p.TCP.Seq,
 		Ack:        p.TCP.Ack,
@@ -255,4 +337,9 @@ func Summarize(p *packet.Packet) SegInfo {
 		TSEcr:      p.TCP.TSEcr,
 		ECNCE:      p.IP.ECN() == packet.ECNCE,
 	}
+	for i := uint8(0); i < p.TCP.NumSACK; i++ {
+		s.SACK[i] = SeqInterval{Start: p.TCP.SACKBlocks[i].Start, End: p.TCP.SACKBlocks[i].End}
+	}
+	s.SACKCnt = p.TCP.NumSACK
+	return s
 }

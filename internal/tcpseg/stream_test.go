@@ -24,6 +24,12 @@ type endpoint struct {
 	sent  uint32 // bytes handed to the TX buffer so far
 	rxBuf []byte // the receive payload buffer (simulated host memory)
 	rxGot []byte // reconstructed in-order stream
+
+	// Recovery accounting (for the GBN-vs-SACK differential runs).
+	txBytes   uint64 // payload bytes put on the wire
+	retxBytes uint64 // of those, bytes transmitted more than once
+	fastRetx  int    // fast-retransmit events
+	sackRetx  int    // of those, repaired selectively
 }
 
 type wireSeg struct {
@@ -64,6 +70,8 @@ func (e *endpoint) pump(mss uint32) []wireSeg {
 		if seg.FIN {
 			flags |= packet.FlagFIN
 		}
+		e.txBytes += uint64(seg.Len)
+		e.retxBytes += uint64(seg.RetxBytes)
 		out = append(out, wireSeg{
 			info: SegInfo{
 				Seq: seg.Seq, Ack: seg.Ack, Flags: flags,
@@ -75,11 +83,45 @@ func (e *endpoint) pump(mss uint32) []wireSeg {
 	return out
 }
 
+// zeroWindowProbe builds the sender-side persist probe (RFC 9293
+// §3.8.6.1): one already-acknowledged byte at SND.NXT-1, constructed
+// purely from sender state — exactly what ctrl.Plane's persist timer
+// emits. ok=false when the connection is not in a probe-worthy state
+// (data in flight, or nothing ever sent).
+func (e *endpoint) zeroWindowProbe() (wireSeg, bool) {
+	if e.st.TxSent != 0 || e.st.TxAvail == 0 || e.st.Seq == 0 {
+		return wireSeg{}, false
+	}
+	return wireSeg{
+		info: SegInfo{
+			Seq: e.st.Seq - 1, Ack: e.st.Ack, Flags: packet.FlagACK,
+			Window: e.st.LocalWindow(), PayloadLen: 1,
+		},
+		payload: []byte{e.tx[e.st.Seq-1]},
+	}, true
+}
+
+// sendProbe fires src's persist probe at dst over the lossy channel,
+// delivering the elicited window-carrying ACK back to src. Probe and
+// response are each subject to loss, like any other segment.
+func sendProbe(rng *stats.RNG, src, dst *endpoint, lossP float64) {
+	probe, ok := src.zeroWindowProbe()
+	if !ok || rng.Bool(lossP) {
+		return
+	}
+	if ack, got := dst.receive(probe); got && !rng.Bool(lossP) {
+		src.receive(ack)
+	}
+}
+
 func ackSeg(r RXResult) wireSeg {
-	return wireSeg{info: SegInfo{
+	info := SegInfo{
 		Seq: r.AckSeq, Ack: r.AckAck, Flags: packet.FlagACK,
 		Window: r.AckWin,
-	}}
+	}
+	copy(info.SACK[:], r.AckSACK[:r.AckSACKCnt])
+	info.SACKCnt = r.AckSACKCnt
+	return wireSeg{info: info}
 }
 
 // receive processes one segment, places payload into the RX buffer, and
@@ -91,6 +133,12 @@ func ackSeg(r RXResult) wireSeg {
 // and the peer stalls forever.
 func (e *endpoint) receive(ws wireSeg) (wireSeg, bool) {
 	res := ProcessRX(e.st, e.post, &ws.info, 0)
+	if res.FastRetransmit {
+		e.fastRetx++
+		if res.SACKRetransmit {
+			e.sackRetx++
+		}
+	}
 	if res.WriteLen > 0 {
 		// One-shot placement into the circular receive buffer.
 		for i := uint32(0); i < res.WriteLen; i++ {
@@ -128,11 +176,12 @@ func runTransfer(t *testing.T, data []byte, bufSize uint32, mss uint32, lossP, r
 // channel (loss + reordering only; see conformanceTransfer for the full
 // channel with duplication and stale-retransmit injection).
 func transferErr(data []byte, bufSize uint32, mss uint32, lossP, reorderP float64, seed uint64) error {
-	return conformanceTransfer(data, chanCfg{
+	_, err := conformanceTransfer(data, chanCfg{
 		BufSize: bufSize, MSS: mss,
 		Loss: lossP, Reorder: reorderP,
 		Seed: seed,
 	})
+	return err
 }
 
 func pattern(n int) []byte {
@@ -268,15 +317,11 @@ func runBidirectional(t *testing.T, sizeA, sizeB int, bufSize, mss uint32, lossP
 		if progress {
 			stall = 0
 		} else if stall++; stall > 2 {
-			// RTO + persist probe on both sides (see conformanceTransfer).
+			// RTO + sender-side persist probes (see conformanceTransfer).
 			ProcessHC(a.st, a.post, HCOp{Kind: HCRetransmit})
 			ProcessHC(b.st, b.post, HCOp{Kind: HCRetransmit})
-			if !rng.Bool(lossP) {
-				a.receive(ackSeg(WindowUpdateAck(b.st)))
-			}
-			if !rng.Bool(lossP) {
-				b.receive(ackSeg(WindowUpdateAck(a.st)))
-			}
+			sendProbe(rng, a, b, lossP)
+			sendProbe(rng, b, a, lossP)
 			stall = 0
 		}
 	}

@@ -393,9 +393,9 @@ func TestFINReceive(t *testing.T) {
 	}
 }
 
-func TestFINOutOfOrderNotConsumed(t *testing.T) {
+func TestFINOutOfOrderConsumed(t *testing.T) {
 	st, post := newConn(4096)
-	// FIN arrives with a hole before it.
+	// FIN arrives with a hole before it: remembered, not yet consumable.
 	seg := dataSeg(100, 50, 0, 32)
 	seg.Flags |= packet.FlagFIN
 	res := ProcessRX(st, post, seg, 0)
@@ -405,16 +405,57 @@ func TestFINOutOfOrderNotConsumed(t *testing.T) {
 	if !res.SendAck || res.AckAck != 0 {
 		t.Fatalf("ack = %+v", res)
 	}
-	// Fill the hole; FIN is delivered by the retransmitted FIN segment
-	// later (one-interval design does not remember the FIN bit).
+	// Filling the hole merges the interval AND consumes the remembered
+	// FIN, without any FIN retransmission.
 	res = ProcessRX(st, post, dataSeg(0, 100, 0, 32), 0)
-	if st.Ack != 150 {
+	if !res.FinRx || !st.FinRx() {
+		t.Fatalf("remembered FIN not consumed on merge: %+v", res)
+	}
+	if st.Ack != 151 { // 150 data + 1 FIN
 		t.Fatalf("ack = %d", st.Ack)
 	}
+	if res.AckAck != 151 || res.NewInOrder != 150 {
+		t.Fatalf("merge result = %+v", res)
+	}
+	// A late FIN retransmission is now a harmless duplicate.
 	seg2 := &SegInfo{Seq: 150, Ack: 0, Flags: packet.FlagACK | packet.FlagFIN, Window: 32}
 	res = ProcessRX(st, post, seg2, 0)
-	if !res.FinRx || st.Ack != 151 {
-		t.Fatalf("retransmitted FIN: %+v ack=%d", res, st.Ack)
+	if res.FinRx || st.Ack != 151 {
+		t.Fatalf("duplicate FIN: %+v ack=%d", res, st.Ack)
+	}
+}
+
+func TestFINOutOfOrderBareFIN(t *testing.T) {
+	// A bare FIN (no payload) beyond a hole is remembered too.
+	st, post := newConn(4096)
+	st.OOOCap = 4
+	ProcessRX(st, post, dataSeg(100, 100, 0, 32), 0) // [100,200) OOO
+	fin := &SegInfo{Seq: 200, Ack: 0, Flags: packet.FlagACK | packet.FlagFIN, Window: 32}
+	if res := ProcessRX(st, post, fin, 0); res.FinRx {
+		t.Fatal("bare OOO FIN consumed early")
+	}
+	res := ProcessRX(st, post, dataSeg(0, 100, 0, 32), 0)
+	if !res.FinRx || st.Ack != 201 {
+		t.Fatalf("bare OOO FIN not consumed on merge: %+v ack=%d", res, st.Ack)
+	}
+}
+
+func TestFINOutOfOrderBogusBeyondWindow(t *testing.T) {
+	// A FIN claiming a slot beyond the receive window must not park a
+	// marker that could wedge or corrupt the stream.
+	st, post := newConn(256)
+	fin := &SegInfo{Seq: 10_000, Ack: 0, Flags: packet.FlagACK | packet.FlagFIN, Window: 32}
+	ProcessRX(st, post, fin, 0)
+	// Stream proceeds normally past the bogus marker.
+	for i := uint32(0); i < 4; i++ {
+		res := ProcessRX(st, post, dataSeg(i*64, 64, 0, 32), 0)
+		if res.FinRx {
+			t.Fatalf("bogus FIN consumed at %d", i*64)
+		}
+		ProcessHC(st, post, HCOp{Kind: HCRxConsumed, Bytes: res.NewInOrder})
+	}
+	if st.Ack != 256 || st.FinRx() {
+		t.Fatalf("state = %+v", st)
 	}
 }
 
@@ -704,6 +745,257 @@ func TestMarshalOOOExtension(t *testing.T) {
 	st2, _ := newConn(4096)
 	if ext := st2.MarshalOOOExtension(); len(ext) != 0 {
 		t.Fatalf("N=1 extension = %d bytes, want 0", len(ext))
+	}
+}
+
+// sackConn builds a connection pair state with SACK negotiated.
+func sackConn(bufSize uint32) (*ProtoState, *PostState) {
+	st, post := newConn(bufSize)
+	st.SetSACKPerm(true)
+	st.OOOCap = 4
+	return st, post
+}
+
+func TestSACKEmissionFromIntervalSet(t *testing.T) {
+	st, post := sackConn(4096)
+	ProcessRX(st, post, dataSeg(100, 100, 0, 32), 0) // [100,200)
+	res := ProcessRX(st, post, dataSeg(300, 100, 0, 32), 0)
+	if res.AckSACKCnt != 2 {
+		t.Fatalf("SACK blocks = %d", res.AckSACKCnt)
+	}
+	// Most recently received interval leads (RFC 2018).
+	if res.AckSACK[0] != (SeqInterval{300, 400}) || res.AckSACK[1] != (SeqInterval{100, 200}) {
+		t.Fatalf("blocks = %v", res.AckSACK[:2])
+	}
+	// In-order fill: the merged tail remains advertised until consumed.
+	res = ProcessRX(st, post, dataSeg(0, 100, 0, 32), 0)
+	if res.AckSACKCnt != 1 || res.AckSACK[0] != (SeqInterval{300, 400}) {
+		t.Fatalf("after fill: %d %v", res.AckSACKCnt, res.AckSACK[:res.AckSACKCnt])
+	}
+	// Without negotiation, no blocks leave the receiver.
+	st2, post2 := newConn(4096)
+	st2.OOOCap = 4
+	if res := ProcessRX(st2, post2, dataSeg(100, 100, 0, 32), 0); res.AckSACKCnt != 0 {
+		t.Fatalf("un-negotiated SACK emitted: %d", res.AckSACKCnt)
+	}
+}
+
+func TestSACKWindowUpdateCarriesBlocks(t *testing.T) {
+	st, post := sackConn(4096)
+	ProcessRX(st, post, dataSeg(100, 100, 0, 32), 0)
+	res := WindowUpdateAck(st)
+	if res.AckSACKCnt != 1 || res.AckSACK[0] != (SeqInterval{100, 200}) {
+		t.Fatalf("window update SACK = %d %v", res.AckSACKCnt, res.AckSACK[:res.AckSACKCnt])
+	}
+}
+
+// stageAndSend prepares a sender with n bytes transmitted in mss chunks.
+func stageAndSend(st *ProtoState, post *PostState, n, mss uint32) {
+	ProcessHC(st, post, HCOp{Kind: HCTx, Bytes: n})
+	for {
+		if _, ok := ProcessTX(st, post, mss, 0); !ok {
+			break
+		}
+	}
+}
+
+// dupAckSACK builds a duplicate ACK carrying SACK blocks.
+func dupAckSACK(ack uint32, win uint16, blocks ...SeqInterval) *SegInfo {
+	seg := &SegInfo{Seq: 0, Ack: ack, Flags: packet.FlagACK, Window: win}
+	seg.SACKCnt = uint8(copy(seg.SACK[:], blocks))
+	return seg
+}
+
+func TestSACKSelectiveRetransmit(t *testing.T) {
+	st, post := sackConn(8192)
+	stageAndSend(st, post, 2500, 500) // five 500-byte segments
+	// Segments 1 and 3 ([500,1000) and [1500,2000)) lost. The peer acks
+	// segment 0 cumulatively, then SACKs the rest across three duplicate
+	// ACKs.
+	ProcessRX(st, post, &SegInfo{Seq: 0, Ack: 500, Flags: packet.FlagACK, Window: st.RemoteWin}, 0)
+	ack := dupAckSACK(500, st.RemoteWin, SeqInterval{1000, 1500})
+	r1 := ProcessRX(st, post, ack, 0)
+	ack2 := dupAckSACK(500, st.RemoteWin, SeqInterval{1000, 1500}, SeqInterval{2000, 2500})
+	r2 := ProcessRX(st, post, ack2, 0)
+	r3 := ProcessRX(st, post, ack2, 0)
+	if !r1.DupAck || !r2.DupAck || !r3.DupAck {
+		t.Fatalf("dupacks: %v %v %v", r1.DupAck, r2.DupAck, r3.DupAck)
+	}
+	if !r3.FastRetransmit || !r3.SACKRetransmit {
+		t.Fatalf("third dupack: %+v", r3)
+	}
+	// No go-back-N: transmission state intact.
+	if st.Seq != 2500 || st.TxSent != 2000 || st.TxAvail != 0 {
+		t.Fatalf("state reset despite SACK: %+v", st)
+	}
+	if got := RetxPending(st); got != 1000 {
+		t.Fatalf("RetxPending = %d, want 1000", got)
+	}
+	// ProcessTX drains exactly the two holes, marked as retransmits.
+	seg1, ok1 := ProcessTX(st, post, 1448, 0)
+	seg2, ok2 := ProcessTX(st, post, 1448, 0)
+	if !ok1 || !ok2 {
+		t.Fatal("retransmit segments not emitted")
+	}
+	if !seg1.Retransmit || seg1.Seq != 500 || seg1.Len != 500 || seg1.BufPos != 500 {
+		t.Fatalf("first repair = %+v", seg1)
+	}
+	if !seg2.Retransmit || seg2.Seq != 1500 || seg2.Len != 500 || seg2.BufPos != 1500 {
+		t.Fatalf("second repair = %+v", seg2)
+	}
+	if seg1.RetxBytes != 500 || seg2.RetxBytes != 500 {
+		t.Fatalf("retx accounting: %d %d", seg1.RetxBytes, seg2.RetxBytes)
+	}
+	// Nothing else to send.
+	if seg, ok := ProcessTX(st, post, 1448, 0); ok {
+		t.Fatalf("unexpected segment: %+v", seg)
+	}
+	// The repairs land: peer acks everything; scoreboard drains.
+	res := ProcessRX(st, post, &SegInfo{Seq: 0, Ack: 2500, Flags: packet.FlagACK, Window: st.RemoteWin}, 0)
+	if res.AckedBytes != 2000 || st.SACKCnt != 0 || st.TxSent != 0 {
+		t.Fatalf("final ack: %+v state %+v", res, st)
+	}
+}
+
+func TestSACKRetransmitChunksLargeHole(t *testing.T) {
+	st, post := sackConn(8192)
+	stageAndSend(st, post, 4000, 1000)
+	// First 3000 bytes lost, tail SACKed: the single hole spans 3 MSS.
+	ack := dupAckSACK(0, st.RemoteWin, SeqInterval{3000, 4000})
+	for i := 0; i < 3; i++ {
+		ProcessRX(st, post, ack, 0)
+	}
+	var lens []uint32
+	for {
+		seg, ok := ProcessTX(st, post, 1448, 0)
+		if !ok {
+			break
+		}
+		if !seg.Retransmit {
+			t.Fatalf("non-retransmit segment: %+v", seg)
+		}
+		lens = append(lens, seg.Len)
+	}
+	if len(lens) != 3 || lens[0] != 1448 || lens[1] != 1448 || lens[2] != 104 {
+		t.Fatalf("chunks = %v", lens)
+	}
+}
+
+func TestSACKNotNegotiatedFallsBackToGBN(t *testing.T) {
+	st, post := newConn(8192) // no SACK
+	stageAndSend(st, post, 2500, 500)
+	// Peer erroneously sends SACK blocks: ignored, go-back-N on dupacks.
+	ack := dupAckSACK(0, st.RemoteWin, SeqInterval{1000, 1500})
+	var last RXResult
+	for i := 0; i < 3; i++ {
+		last = ProcessRX(st, post, ack, 0)
+	}
+	if !last.FastRetransmit || last.SACKRetransmit {
+		t.Fatalf("expected GBN fallback: %+v", last)
+	}
+	if st.Seq != 0 || st.TxAvail != 2500 || st.SACKCnt != 0 {
+		t.Fatalf("state = %+v", st)
+	}
+}
+
+func TestSACKScoreboardOverflowReneges(t *testing.T) {
+	st, post := sackConn(65536)
+	stageAndSend(st, post, 20000, 1000)
+	// Disjoint blocks accumulate across successive ACKs (a peer with a
+	// deeper reassembly set than our 4-slot scoreboard): the fifth block
+	// cannot be held, so the scoreboard understates what the peer holds
+	// and recovery must fall back to go-back-N.
+	r1 := ProcessRX(st, post, dupAckSACK(0, st.RemoteWin,
+		SeqInterval{1000, 2000}, SeqInterval{3000, 4000}, SeqInterval{5000, 6000}, SeqInterval{7000, 8000}), 0)
+	if !r1.DupAck || st.SACKCnt != 4 {
+		t.Fatalf("setup: %+v scoreboard %v", r1, st.SACKIntervals())
+	}
+	ProcessRX(st, post, dupAckSACK(0, st.RemoteWin, SeqInterval{9000, 10000}), 0)
+	third := ProcessRX(st, post, dupAckSACK(0, st.RemoteWin, SeqInterval{9000, 10000}), 0)
+	if !third.FastRetransmit || third.SACKRetransmit {
+		t.Fatalf("overflowed scoreboard must fall back to GBN: %+v", third)
+	}
+	if st.Seq != 0 || st.SACKCnt != 0 || st.RetxCnt != 0 {
+		t.Fatalf("state after fallback: seq=%d sack=%d retx=%d", st.Seq, st.SACKCnt, st.RetxCnt)
+	}
+}
+
+func TestSACKScoreboardTrimsOnCumulativeAck(t *testing.T) {
+	st, post := sackConn(8192)
+	stageAndSend(st, post, 3000, 500)
+	ProcessRX(st, post, dupAckSACK(0, st.RemoteWin, SeqInterval{1000, 1500}, SeqInterval{2000, 2500}), 0)
+	if st.SACKCnt != 2 {
+		t.Fatalf("scoreboard = %v", st.SACKIntervals())
+	}
+	// Cumulative ack covering the first block trims it away.
+	ProcessRX(st, post, &SegInfo{Seq: 0, Ack: 1500, Flags: packet.FlagACK, Window: st.RemoteWin}, 0)
+	if st.SACKCnt != 1 || st.SACKScore[0] != (SeqInterval{2000, 2500}) {
+		t.Fatalf("scoreboard after trim = %v", st.SACKIntervals())
+	}
+}
+
+func TestSACKBlocksBeyondSndMaxIgnored(t *testing.T) {
+	st, post := sackConn(8192)
+	stageAndSend(st, post, 1000, 500)
+	ProcessRX(st, post, dupAckSACK(0, st.RemoteWin, SeqInterval{500, 9000}), 0)
+	if st.SACKCnt != 1 || st.SACKScore[0] != (SeqInterval{500, 1000}) {
+		t.Fatalf("scoreboard = %v (blocks must clamp to SND.MAX)", st.SACKIntervals())
+	}
+}
+
+func TestRTOClearsScoreboardAndQueue(t *testing.T) {
+	st, post := sackConn(8192)
+	stageAndSend(st, post, 2500, 500)
+	ack := dupAckSACK(0, st.RemoteWin, SeqInterval{1000, 1500})
+	for i := 0; i < 3; i++ {
+		ProcessRX(st, post, ack, 0)
+	}
+	if st.SACKCnt == 0 || st.RetxCnt == 0 {
+		t.Fatalf("setup: %+v", st)
+	}
+	// RTO: RFC 2018 reneging rule — discard the scoreboard, go-back-N.
+	res := ProcessHC(st, post, HCOp{Kind: HCRetransmit})
+	if !res.Reset || st.SACKCnt != 0 || st.RetxCnt != 0 || st.Seq != 0 {
+		t.Fatalf("RTO state = %+v res %+v", st, res)
+	}
+}
+
+func TestSendableBytesIncludesRetxQueue(t *testing.T) {
+	st, post := sackConn(8192)
+	stageAndSend(st, post, 2500, 500)
+	// Remote window exhausted by in-flight data, but repairs must still
+	// be visible to the flow scheduler.
+	st.RemoteWin = 2500 >> WindowScale
+	ack := dupAckSACK(0, st.RemoteWin, SeqInterval{1000, 1500})
+	for i := 0; i < 3; i++ {
+		ProcessRX(st, post, ack, 0)
+	}
+	if got := SendableBytes(st, 0); got != RetxPending(st) || got == 0 {
+		t.Fatalf("SendableBytes = %d, retx pending %d", got, RetxPending(st))
+	}
+}
+
+func TestZeroWindowProbeElicitsWindowUpdate(t *testing.T) {
+	// The persist-timer probe: one already-delivered byte at SND.NXT-1.
+	// The receiver discards it and re-ACKs its current window, repairing
+	// a lost window update (RFC 9293 §3.8.6.1).
+	st, post := newConn(256)
+	res := ProcessRX(st, post, dataSeg(0, 256, 0, 32), 0)
+	if res.NewInOrder != 256 || st.LocalWindow() != 0 {
+		t.Fatalf("setup: %+v win=%d", res, st.LocalWindow())
+	}
+	// Probe while the window is closed: re-ACKed, window still 0.
+	probe := dataSeg(255, 1, 0, 32)
+	res = ProcessRX(st, post, probe, 0)
+	if !res.Drop || !res.SendAck || res.AckAck != 256 || res.AckWin != 0 {
+		t.Fatalf("probe at zero window: %+v", res)
+	}
+	// The application drains the buffer; the next probe's ACK carries the
+	// reopened window even though the original window update was lost.
+	ProcessHC(st, post, HCOp{Kind: HCRxConsumed, Bytes: 256})
+	res = ProcessRX(st, post, probe, 0)
+	if !res.Drop || !res.SendAck || res.AckWin != st.LocalWindow() || res.AckWin == 0 {
+		t.Fatalf("probe after drain: %+v", res)
 	}
 }
 

@@ -11,6 +11,14 @@ type TXResult struct {
 	Ack    uint32 // current cumulative ack (piggybacked)
 	Win    uint16 // scaled advertised window
 	EchoTS uint32 // peer timestamp to echo
+
+	// Retransmit: the segment was emitted from the selective-retransmit
+	// queue (a SACK-identified hole), not the regular send path.
+	Retransmit bool
+	// RetxBytes counts how many of Len were already transmitted before
+	// (selective repairs, and go-back-N resends below SND.MAX), for the
+	// loss-recovery accounting in Fig. 15.
+	RetxBytes uint32
 }
 
 // ProcessTX attempts to produce the next segment for transmission. mss
@@ -19,6 +27,36 @@ type TXResult struct {
 // ok=false when flow control, congestion control, or an empty buffer
 // prevent sending.
 func ProcessTX(st *ProtoState, post *PostState, mss uint32, cwnd uint32) (TXResult, bool) {
+	// Selective retransmissions drain ahead of new data. They re-send
+	// bytes already counted in TxSent, so flow and congestion windows are
+	// unaffected (fast-retransmit segments are always allowed out); the
+	// queue is bounded by the scoreboard's hole count.
+	if st.RetxCnt > 0 {
+		h := st.RetxQ[0]
+		n := uint32(SeqDiff(h.End, h.Start))
+		if n > mss {
+			n = mss
+		}
+		res := TXResult{
+			Seq:        h.Start,
+			BufPos:     wrap(st.TxPos-uint32(SeqDiff(st.Seq, h.Start)), post.TxSize),
+			Len:        n,
+			Ack:        st.Ack,
+			Win:        st.LocalWindow(),
+			EchoTS:     st.NextTS,
+			Retransmit: true,
+			RetxBytes:  n,
+		}
+		h.Start += n
+		if h.Start == h.End {
+			copy(st.RetxQ[:], st.RetxQ[1:st.RetxCnt])
+			st.RetxCnt--
+		} else {
+			st.RetxQ[0] = h
+		}
+		return res, true
+	}
+
 	sendable := st.TxAvail
 	// Flow control: never exceed the peer's advertised window.
 	if rw := st.RemoteWindowBytes(); st.TxSent >= rw {
@@ -54,6 +92,15 @@ func ProcessTX(st *ProtoState, post *PostState, mss uint32, cwnd uint32) (TXResu
 		Win:    st.LocalWindow(),
 		EchoTS: st.NextTS,
 	}
+	// Bytes below SND.MAX were on the wire before a go-back-N rewind:
+	// count them as retransmitted.
+	if sendable > 0 && SeqLT(st.Seq, st.TxMax) {
+		if over := uint32(SeqDiff(st.TxMax, st.Seq)); over < sendable {
+			res.RetxBytes = over
+		} else {
+			res.RetxBytes = sendable
+		}
+	}
 	st.Seq += sendable
 	if SeqGT(st.Seq, st.TxMax) {
 		st.TxMax = st.Seq
@@ -68,25 +115,36 @@ func ProcessTX(st *ProtoState, post *PostState, mss uint32, cwnd uint32) (TXResu
 	return res, true
 }
 
+// RetxPending returns the bytes queued for selective retransmission.
+func RetxPending(st *ProtoState) uint32 {
+	var n uint32
+	for i := 0; i < int(st.RetxCnt); i++ {
+		n += uint32(SeqDiff(st.RetxQ[i].End, st.RetxQ[i].Start))
+	}
+	return n
+}
+
 // SendableBytes returns how many bytes ProcessTX could currently emit
 // (ignoring MSS segmentation), used by the flow scheduler to decide
-// whether a flow stays in the active set.
+// whether a flow stays in the active set. Queued selective retransmits
+// count: they bypass the windows, exactly as ProcessTX emits them.
 func SendableBytes(st *ProtoState, cwnd uint32) uint32 {
+	retx := RetxPending(st)
 	sendable := st.TxAvail
 	if rw := st.RemoteWindowBytes(); st.TxSent >= rw {
-		return 0
+		return retx
 	} else if room := rw - st.TxSent; sendable > room {
 		sendable = room
 	}
 	if cwnd > 0 {
 		if st.TxSent >= cwnd {
-			return 0
+			return retx
 		}
 		if room := cwnd - st.TxSent; sendable > room {
 			sendable = room
 		}
 	}
-	return sendable
+	return retx + sendable
 }
 
 // HCKind discriminates host-control operations (§3.1.1).
@@ -154,11 +212,13 @@ func WindowUpdateAck(st *ProtoState) RXResult {
 	if st.Flags&flagFinSent != 0 {
 		seq++
 	}
-	return RXResult{
+	res := RXResult{
 		SendAck: true,
 		AckSeq:  seq,
 		AckAck:  st.Ack,
 		AckWin:  st.LocalWindow(),
 		EchoTS:  st.NextTS,
 	}
+	emitSACK(st, &res, 0, false)
+	return res
 }

@@ -17,6 +17,7 @@ import (
 	"flextoe/internal/netsim"
 	"flextoe/internal/packet"
 	"flextoe/internal/sim"
+	"flextoe/internal/tcpseg"
 )
 
 // StackKind names a TCP stack implementation.
@@ -45,6 +46,11 @@ type MachineSpec struct {
 	// FlexTOE knobs.
 	FlexCfg *core.Config // nil = AgilioCX40Config
 	CC      ctrl.CCAlgo
+	// SACK enables SACK negotiation on the FlexTOE data-path (and, when
+	// OOOIntervals is unset, widens the reassembly interval set to the
+	// maximum so the advertised blocks are useful). Ignored for the
+	// baseline stacks, whose recovery is fixed by their personality.
+	SACK bool
 
 	// TAS knobs.
 	StackCores int // dedicated fast-path cores (default 1)
@@ -128,6 +134,12 @@ func (tb *Testbed) add(idx int, spec MachineSpec) {
 		cfg := core.AgilioCX40Config()
 		if spec.FlexCfg != nil {
 			cfg = *spec.FlexCfg
+		}
+		if spec.SACK {
+			cfg.EnableSACK = true
+			if cfg.OOOIntervals == 0 {
+				cfg.OOOIntervals = tcpseg.MaxOOOIntervals
+			}
 		}
 		m.TOE = core.New(tb.Eng, cfg, iface)
 		m.Ctrl = ctrl.New(tb.Eng, m.TOE, ctrl.Config{
