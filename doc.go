@@ -5,6 +5,52 @@
 // evaluation harness, and examples/ for runnable applications.
 // bench_test.go in this directory regenerates every table and figure of
 // the paper's evaluation as Go benchmarks.
+//
+// # Zero-allocation hot path: pooling ownership rules
+//
+// The simulated data path is allocation-free in steady state, exactly as
+// FlexTOE's real data path never allocates (§3.1). Four object classes
+// are pooled, each with a single ownership rule:
+//
+//   - Events (internal/sim): the engine is a hierarchical timing wheel —
+//     a near wheel of recycled bucket slices plus an overflow heap for
+//     far deadlines (RTOs). Callbacks scheduled with the AtCall/AfterCall
+//     forms carry a long-lived function value plus a per-event arg, so no
+//     closure is allocated. An arg must never be a pooled object that its
+//     owner could recycle before the event fires: the scheduler of the
+//     event must hold (or transitively guarantee) a reference until it
+//     runs. In particular, Engine.Immediately callbacks must not retain
+//     pooled packets or segItems past their release point.
+//
+//   - segItems (internal/core): pooled per TOE and reference-counted.
+//     allocSeg hands out one reference; nbiSubmit adds one for the NBI
+//     reorder buffer (which may release the item synchronously or long
+//     after the submitting stage moved on); putSeg drops one. The holder
+//     of the last reference recycles the item. releaseSeg is the only
+//     mid-pipeline drop point; it also releases the item's packet.
+//
+//   - Packets (internal/packet) and Frames (internal/netsim): a packet
+//     has exactly one owner at a time. Building one (packet.Get, payload
+//     carved from the shm.Slab via GrowPayload) and sending it transfers
+//     ownership hop by hop through the fabric; whoever terminates its
+//     journey calls packet.Release exactly once — the consuming stack
+//     (FlexTOE pipeline after the payload DMA lands; the baseline stack
+//     at the end of handleSeg; the TOE's control-delivery event after
+//     ControlRx returns), or the drop point (switch loss/WRED/flood,
+//     unconnected interface). Frames return to their pool at the
+//     receiving MAC (netsim.ReleaseFrame) or with the dropped packet.
+//     Senders must never retain or re-send a transmitted packet —
+//     retransmissions rebuild from the payload buffer, matching the
+//     paper's one-shot design. Release on a non-pooled &packet.Packet{}
+//     literal is a no-op, so consumers release unconditionally and
+//     control-plane/application code may keep using plain literals.
+//
+// The budget is enforced in CI by TestPipelineSteadyStateAllocBudget
+// (internal/core): at most 2 heap allocations per simulated data segment
+// end to end, measured with testing.AllocsPerRun under plain `go test`.
+// BenchmarkPipelineSegment reports the live number (~0.06 at this
+// writing) plus wall-clock ns per simulated segment; BENCH_pipeline.json
+// records the trajectory.
 package main
 
 import (

@@ -212,17 +212,23 @@ func log2(n int) float64 {
 	return v
 }
 
-// rx is the NIC receive path.
+// rx is the NIC receive path. The frame returns to the fabric pool here;
+// the packet is consumed (and recycled) at the end of handleSeg.
 func (s *Stack) rx(f *netsim.Frame) {
 	pkt := f.Pkt
+	netsim.ReleaseFrame(f)
 	flow := pkt.Flow().Reverse()
 	c := s.conns[flow]
 	if c == nil {
+		// handshake consumes the segment synchronously (it never retains
+		// the packet), so its journey ends here on every branch.
 		s.handshake(pkt, flow)
+		packet.Release(pkt)
 		return
 	}
 	if !c.synDone {
 		if s.connHandshakeRx(c, pkt) {
+			packet.Release(pkt)
 			return
 		}
 	}
@@ -330,6 +336,8 @@ func (s *Stack) handleSeg(c *bconn, pkt *packet.Packet) {
 	}
 
 	s.txPump(c)
+	// The segment is fully consumed (payload copied, SACK ingested).
+	packet.Release(pkt)
 }
 
 // receivePayload implements the three reassembly policies.
@@ -511,7 +519,7 @@ func (s *Stack) sendAck(c *bconn, ece bool) {
 		win = 0xffff
 	}
 	ackSeq := c.sndSeq(c.nxt)
-	pkt := s.mkPacket(c, ackSeq, flags, nil)
+	pkt := s.mkPacket(c, ackSeq, flags)
 	pkt.TCP.Window = uint16(win)
 	if s.prof.Recovery == RecoverySACK {
 		for _, iv := range c.ivs {
@@ -523,21 +531,23 @@ func (s *Stack) sendAck(c *bconn, ece bool) {
 	s.iface.Send(netsim.NewFrame(pkt, s.eng.Now()))
 }
 
-func (s *Stack) mkPacket(c *bconn, seq uint32, flags uint8, payload []byte) *packet.Packet {
-	return &packet.Packet{
-		Eth: packet.Ethernet{Src: s.localMAC, Dst: c.peerMAC, EtherType: packet.EtherTypeIPv4},
-		IP: packet.IPv4{
-			TTL: 64, Protocol: packet.ProtoTCP, TOS: packet.ECNECT0,
-			Src: c.flow.SrcIP, Dst: c.flow.DstIP,
-		},
-		TCP: packet.TCP{
-			SrcPort: c.flow.SrcPort, DstPort: c.flow.DstPort,
-			Seq: seq, Ack: c.ackField(), Flags: flags,
-			Window: uint16(min64(int64(c.rxAvail>>tcpseg.WindowScale), 0xffff)),
-			WScale: -1,
-		},
-		Payload: payload,
+// mkPacket fills a recycled packet with the connection's headers. The
+// caller attaches payload (GrowPayload) and owns the packet until it is
+// transmitted.
+func (s *Stack) mkPacket(c *bconn, seq uint32, flags uint8) *packet.Packet {
+	pkt := packet.Get()
+	pkt.Eth = packet.Ethernet{Src: s.localMAC, Dst: c.peerMAC, EtherType: packet.EtherTypeIPv4}
+	pkt.IP = packet.IPv4{
+		TTL: 64, Protocol: packet.ProtoTCP, TOS: packet.ECNECT0,
+		Src: c.flow.SrcIP, Dst: c.flow.DstIP,
 	}
+	pkt.TCP = packet.TCP{
+		SrcPort: c.flow.SrcPort, DstPort: c.flow.DstPort,
+		Seq: seq, Ack: c.ackField(), Flags: flags,
+		Window: uint16(min64(int64(c.rxAvail>>tcpseg.WindowScale), 0xffff)),
+		WScale: -1,
+	}
+	return pkt
 }
 
 func min64(a, b int64) int64 {
@@ -607,8 +617,6 @@ func (s *Stack) txPump(c *bconn) {
 
 // emitSegment sends [off, off+n) (and possibly FIN).
 func (s *Stack) emitSegment(c *bconn, off, n uint64, fin bool) {
-	payload := make([]byte, n)
-	readCirc(c.txData, off, payload)
 	flags := packet.FlagACK
 	if n > 0 {
 		flags |= packet.FlagPSH
@@ -617,7 +625,8 @@ func (s *Stack) emitSegment(c *bconn, off, n uint64, fin bool) {
 		flags |= packet.FlagFIN
 		c.finSent = true
 	}
-	pkt := s.mkPacket(c, c.sndSeq(off), flags, payload)
+	pkt := s.mkPacket(c, c.sndSeq(off), flags)
+	readCirc(c.txData, off, pkt.GrowPayload(int(n)))
 	s.TxSegs++
 	s.iface.Send(netsim.NewFrame(pkt, s.eng.Now()))
 }

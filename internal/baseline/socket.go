@@ -25,7 +25,7 @@ func (s *Stack) Dial(remote api.Addr, connected func(api.Socket)) {
 	c := s.newConn(flow, mac)
 	c.connected = connected
 	c.active = true
-	syn := s.mkPacket(c, c.iss-1, packet.FlagSYN, nil)
+	syn := s.mkPacket(c, c.iss-1, packet.FlagSYN)
 	syn.TCP.MSS = 1448
 	syn.TCP.WScale = tcpseg.WindowScale
 	s.iface.Send(netsim.NewFrame(syn, s.eng.Now()))
@@ -72,7 +72,7 @@ func (s *Stack) handshake(pkt *packet.Packet, flow packet.Flow) {
 		if tcp.Window > 0 {
 			c.remoteWin = uint32(tcp.Window) << tcpseg.WindowScale
 		}
-		sa := s.mkPacket(c, c.iss-1, packet.FlagSYN|packet.FlagACK, nil)
+		sa := s.mkPacket(c, c.iss-1, packet.FlagSYN|packet.FlagACK)
 		sa.TCP.Ack = c.irs
 		sa.TCP.MSS = 1448
 		sa.TCP.WScale = tcpseg.WindowScale

@@ -13,20 +13,29 @@ import (
 // flow-controls the host: processing retries), DMAs the descriptor in,
 // and steers it into the pipeline.
 func (t *TOE) InjectHC(d shm.Desc) {
-	t.eng.After(t.cfg.NFP.MMIOLatency, func() { t.hcArrive(d) })
+	item := t.allocSeg()
+	item.kind = segHC
+	item.hc = d
+	t.eng.AfterCall(t.cfg.NFP.MMIOLatency, hcDoorbell, item)
 }
 
-func (t *TOE) hcArrive(d shm.Desc) {
+func hcDoorbell(a any) {
+	item := a.(*segItem)
+	t := item.toe
 	t.trace.Hit(trace.TPCtxQDoorbell)
-	conn := t.connOrNil(d.Conn)
+	conn := t.connOrNil(item.hc.Conn)
 	if conn == nil {
+		t.putSeg(item)
 		return
 	}
 	if t.mono != nil {
-		t.monoHC(conn, d)
+		t.monoHC(conn, item.hc)
+		t.putSeg(item)
 		return
 	}
-	item := &segItem{kind: segHC, conn: d.Conn, fg: conn.fg, hc: d, entered: t.eng.Now()}
+	item.conn = item.hc.Conn
+	item.fg = conn.fg
+	item.entered = t.eng.Now()
 	t.hcFetch(item)
 }
 
@@ -40,16 +49,27 @@ func (t *TOE) hcFetch(item *segItem) {
 		t.trace.Hit(trace.TPDescAllocFail)
 		// Pool exhausted: retry later (§3.1.1 "processing stops and is
 		// retried").
-		t.eng.After(2*sim.Microsecond, func() { t.hcFetch(item) })
+		t.eng.AfterCall(2*sim.Microsecond, hcRetry, item)
 		return
 	}
 	item.ticket = t.islands[item.fg].entry.ticket()
 	// Poll + fetch on a context-queue FPC, then DMA the descriptor.
 	task := sim.TaskC(t.scale(t.costs.CtxQPoll))
 	fpc := t.ctxSt.fpcs[int(item.conn)%len(t.ctxSt.fpcs)]
-	fpc.Submit(task, func() {
-		t.xfer(shm.DescWireSize, func() {
-			t.pre.push(item)
-		})
-	})
+	fpc.SubmitCall(task, hcPolled, item)
+}
+
+func hcRetry(a any) {
+	item := a.(*segItem)
+	item.toe.hcFetch(item)
+}
+
+func hcPolled(a any) {
+	item := a.(*segItem)
+	item.toe.xferCall(shm.DescWireSize, hcFetched, item)
+}
+
+func hcFetched(a any) {
+	item := a.(*segItem)
+	item.toe.pre.push(item)
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"flextoe/internal/netsim"
 	"flextoe/internal/packet"
 	"flextoe/internal/sim"
 	"flextoe/internal/trace"
@@ -46,38 +45,72 @@ func (t *TOE) DetachXDP(name string) bool {
 	return false
 }
 
-// xdpWork carries the raw frame and the verdict through the XDP stage.
+// xdpWork carries the raw segment bytes and the verdict through the XDP
+// stage. Works are pooled per TOE and own two reusable serialization
+// buffers (the raw view handed to programs and the pristine copy used to
+// detect mutation), so the hook's per-frame marshalling allocates nothing
+// in steady state.
 type xdpWork struct {
-	frame   *netsim.Frame
-	verdict xdp.Verdict
-	data    []byte
-	mutated bool
-	instr   int64
+	pkt      *packet.Packet
+	verdict  xdp.Verdict
+	buf      []byte // owned backing the packet serializes into
+	pristine []byte // owned copy for mutation detection
+	data     []byte // program view (may be re-sliced or replaced)
+	ctx      xdp.Context
+	mutated  bool
+	instr    int64
 }
 
-func (t *TOE) xdpIngress(f *netsim.Frame) {
-	// Serialize the frame: XDP programs see raw bytes, exactly as on the
-	// NFP. The program chain runs functionally first to learn its
-	// instruction count, then the stage charges that cost before the
-	// verdict takes effect.
-	data := f.Pkt.Serialize(packet.SerializeOptions{FixLengths: true, ComputeChecksums: true})
-	pristine := append([]byte(nil), data...)
-	w := &xdpWork{frame: f, data: data, verdict: xdp.Pass}
-	ctx := &xdp.Context{Data: data}
+func (t *TOE) getXDPWork() *xdpWork {
+	if w := t.xdpFree.Get(); w != nil {
+		return w
+	}
+	return &xdpWork{}
+}
+
+func (t *TOE) putXDPWork(w *xdpWork) {
+	w.pkt = nil
+	w.data = nil
+	w.ctx = xdp.Context{}
+	t.xdpFree.Put(w)
+}
+
+func (t *TOE) xdpIngress(pkt *packet.Packet) {
+	// Serialize the frame into the work's reusable buffer: XDP programs
+	// see raw bytes, exactly as on the NFP. The program chain runs
+	// functionally first to learn its instruction count, then the stage
+	// charges that cost before the verdict takes effect.
+	w := t.getXDPWork()
+	w.pkt = pkt
+	w.verdict = xdp.Pass
+	n := pkt.WireLen()
+	if cap(w.buf) < n {
+		w.buf = make([]byte, n)
+	}
+	w.buf = w.buf[:n]
+	pkt.SerializeTo(w.buf, packet.SerializeOptions{FixLengths: true, ComputeChecksums: true})
+	if cap(w.pristine) < n {
+		w.pristine = make([]byte, n)
+	}
+	w.pristine = w.pristine[:n]
+	copy(w.pristine, w.buf)
+	w.ctx = xdp.Context{Data: w.buf}
 	var total int64 = t.costs.XDPHook
 	for _, p := range t.xdpProgs {
-		v, instr := p.Run(ctx)
+		v, instr := p.Run(&w.ctx)
 		total += instr + t.costs.XDPHook
 		if v != xdp.Pass {
 			w.verdict = v
 			break
 		}
 	}
-	w.mutated = !sameBytes(pristine, ctx.Data)
-	w.data = ctx.Data
+	w.mutated = !sameBytes(w.pristine, w.ctx.Data)
+	w.data = w.ctx.Data
 	w.instr = total
-	item := &segItem{kind: segRX, entered: t.eng.Now()}
-	item.pkt = f.Pkt
+	item := t.allocSeg()
+	item.kind = segRX
+	item.entered = t.eng.Now()
+	item.pkt = pkt
 	t.xdpQueue(item, w)
 }
 
@@ -108,38 +141,48 @@ func (t *TOE) xdpTask(s *segItem) sim.Task {
 
 func (t *TOE) xdpDone(s *segItem) {
 	w := s.xdp
+	pkt := s.pkt
 	s.xdp = nil
+	s.pkt = nil
+	t.putSeg(s) // the pre-accounting item's journey ends at the hook
 	switch w.verdict {
 	case xdp.Drop:
 		t.XDPDrops++
+		packet.Release(pkt)
 	case xdp.TX:
 		t.XDPTx++
+		packet.Release(pkt) // the rewritten bytes replace the original
 		out, err := packet.Decode(w.data)
 		if err != nil {
 			t.XDPDrops++
-			return
+			break
 		}
 		// FlexTOE updates the checksum of modified segments (§3.3).
 		reser := out.Serialize(packet.SerializeOptions{FixLengths: true, ComputeChecksums: true})
 		final, err := packet.Decode(reser)
 		if err != nil {
 			t.XDPDrops++
-			return
+			break
 		}
 		final.TCP.Checksum = 0
 		t.sendFrame(final)
 	case xdp.Redirect:
 		t.XDPRedirects++
-		t.toControl(w.frame.Pkt)
+		t.toControl(pkt)
 	default: // Pass
 		if w.mutated {
-			out, err := packet.Decode(w.data)
+			// Re-decode from a fresh copy: the work's buffer is recycled,
+			// so the new packet must not alias it.
+			out, err := packet.Decode(append([]byte(nil), w.data...))
 			if err != nil {
 				t.XDPDrops++
-				return
+				packet.Release(pkt)
+				break
 			}
-			w.frame.Pkt = out
+			packet.Release(pkt)
+			pkt = out
 		}
-		t.rxToPre(w.frame)
+		t.rxToPre(pkt)
 	}
+	t.putXDPWork(w)
 }

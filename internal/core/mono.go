@@ -1,7 +1,7 @@
 package core
 
 import (
-	"flextoe/internal/netsim"
+	"flextoe/internal/packet"
 	"flextoe/internal/shm"
 	"flextoe/internal/sim"
 	"flextoe/internal/tcpseg"
@@ -17,8 +17,7 @@ func (t *TOE) monoInstr(base int64) int64 {
 	return int64(float64(base) * t.costs.MonolithicFetchPenalty)
 }
 
-func (t *TOE) monoRX(f *netsim.Frame) {
-	pkt := f.Pkt
+func (t *TOE) monoRX(pkt *packet.Packet) {
 	if !pkt.TCP.IsDataPath() {
 		t.toControl(pkt)
 		return
@@ -43,6 +42,7 @@ func (t *TOE) monoRX(f *netsim.Frame) {
 	t.mono.Submit(task, func() {
 		conn2 := t.connOrNil(conn.ID)
 		if conn2 == nil {
+			packet.Release(pkt)
 			return
 		}
 		info := tcpseg.Summarize(pkt)
@@ -50,6 +50,7 @@ func (t *TOE) monoRX(f *netsim.Frame) {
 		if res.WriteLen > 0 {
 			conn2.RxBuf.WriteAt(res.WritePos, pkt.Payload[res.WriteOff:res.WriteOff+res.WriteLen])
 		}
+		packet.Release(pkt) // the run-to-completion path consumes it here
 		t.RxSegs++
 		t.RxBytes += uint64(info.PayloadLen)
 		if res.FastRetransmit {

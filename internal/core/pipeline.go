@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"flextoe/internal/netsim"
 	"flextoe/internal/nfp"
@@ -97,6 +98,19 @@ type TOE struct {
 	// every segment that touched the set (accept, merge, or drop).
 	OOOOccupancy *stats.LinearHist
 
+	// segFree recycles segItems (see allocSeg/putSeg); xdpFree recycles
+	// the XDP stage's serialization scratch. Both are steady-state
+	// allocation-free.
+	segFree shm.Freelist[segItem]
+	xdpFree shm.Freelist[xdpWork]
+
+	// Long-lived callbacks cached so hot-path scheduling never builds a
+	// method-value closure (see sim.Engine.AtCall); segment-carrying
+	// events use package-level functions and the item's toe pointer.
+	txPumpFn  func()
+	kickTXFn  func()
+	controlCb func(any)
+
 	Counters
 }
 
@@ -118,17 +132,24 @@ type protoWorker struct {
 	cache *nfp.StateCache
 	t     *TOE
 	isl   *island
+	fwdCb func(any) // bound once: forwards the item when the FPC task ends
 }
 
-// stage is a pool of FPCs serving one intake queue.
+// stage is a pool of FPCs serving one intake queue. freeMask is a bitset
+// of FPC indices that may have an idle hardware thread, so dispatch picks
+// the lowest-indexed free FPC in O(1) instead of scanning the pool per
+// segment (wide stages paid that scan on every push). Stages wider than
+// 64 FPCs fall back to the linear scan.
 type stage struct {
-	name    string
-	q       *sim.Queue[*segItem]
-	fpcs    []*nfp.FPC
-	taskOf  func(*segItem) sim.Task
-	handler func(*segItem)
-	qTrace  trace.Point
-	t       *TOE
+	name     string
+	q        *sim.Queue[*segItem]
+	fpcs     []*nfp.FPC
+	freeMask uint64
+	taskOf   func(*segItem) sim.Task
+	handler  func(*segItem)
+	handleCb func(any) // bound once: adapts handler to the cb(arg) form
+	qTrace   trace.Point
+	t        *TOE
 }
 
 func (t *TOE) newStage(name string, n int, qTrace trace.Point,
@@ -141,10 +162,17 @@ func (t *TOE) newStage(name string, n int, qTrace trace.Point,
 		qTrace:  qTrace,
 		t:       t,
 	}
+	s.handleCb = func(a any) { s.handler(a.(*segItem)) }
 	for i := 0; i < n; i++ {
 		f := nfp.NewFPC(t.eng, fmt.Sprintf("%s/%d", name, i), &t.cfg.NFP)
 		f.SetThreads(t.cfg.ThreadsPerFPC)
-		f.Idle = s.pump
+		if i < 64 {
+			bit := uint64(1) << i
+			f.Idle = func() { s.freeMask |= bit; s.pump() }
+			s.freeMask |= bit
+		} else {
+			f.Idle = s.pump
+		}
 		s.fpcs = append(s.fpcs, f)
 	}
 	return s
@@ -156,20 +184,40 @@ func (s *stage) push(item *segItem) {
 	s.pump()
 }
 
+// pickFPC returns the lowest-indexed FPC with a free hardware thread,
+// clearing stale ready bits as it goes.
+func (s *stage) pickFPC() *nfp.FPC {
+	for m := s.freeMask; m != 0; {
+		i := bits.TrailingZeros64(m)
+		bit := uint64(1) << i
+		if f := s.fpcs[i]; f.FreeThreads() > 0 {
+			if f.FreeThreads() == 1 {
+				// This dispatch takes the last thread; the Idle hook
+				// re-arms the bit when one frees.
+				s.freeMask &^= bit
+			}
+			return f
+		}
+		s.freeMask &^= bit
+		m &^= bit
+	}
+	// Overflow FPCs (index >= 64) are not tracked in the mask.
+	for i := 64; i < len(s.fpcs); i++ {
+		if s.fpcs[i].FreeThreads() > 0 {
+			return s.fpcs[i]
+		}
+	}
+	return nil
+}
+
 func (s *stage) pump() {
 	for s.q.Len() > 0 {
-		var f *nfp.FPC
-		for _, c := range s.fpcs {
-			if c.FreeThreads() > 0 {
-				f = c
-				break
-			}
-		}
+		f := s.pickFPC()
 		if f == nil {
 			return
 		}
 		item, _ := s.q.Pop()
-		f.Submit(s.taskOf(item), func() { s.handler(item) })
+		f.SubmitCall(s.taskOf(item), s.handleCb, item)
 	}
 }
 
@@ -193,6 +241,18 @@ func New(eng *sim.Engine, cfg Config, iface *netsim.Iface) *TOE {
 		t.copyRes = sim.NewResource(eng, "memcpy", cfg.CopyBytesPerSec)
 	}
 	t.sched = sched.New(eng, cfg.SchedSlot, cfg.SchedSlots)
+	t.txPumpFn = t.txPump
+	t.kickTXFn = t.kickTX
+	t.controlCb = func(a any) {
+		pkt := a.(*packet.Packet)
+		if cb := t.ControlRx; cb != nil {
+			cb(pkt)
+		}
+		// The control plane reads the segment synchronously and must not
+		// retain it (doc.go "Pooling ownership rules"); the data-path
+		// still owns it and recycles it here.
+		packet.Release(pkt)
+	}
 
 	if cfg.RunToCompletion {
 		t.mono = nfp.NewFPC(eng, "mono", &cfg.NFP)
@@ -227,6 +287,7 @@ func (t *TOE) buildPipeline() {
 			}
 			pw.fpc.SetThreads(cfg.ThreadsPerFPC)
 			pw.fpc.Idle = pw.pump
+			pw.fwdCb = func(a any) { pw.t.protoForward(pw.isl, a.(*segItem)) }
 			isl.protos = append(isl.protos, pw)
 		}
 		isl.post = t.newStage(fmt.Sprintf("post%d", fg), cfg.PostRepl, trace.TPQPost,
@@ -262,32 +323,40 @@ func (t *TOE) tsNow() uint32 { return uint32(t.eng.Now() / sim.Microsecond) }
 // ---------------------------------------------------------------------
 
 func (t *TOE) rxFromWire(f *netsim.Frame) {
+	// The frame's journey ends at the MAC; the packet's continues through
+	// the pipeline under the segItem's ownership.
+	pkt := f.Pkt
+	netsim.ReleaseFrame(f)
 	if t.PacketTap != nil {
-		t.PacketTap("rx", f.Pkt)
+		t.PacketTap("rx", pkt)
 	}
 	if t.mono != nil {
-		t.monoRX(f)
+		t.monoRX(pkt)
 		return
 	}
 	if len(t.xdpProgs) > 0 {
-		t.xdpIngress(f)
+		t.xdpIngress(pkt)
 		return
 	}
-	t.rxToPre(f)
+	t.rxToPre(pkt)
 }
 
-func (t *TOE) rxToPre(f *netsim.Frame) {
+func (t *TOE) rxToPre(pkt *packet.Packet) {
 	if !t.segPool.TryAlloc() {
 		t.RxDropNoBuf++
 		t.trace.Hit(trace.TPSegAllocFail)
+		packet.Release(pkt)
 		return
 	}
-	item := &segItem{kind: segRX, pkt: f.Pkt, entered: t.eng.Now()}
+	item := t.allocSeg()
+	item.kind = segRX
+	item.pkt = pkt
+	item.entered = t.eng.Now()
 	// Sequencing happens at pipeline entry (§3.2: "we assign a sequence
 	// number to each segment entering the pipeline"): the NBI computes
 	// the flow-group hash in hardware, so the ticket predates the
 	// variable-latency pre-processing stage it will re-order.
-	item.fg = f.Pkt.Flow().Reverse().FlowGroup(t.cfg.FlowGroups)
+	item.fg = pkt.Flow().Reverse().FlowGroup(t.cfg.FlowGroups)
 	item.ticket = t.islands[item.fg].entry.ticket()
 	t.pre.push(item)
 }
@@ -334,9 +403,11 @@ func (t *TOE) preDone(s *segItem) {
 		pkt := s.pkt
 		// Filter non-data-path segments to the control plane (§3.1.3).
 		if !pkt.TCP.IsDataPath() {
+			s.pkt = nil
 			t.toControl(pkt)
 			isl.entry.skip(s.ticket)
 			t.segPool.Free()
+			t.putSeg(s)
 			return
 		}
 		// The NIC sees the flow from the sender's perspective; our
@@ -344,9 +415,11 @@ func (t *TOE) preDone(s *segItem) {
 		flow := pkt.Flow().Reverse()
 		conn, ok := t.connByFlow[flow]
 		if !ok {
+			s.pkt = nil
 			t.toControl(pkt)
 			isl.entry.skip(s.ticket)
 			t.segPool.Free()
+			t.putSeg(s)
 			return
 		}
 		s.conn = conn.ID
@@ -357,13 +430,17 @@ func (t *TOE) preDone(s *segItem) {
 	}
 }
 
+// toControl hands a segment to the control plane. Ownership of the packet
+// moves with it: the delivery event releases the packet after the
+// callback returns (callbacks must not retain it).
 func (t *TOE) toControl(pkt *packet.Packet) {
 	t.RxToControl++
 	t.trace.Hit(trace.TPPreFilterControl)
-	if t.ControlRx != nil {
-		cb := t.ControlRx
-		t.eng.Immediately(func() { cb(pkt) })
+	if t.ControlRx == nil {
+		packet.Release(pkt)
+		return
 	}
+	t.eng.ImmediatelyCall(t.controlCb, pkt)
 }
 
 // protoAdmit distributes in-order segments to the connection's protocol
@@ -385,7 +462,7 @@ func (w *protoWorker) pump() {
 		// accounts for the time; hardware threads overlap only the
 		// stall portions of *different* segments.
 		w.t.protoExec(w.isl, item)
-		w.fpc.Submit(task, func() { w.t.protoForward(w.isl, item) })
+		w.fpc.SubmitCall(task, w.fwdCb, item)
 	}
 }
 
@@ -588,7 +665,7 @@ func (t *TOE) postDone(isl *island, s *segItem) {
 			// Window-update ACK rides out through the NBI in order.
 			if t.segPool.TryAlloc() {
 				s.pkt = t.buildAck(conn, s)
-				isl.nbi.submit(s.nbiTicket, s)
+				t.nbiSubmit(isl, s)
 			} else {
 				isl.nbi.skip(s.nbiTicket)
 			}
@@ -600,6 +677,9 @@ func (t *TOE) postDone(isl *island, s *segItem) {
 			t.submitFlow(conn)
 		}
 		t.kickTX()
+		// The HC item's journey ends at the post stage (the NBI holds its
+		// own reference if an ACK rides out).
+		t.putSeg(s)
 	}
 }
 
@@ -623,42 +703,62 @@ func (t *TOE) dmaDone(s *segItem) {
 		t.releaseSeg(isl, s)
 		return
 	}
+	// Pin the connection across the asynchronous transfer, exactly as the
+	// old closure captured it.
+	s.connRef = conn
 	switch s.kind {
 	case segRX:
-		payload := func(done func()) { done() }
 		if s.rx.WriteLen > 0 {
-			n := int(s.rx.WriteLen)
-			payload = func(done func()) {
-				t.trace.Hit(trace.TPDMAPayloadRX)
-				t.xfer(n, func() {
-					// One-shot: payload lands directly in the host
-					// receive buffer.
-					conn.RxBuf.WriteAt(s.rx.WritePos, s.pkt.Payload[s.rx.WriteOff:s.rx.WriteOff+s.rx.WriteLen])
-					done()
-				})
-			}
+			t.trace.Hit(trace.TPDMAPayloadRX)
+			t.xferCall(int(s.rx.WriteLen), rxPayloadLanded, s)
+			return
 		}
-		payload(func() {
-			// Ordering (§3.1.3): ACK and notification leave only after
-			// the payload DMA completes.
-			if s.rx.SendAck {
-				ack := t.buildAck(conn, s)
-				s.pkt = ack
-				isl.nbi.submit(s.nbiTicket, s)
-			} else {
-				t.segPool.Free()
-			}
-			t.notifyHost(conn, s)
-		})
+		t.rxComplete(s)
 	case segTX:
-		n := int(s.tx.Len)
 		t.trace.Hit(trace.TPDMAPayloadTX)
-		t.xfer(n+64, func() { // descriptor + payload fetch
-			pkt := t.buildData(conn, s)
-			s.pkt = pkt
-			isl.nbi.submit(s.nbiTicket, s)
-		})
+		t.xferCall(int(s.tx.Len)+64, txPayloadFetched, s) // descriptor + payload fetch
 	}
+}
+
+// rxPayloadLanded runs when the RX payload DMA completes: one-shot, the
+// payload lands directly in the host receive buffer.
+func rxPayloadLanded(a any) {
+	s := a.(*segItem)
+	conn := s.connRef
+	conn.RxBuf.WriteAt(s.rx.WritePos, s.pkt.Payload[s.rx.WriteOff:s.rx.WriteOff+s.rx.WriteLen])
+	s.toe.rxComplete(s)
+}
+
+// rxComplete finishes the RX workflow after any payload DMA. Ordering
+// (§3.1.3): ACK and notification leave only after the payload DMA
+// completes. The received packet's journey ends here: the ACK (if any) is
+// a fresh pooled packet.
+func (t *TOE) rxComplete(s *segItem) {
+	conn := s.connRef
+	isl := t.islands[s.fg]
+	if s.rx.SendAck {
+		ack := t.buildAck(conn, s)
+		packet.Release(s.pkt)
+		s.pkt = ack
+		t.nbiSubmit(isl, s)
+	} else {
+		t.segPool.Free()
+		packet.Release(s.pkt)
+		s.pkt = nil
+	}
+	t.notifyHost(conn, s)
+	t.putSeg(s)
+}
+
+// txPayloadFetched runs when the TX descriptor + payload DMA completes:
+// the segment is built from the host buffer bytes and queued for in-order
+// transmission.
+func txPayloadFetched(a any) {
+	s := a.(*segItem)
+	t := s.toe
+	s.pkt = t.buildData(s.connRef, s)
+	t.nbiSubmit(t.islands[s.fg], s)
+	t.putSeg(s)
 }
 
 // xfer moves n bytes across the host boundary: PCIe DMA on the Agilio,
@@ -675,22 +775,40 @@ func (t *TOE) xfer(n int, done func()) {
 	t.dma.Issue(n, done)
 }
 
+// xferCall is the allocation-free xfer: cb(arg) runs at completion.
+func (t *TOE) xferCall(n int, cb func(any), arg any) {
+	if n <= 0 {
+		t.eng.ImmediatelyCall(cb, arg)
+		return
+	}
+	if t.copyRes != nil {
+		t.copyRes.AcquireCall(int64(n), t.cfg.NFP.PCIeLatency, cb, arg)
+		return
+	}
+	t.dma.IssueCall(n, cb, arg)
+}
+
 // notifyHost emits context-queue notifications for newly in-order payload,
 // freed transmit buffer space, and peer FINs.
 func (t *TOE) notifyHost(conn *Conn, s *segItem) {
-	var descs []shm.Desc
 	if s.rx.NewInOrder > 0 {
-		descs = append(descs, shm.Desc{Kind: shm.DescRxNotify, Conn: conn.ID, Bytes: s.rx.NewInOrder, Opaque: conn.Post.Opaque})
+		t.pushNotif(conn, shm.Desc{Kind: shm.DescRxNotify, Conn: conn.ID, Bytes: s.rx.NewInOrder, Opaque: conn.Post.Opaque})
 	}
 	if s.rx.AckedBytes > 0 {
-		descs = append(descs, shm.Desc{Kind: shm.DescTxFree, Conn: conn.ID, Bytes: s.rx.AckedBytes, Opaque: conn.Post.Opaque})
+		t.pushNotif(conn, shm.Desc{Kind: shm.DescTxFree, Conn: conn.ID, Bytes: s.rx.AckedBytes, Opaque: conn.Post.Opaque})
 	}
 	if s.rx.FinRx {
-		descs = append(descs, shm.Desc{Kind: shm.DescFinRx, Conn: conn.ID, Opaque: conn.Post.Opaque})
+		t.pushNotif(conn, shm.Desc{Kind: shm.DescFinRx, Conn: conn.ID, Opaque: conn.Post.Opaque})
 	}
-	for _, d := range descs {
-		t.ctxSt.push(&segItem{kind: segHC, conn: conn.ID, fg: conn.fg, hc: d})
-	}
+}
+
+func (t *TOE) pushNotif(conn *Conn, d shm.Desc) {
+	n := t.allocSeg()
+	n.kind = segHC
+	n.conn = conn.ID
+	n.fg = conn.fg
+	n.hc = d
+	t.ctxSt.push(n)
 }
 
 func (t *TOE) ctxTask(s *segItem) sim.Task {
@@ -705,23 +823,34 @@ func (t *TOE) ctxTask(s *segItem) sim.Task {
 func (t *TOE) ctxDone(s *segItem) {
 	conn := t.connOrNil(s.conn)
 	if conn == nil {
+		t.putSeg(s)
 		return
 	}
-	d := s.hc
-	t.xfer(shm.DescWireSize, func() {
-		t.Notifies++
-		t.trace.Hit(trace.TPDMADescriptor)
-		if conn.Notify != nil {
-			conn.Notify(d)
-		}
-	})
+	s.connRef = conn
+	t.xferCall(shm.DescWireSize, notifDelivered, s)
 }
 
-// nbiOut transmits a frame in ticket order and frees its segment buffer.
+// notifDelivered runs when the descriptor DMA to the host completes.
+func notifDelivered(a any) {
+	s := a.(*segItem)
+	t := s.toe
+	t.Notifies++
+	t.trace.Hit(trace.TPDMADescriptor)
+	if s.connRef.Notify != nil {
+		s.connRef.Notify(s.hc)
+	}
+	t.putSeg(s)
+}
+
+// nbiOut transmits a frame in ticket order, frees its segment buffer, and
+// drops the reorder buffer's reference on the item. Ownership of the
+// packet transfers to the fabric with sendFrame.
 func (t *TOE) nbiOut(s *segItem) {
 	pkt := s.pkt
+	s.pkt = nil
 	if pkt == nil {
 		t.segPool.Free()
+		t.putSeg(s)
 		return
 	}
 	if s.kind == segTX {
@@ -738,6 +867,7 @@ func (t *TOE) nbiOut(s *segItem) {
 	}
 	t.sendFrame(pkt)
 	t.segPool.Free()
+	t.putSeg(s)
 }
 
 func (t *TOE) sendFrame(pkt *packet.Packet) {
@@ -758,10 +888,15 @@ func (t *TOE) SendControlFrame(pkt *packet.Packet) {
 func (t *TOE) MAC() packet.EtherAddr { return t.iface.MAC }
 
 // releaseSeg drops a segment mid-pipeline, skipping its NBI ticket so the
-// reorder buffer never stalls and returning its pool resources.
+// reorder buffer never stalls and returning its pool resources (including
+// the packet, whose journey ends here).
 func (t *TOE) releaseSeg(isl *island, s *segItem) {
 	if s.hasNBI {
 		isl.nbi.skip(s.nbiTicket)
+	}
+	if s.pkt != nil {
+		packet.Release(s.pkt)
+		s.pkt = nil
 	}
 	switch s.kind {
 	case segRX:
@@ -773,25 +908,26 @@ func (t *TOE) releaseSeg(isl *island, s *segItem) {
 	case segHC:
 		t.descPool.Free()
 	}
+	t.putSeg(s)
 }
 
-// buildAck constructs the acknowledgment segment the post stage prepared.
+// buildAck constructs the acknowledgment segment the post stage prepared,
+// into a recycled packet (ownership transfers to the fabric at nbiOut).
 func (t *TOE) buildAck(conn *Conn, s *segItem) *packet.Packet {
 	flags := packet.FlagACK
 	if s.rx.AckECE {
 		flags |= packet.FlagECE
 	}
-	pkt := &packet.Packet{
-		Eth: packet.Ethernet{Src: t.iface.MAC, Dst: conn.Pre.PeerMAC, EtherType: packet.EtherTypeIPv4},
-		IP: packet.IPv4{
-			TTL: 64, Protocol: packet.ProtoTCP, TOS: packet.ECNECT0,
-			Src: conn.Pre.LocalIP, Dst: conn.Pre.PeerIP,
-		},
-		TCP: packet.TCP{
-			SrcPort: conn.Pre.LocalPort, DstPort: conn.Pre.RemotePort,
-			Seq: s.rx.AckSeq, Ack: s.rx.AckAck, Flags: flags,
-			Window: s.rx.AckWin, WScale: -1,
-		},
+	pkt := packet.Get()
+	pkt.Eth = packet.Ethernet{Src: t.iface.MAC, Dst: conn.Pre.PeerMAC, EtherType: packet.EtherTypeIPv4}
+	pkt.IP = packet.IPv4{
+		TTL: 64, Protocol: packet.ProtoTCP, TOS: packet.ECNECT0,
+		Src: conn.Pre.LocalIP, Dst: conn.Pre.PeerIP,
+	}
+	pkt.TCP = packet.TCP{
+		SrcPort: conn.Pre.LocalPort, DstPort: conn.Pre.RemotePort,
+		Seq: s.rx.AckSeq, Ack: s.rx.AckAck, Flags: flags,
+		Window: s.rx.AckWin, WScale: -1,
 	}
 	// SACK blocks the protocol stage derived from the reassembly interval
 	// set; the wire encoder fits 3 alongside timestamps, 4 otherwise.
@@ -806,28 +942,33 @@ func (t *TOE) buildAck(conn *Conn, s *segItem) *packet.Packet {
 	return pkt
 }
 
-// buildData constructs a data segment, fetching real payload bytes from
-// the host transmit buffer (the DMA the paper's TX pipeline performs).
+// buildData constructs a data segment into a recycled packet, fetching
+// real payload bytes from the host transmit buffer into the packet's
+// slab-backed payload (the DMA the paper's TX pipeline performs).
 func (t *TOE) buildData(conn *Conn, s *segItem) *packet.Packet {
 	flags := packet.FlagACK | packet.FlagPSH
 	if s.tx.FIN {
 		flags |= packet.FlagFIN
 		t.trace.Hit(trace.TPConnFinTx)
 	}
-	payload := make([]byte, s.tx.Len)
+	pkt := packet.Get()
+	payload := pkt.GrowPayload(int(s.tx.Len))
 	conn.TxBuf.ReadAt(s.tx.BufPos, payload)
-	pkt := &packet.Packet{
-		Eth: packet.Ethernet{Src: t.iface.MAC, Dst: conn.Pre.PeerMAC, EtherType: packet.EtherTypeIPv4},
-		IP: packet.IPv4{
-			TTL: 64, Protocol: packet.ProtoTCP, TOS: packet.ECNECT0,
-			Src: conn.Pre.LocalIP, Dst: conn.Pre.PeerIP,
-		},
-		TCP: packet.TCP{
-			SrcPort: conn.Pre.LocalPort, DstPort: conn.Pre.RemotePort,
-			Seq: s.tx.Seq, Ack: s.tx.Ack, Flags: flags,
-			Window: s.tx.Win, WScale: -1,
-		},
-		Payload: payload,
+	pkt.Eth = packet.Ethernet{Src: t.iface.MAC, Dst: conn.Pre.PeerMAC, EtherType: packet.EtherTypeIPv4}
+	pkt.IP = packet.IPv4{
+		TTL: 64, Protocol: packet.ProtoTCP, TOS: packet.ECNECT0,
+		Src: conn.Pre.LocalIP, Dst: conn.Pre.PeerIP,
+	}
+	pkt.TCP = packet.TCP{
+		SrcPort: conn.Pre.LocalPort, DstPort: conn.Pre.RemotePort,
+		Seq: s.tx.Seq, Ack: s.tx.Ack, Flags: flags,
+		Window: s.tx.Win, WScale: -1,
+	}
+	// Piggyback SACK blocks the protocol stage copied from the reassembly
+	// interval set (Config.EnableSACK), so heavily bidirectional flows
+	// learn about holes without waiting for a pure ACK.
+	for i := uint8(0); i < s.tx.SACKCnt; i++ {
+		pkt.TCP.AddSACK(packet.SACKBlock{Start: s.tx.SACK[i].Start, End: s.tx.SACK[i].End})
 	}
 	if t.cfg.UseTimestamps {
 		pkt.TCP.HasTimestamp = true

@@ -20,10 +20,28 @@ const (
 // host-control descriptor) plus the metadata modules forward along the
 // pipeline (§3.3: state that later stages need travels as metadata, never
 // as shared state).
+//
+// Items are pooled per TOE (allocSeg/putSeg) and reference-counted:
+// allocSeg hands out one reference, nbiSubmit takes a second for the
+// reorder buffer, and the item recycles when the last holder drops its
+// reference. This keeps the item alive whether the NBI releases it
+// synchronously (in-order ticket) or long after the submitting stage
+// moved on (held behind an earlier ticket).
 type segItem struct {
 	kind segKind
 	conn uint32
 	fg   int
+
+	// toe owns the item's pool; set once at first allocation and
+	// preserved across recycling so pooled completion callbacks
+	// (sim.Engine.AtCall) can find their way back without a closure.
+	toe  *TOE
+	refs int8
+
+	// connRef pins the connection across an asynchronous DMA so the
+	// completion continues against the same state the issuing stage saw
+	// (matching the closure capture the pipeline used to do).
+	connRef *Conn
 
 	// Sequencing (§3.2).
 	ticket    uint64 // protocol-stage admission order, per flow group
@@ -51,6 +69,37 @@ type segItem struct {
 
 	// Timing diagnostics.
 	entered sim.Time
+}
+
+// allocSeg takes a zeroed item from the TOE's pool with one reference.
+func (t *TOE) allocSeg() *segItem {
+	if s := t.segFree.Get(); s != nil {
+		s.refs = 1
+		return s
+	}
+	return &segItem{toe: t, refs: 1}
+}
+
+// putSeg drops one reference; the last drop recycles the item. The caller
+// must not touch the item afterwards.
+func (t *TOE) putSeg(s *segItem) {
+	s.refs--
+	if s.refs > 0 {
+		return
+	}
+	if s.refs < 0 {
+		panic("core: segItem over-released")
+	}
+	*s = segItem{toe: s.toe}
+	t.segFree.Put(s)
+}
+
+// nbiSubmit hands the item to the island's NBI reorder buffer, which holds
+// its own reference until nbiOut transmits it (possibly synchronously,
+// inside this call).
+func (t *TOE) nbiSubmit(isl *island, s *segItem) {
+	s.refs++
+	isl.nbi.submit(s.nbiTicket, s)
 }
 
 // rob is a reorder buffer (§3.2): segments carry tickets assigned at

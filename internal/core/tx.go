@@ -32,7 +32,7 @@ func (t *TOE) kickTX() {
 		return
 	}
 	t.txPumpArmed = true
-	t.eng.Immediately(t.txPump)
+	t.eng.Immediately(t.txPumpFn)
 }
 
 // txPump drains the flow scheduler while pipeline credits remain,
@@ -69,7 +69,11 @@ func (t *TOE) txPump() {
 			break
 		}
 		t.txInflight++
-		item := &segItem{kind: segTX, conn: id, fg: conn.fg, entered: t.eng.Now()}
+		item := t.allocSeg()
+		item.kind = segTX
+		item.conn = id
+		item.fg = conn.fg
+		item.entered = t.eng.Now()
 		item.ticket = t.islands[conn.fg].entry.ticket()
 		t.pre.push(item)
 		// If the flow can send more than one MSS, keep it scheduled.
@@ -78,7 +82,7 @@ func (t *TOE) txPump() {
 		}
 	}
 	if dl, ok := t.sched.NextDeadline(); ok && dl > t.eng.Now() {
-		t.eng.At(dl, t.kickTX)
+		t.eng.At(dl, t.kickTXFn)
 	}
 }
 

@@ -21,7 +21,9 @@ type Core struct {
 
 	busyUntil sim.Time
 	queue     []hostTask
+	qHead     int
 	running   bool
+	curDone   func() // completion of the task currently executing
 
 	// Statistics.
 	Tasks        uint64
@@ -50,36 +52,56 @@ func (c *Core) Submit(task sim.Task, done func()) {
 	c.queue = append(c.queue, hostTask{task, done})
 	if !c.running {
 		c.running = true
-		c.eng.Immediately(c.next)
+		c.eng.ImmediatelyCall(coreKick, c)
 	}
 }
 
+func coreKick(a any) { a.(*Core).next() }
+
 // Busy reports whether the core has queued or running work.
-func (c *Core) Busy() bool { return c.running || len(c.queue) > 0 }
+func (c *Core) Busy() bool { return c.running || c.QueueLen() > 0 }
 
 // QueueLen returns the number of tasks waiting (excluding the running one).
-func (c *Core) QueueLen() int { return len(c.queue) }
+func (c *Core) QueueLen() int { return len(c.queue) - c.qHead }
 
 func (c *Core) next() {
-	if len(c.queue) == 0 {
+	if c.qHead >= len(c.queue) {
+		c.queue = c.queue[:0]
+		c.qHead = 0
 		c.running = false
 		return
 	}
-	t := c.queue[0]
-	c.queue = c.queue[1:]
+	t := c.queue[c.qHead]
+	c.queue[c.qHead] = hostTask{}
+	c.qHead++
+	if c.qHead > 64 && c.qHead*2 >= len(c.queue) {
+		n := copy(c.queue, c.queue[c.qHead:])
+		c.queue = c.queue[:n]
+		c.qHead = 0
+	}
 	c.Tasks++
 	var dur sim.Time
-	for _, s := range t.task.Steps {
+	for i := 0; i < t.task.NumSteps(); i++ {
+		s := t.task.Step(i)
 		c.Instructions += uint64(s.Compute)
 		dur += sim.Time(s.Compute)*c.cyclePs + s.Stall
 	}
 	c.busyAcc += dur
-	c.eng.After(dur, func() {
-		if t.done != nil {
-			t.done()
-		}
-		c.next()
-	})
+	c.curDone = t.done
+	c.eng.AfterCall(dur, coreTaskDone, c)
+}
+
+// coreTaskDone completes the running task and starts the next (see
+// sim.Engine.AtCall; the core runs one task at a time, so curDone is
+// unambiguous).
+func coreTaskDone(a any) {
+	c := a.(*Core)
+	done := c.curDone
+	c.curDone = nil
+	if done != nil {
+		done()
+	}
+	c.next()
 }
 
 // Utilization returns the core's busy fraction of simulated time.

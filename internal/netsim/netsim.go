@@ -12,20 +12,66 @@ import (
 	"fmt"
 
 	"flextoe/internal/packet"
+	"flextoe/internal/shm"
 	"flextoe/internal/sim"
 	"flextoe/internal/stats"
 )
 
 // Frame is a packet in flight, with its wire length cached.
+//
+// Frames are pooled: NewFrame draws from a freelist and the party that
+// takes the frame off the wire (the receiving stack's Recv handler, or a
+// drop point inside the fabric) returns it with ReleaseFrame. A frame has
+// exactly one owner at a time — each fabric hop hands it to the next.
+// Dropping a frame inside the fabric also releases its packet (the drop
+// point terminates the packet's journey; see the ownership rule in
+// package packet).
 type Frame struct {
 	Pkt     *packet.Packet
 	Wire    int      // bytes on the wire (Ethernet framing included)
 	Ingress sim.Time // when the frame first entered the fabric
+
+	link   *Iface // transmitting interface while on a link
+	dst    *Iface // forwarding destination while queued in the switch
+	pooled bool
 }
+
+// frameFree is the global frame freelist (single-threaded simulation;
+// frames never released fall to the garbage collector).
+var frameFree shm.Freelist[Frame]
 
 // NewFrame wraps a packet, computing its wire length.
 func NewFrame(p *packet.Packet, now sim.Time) *Frame {
-	return &Frame{Pkt: p, Wire: p.WireLen(), Ingress: now}
+	f := getFrame()
+	f.Pkt = p
+	f.Wire = p.WireLen()
+	f.Ingress = now
+	return f
+}
+
+func getFrame() *Frame {
+	if f := frameFree.Get(); f != nil {
+		return f
+	}
+	return &Frame{pooled: true}
+}
+
+// ReleaseFrame recycles a frame once its journey ends. The packet is NOT
+// released: the caller either still owns it (a receiving stack) or must
+// release it separately (a drop point). No-op for frames not obtained
+// from NewFrame.
+func ReleaseFrame(f *Frame) {
+	if f == nil || !f.pooled {
+		return
+	}
+	*f = Frame{pooled: true}
+	frameFree.Put(f)
+}
+
+// dropFrame terminates a frame and its packet inside the fabric.
+func dropFrame(f *Frame) {
+	packet.Release(f.Pkt)
+	ReleaseFrame(f)
 }
 
 // Iface is one end of a full-duplex link: it serializes outbound frames at
@@ -80,23 +126,35 @@ func Connect(a, b *Iface, prop sim.Time) {
 func (i *Iface) QueueBytes() int { return i.queueBytes }
 
 // Send serializes the frame onto the wire and delivers it to the peer
-// after the propagation delay.
+// after the propagation delay. Ownership of the frame (and its packet)
+// transfers to the link; an unconnected interface is a drop point.
 func (i *Iface) Send(f *Frame) {
 	if i.peer == nil {
+		dropFrame(f)
 		return
 	}
 	i.TxFrames++
 	i.TxBytes += uint64(f.Wire)
 	i.queueBytes += f.Wire
+	f.link = i
+	i.tx.AcquireCall(int64(f.Wire), i.prop, frameDelivered, f)
+}
+
+// frameDelivered runs when a frame's serialization + propagation ends:
+// it hands the frame to the receiving interface (see Engine.AtCall).
+func frameDelivered(a any) {
+	f := a.(*Frame)
+	i := f.link
+	f.link = nil
+	i.queueBytes -= f.Wire
 	peer := i.peer
-	i.tx.Acquire(int64(f.Wire), i.prop, func() {
-		i.queueBytes -= f.Wire
-		peer.RxFrames++
-		peer.RxBytes += uint64(f.Wire)
-		if peer.Recv != nil {
-			peer.Recv(f)
-		}
-	})
+	peer.RxFrames++
+	peer.RxBytes += uint64(f.Wire)
+	if peer.Recv != nil {
+		peer.Recv(f)
+		return
+	}
+	dropFrame(f)
 }
 
 // SwitchConfig controls the switch's queueing behaviours.
@@ -172,30 +230,37 @@ func (s *Switch) Learn(mac packet.EtherAddr, port *Iface) {
 }
 
 func (s *Switch) forward(f *Frame) {
-	// Uniform loss injection applies to every forwarded frame.
+	// Uniform loss injection applies to every forwarded frame. Every drop
+	// terminates the frame's (and packet's) journey: the switch is the
+	// owner at that point, so it releases both.
 	if s.cfg.LossProb > 0 && s.rng.Bool(s.cfg.LossProb) {
 		s.LossDrops++
+		dropFrame(f)
 		return
 	}
 	out, ok := s.table[f.Pkt.Eth.Dst]
 	if !ok {
 		s.Flooded++
+		dropFrame(f)
 		return
 	}
 	q := out.QueueBytes() + f.Wire
 	if s.cfg.QueueCapBytes > 0 && q > s.cfg.QueueCapBytes {
 		s.QueueDrops++
+		dropFrame(f)
 		return
 	}
 	if s.cfg.WREDMaxBytes > 0 {
 		switch {
 		case q > s.cfg.WREDMaxBytes:
 			s.WREDDrops++
+			dropFrame(f)
 			return
 		case q > s.cfg.WREDMinBytes:
 			frac := float64(q-s.cfg.WREDMinBytes) / float64(s.cfg.WREDMaxBytes-s.cfg.WREDMinBytes)
 			if s.rng.Bool(frac * s.cfg.WREDMaxProb) {
 				s.WREDDrops++
+				dropFrame(f)
 				return
 			}
 		}
@@ -206,7 +271,17 @@ func (s *Switch) forward(f *Frame) {
 		s.ECNMarks++
 	}
 	s.Forwarded++
-	s.eng.After(s.cfg.Latency, func() { out.Send(f) })
+	f.dst = out
+	s.eng.AfterCall(s.cfg.Latency, switchDeliver, f)
+}
+
+// switchDeliver moves a frame from the switch crossbar onto its egress
+// port (see Engine.AtCall).
+func switchDeliver(a any) {
+	f := a.(*Frame)
+	out := f.dst
+	f.dst = nil
+	out.Send(f)
 }
 
 // Network bundles a switch and the host-side interfaces for convenience.

@@ -1,6 +1,9 @@
 package nfp
 
-import "flextoe/internal/sim"
+import (
+	"flextoe/internal/shm"
+	"flextoe/internal/sim"
+)
 
 // DMAEngine models the PCIe island's DMA engine: up to DMAMaxInflight
 // asynchronous transactions sharing the PCIe link's bandwidth, each paying
@@ -13,6 +16,7 @@ type DMAEngine struct {
 	max      int
 	inflight int
 	waiting  []dmaReq
+	free     shm.Freelist[dmaTxn] // recycled transaction records
 
 	// Statistics.
 	Transactions uint64
@@ -22,8 +26,19 @@ type DMAEngine struct {
 
 type dmaReq struct {
 	bytes int
-	done  func()
+	cb    func(any)
+	arg   any
 }
+
+// dmaTxn is one in-flight transaction's completion record, recycled
+// through the engine's freelist so issuing allocates nothing.
+type dmaTxn struct {
+	d   *DMAEngine
+	cb  func(any)
+	arg any
+}
+
+func dmaDone(a any) { a.(*dmaTxn).complete() }
 
 // NewDMAEngine builds the engine from the chip config.
 func NewDMAEngine(eng *sim.Engine, cfg *Config) *DMAEngine {
@@ -40,31 +55,57 @@ func NewDMAEngine(eng *sim.Engine, cfg *Config) *DMAEngine {
 // (the paper's descriptor-pool flow control keeps this bounded in
 // practice).
 func (d *DMAEngine) Issue(bytes int, done func()) {
-	if d.inflight >= d.max {
-		d.waiting = append(d.waiting, dmaReq{bytes, done})
+	if done == nil {
+		d.IssueCall(bytes, nil, nil)
 		return
 	}
-	d.start(bytes, done)
+	d.IssueCall(bytes, callFn, done)
 }
 
-func (d *DMAEngine) start(bytes int, done func()) {
+// IssueCall is the allocation-free form of Issue: cb(arg) runs at
+// completion (see sim.Engine.AtCall for the contract).
+func (d *DMAEngine) IssueCall(bytes int, cb func(any), arg any) {
+	if d.inflight >= d.max {
+		d.waiting = append(d.waiting, dmaReq{bytes, cb, arg})
+		return
+	}
+	d.start(bytes, cb, arg)
+}
+
+func (d *DMAEngine) start(bytes int, cb func(any), arg any) {
 	d.inflight++
 	if d.inflight > d.PeakInflight {
 		d.PeakInflight = d.inflight
 	}
 	d.Transactions++
 	d.Bytes += uint64(bytes)
-	d.link.Acquire(int64(bytes), d.lat, func() {
-		d.inflight--
-		if done != nil {
-			done()
-		}
-		if len(d.waiting) > 0 && d.inflight < d.max {
-			req := d.waiting[0]
-			d.waiting = d.waiting[1:]
-			d.start(req.bytes, req.done)
-		}
-	})
+	t := d.getTxn()
+	t.cb, t.arg = cb, arg
+	d.link.AcquireCall(int64(bytes), d.lat, dmaDone, t)
+}
+
+func (t *dmaTxn) complete() {
+	d := t.d
+	cb, arg := t.cb, t.arg
+	t.cb, t.arg = nil, nil
+	d.free.Put(t)
+	d.inflight--
+	if cb != nil {
+		cb(arg)
+	}
+	if len(d.waiting) > 0 && d.inflight < d.max {
+		req := d.waiting[0]
+		d.waiting[0] = dmaReq{}
+		d.waiting = d.waiting[1:]
+		d.start(req.bytes, req.cb, req.arg)
+	}
+}
+
+func (d *DMAEngine) getTxn() *dmaTxn {
+	if t := d.free.Get(); t != nil {
+		return t
+	}
+	return &dmaTxn{d: d}
 }
 
 // Inflight returns the number of active transactions.

@@ -14,6 +14,7 @@
 package nfp
 
 import (
+	"flextoe/internal/shm"
 	"flextoe/internal/sim"
 )
 
@@ -110,6 +111,10 @@ type FPC struct {
 	issueBusy sim.Time // accumulated issue-slot busy time
 	issueFree sim.Time // next instant the issue slot is free
 
+	// free is the freelist of per-task execution records; tasks in flight
+	// hold at most threads+runq of them, so the list stays tiny.
+	free shm.Freelist[fpcTask]
+
 	// Idle runs whenever a hardware thread frees up, letting the owning
 	// pipeline stage pull more work.
 	Idle func()
@@ -121,8 +126,29 @@ type FPC struct {
 
 type pending struct {
 	task sim.Task
-	done func()
+	cb   func(any)
+	arg  any
 }
+
+// fpcTask is the in-flight execution record of one submitted task: the
+// remaining steps and the completion callback. Records are recycled via
+// the FPC's freelist so steady-state submission allocates nothing.
+type fpcTask struct {
+	f    *FPC
+	task sim.Task
+	idx  int
+	cb   func(any)
+	arg  any
+}
+
+// Long-lived event callbacks for the step state machine (see
+// Engine.AtCall): one fires when a compute burst retires, the other when
+// a stall expires.
+func fpcAfterCompute(a any) { a.(*fpcTask).afterCompute() }
+func fpcNextStep(a any)     { a.(*fpcTask).nextStep() }
+
+// callFn adapts a plain func() completion to the cb(arg) form.
+func callFn(a any) { a.(func())() }
 
 // NewFPC creates a core with the config's thread count and clock.
 func NewFPC(eng *sim.Engine, name string, cfg *Config) *FPC {
@@ -159,30 +185,51 @@ func (f *FPC) Busy() bool { return f.active > 0 || len(f.runq) > 0 }
 // the core's run queue (callers gate on FreeThreads for backpressure; the
 // run queue only absorbs same-instant races).
 func (f *FPC) Submit(task sim.Task, done func()) {
-	if f.active < f.threads {
-		f.active++
-		f.Tasks++
-		f.runSteps(task.Steps, done)
+	if done == nil {
+		f.SubmitCall(task, nil, nil)
 		return
 	}
-	f.runq = append(f.runq, pending{task, done})
+	f.SubmitCall(task, callFn, done)
 }
 
-// runSteps executes the task's steps as an event chain.
-func (f *FPC) runSteps(steps []sim.Step, done func()) {
-	if len(steps) == 0 {
-		f.finish(done)
+// SubmitCall is the allocation-free form of Submit: cb(arg) runs when the
+// task completes, with cb a long-lived function value and arg the per-task
+// state (typically the pipeline work item).
+func (f *FPC) SubmitCall(task sim.Task, cb func(any), arg any) {
+	if f.active < f.threads {
+		f.begin(task, cb, arg)
 		return
 	}
-	step := steps[0]
-	rest := steps[1:]
-	afterCompute := func() {
-		if step.Stall > 0 {
-			f.eng.After(step.Stall, func() { f.runSteps(rest, done) })
-		} else {
-			f.runSteps(rest, done)
-		}
+	f.runq = append(f.runq, pending{task, cb, arg})
+}
+
+func (f *FPC) begin(task sim.Task, cb func(any), arg any) {
+	f.active++
+	f.Tasks++
+	ft := f.getTask()
+	ft.task = task
+	ft.idx = 0
+	ft.cb = cb
+	ft.arg = arg
+	ft.runStep()
+}
+
+func (f *FPC) getTask() *fpcTask {
+	if ft := f.free.Get(); ft != nil {
+		return ft
 	}
+	return &fpcTask{f: f}
+}
+
+// runStep executes the current step: the compute burst serializes on the
+// issue slot, then the stall (if any) elapses off-slot.
+func (ft *fpcTask) runStep() {
+	f := ft.f
+	if ft.idx >= ft.task.NumSteps() {
+		f.finish(ft)
+		return
+	}
+	step := ft.task.Step(ft.idx)
 	if step.Compute > 0 {
 		f.Instructions += uint64(step.Compute)
 		now := f.eng.Now()
@@ -193,24 +240,39 @@ func (f *FPC) runSteps(steps []sim.Step, done func()) {
 		dur := sim.Time(step.Compute) * f.cyclePs
 		f.issueFree = start + dur
 		f.issueBusy += dur
-		f.eng.At(f.issueFree, afterCompute)
-	} else {
-		afterCompute()
+		f.eng.AtCall(f.issueFree, fpcAfterCompute, ft)
+		return
 	}
+	ft.afterCompute()
 }
 
-func (f *FPC) finish(done func()) {
+func (ft *fpcTask) afterCompute() {
+	if stall := ft.task.Step(ft.idx).Stall; stall > 0 {
+		ft.f.eng.AfterCall(stall, fpcNextStep, ft)
+		return
+	}
+	ft.nextStep()
+}
+
+func (ft *fpcTask) nextStep() {
+	ft.idx++
+	ft.runStep()
+}
+
+func (f *FPC) finish(ft *fpcTask) {
+	cb, arg := ft.cb, ft.arg
+	ft.cb, ft.arg = nil, nil
+	f.free.Put(ft)
 	f.active--
-	if done != nil {
-		done()
+	if cb != nil {
+		cb(arg)
 	}
 	// Start queued work before announcing idleness.
 	for f.active < f.threads && len(f.runq) > 0 {
 		p := f.runq[0]
+		f.runq[0] = pending{}
 		f.runq = f.runq[1:]
-		f.active++
-		f.Tasks++
-		f.runSteps(p.task.Steps, p.done)
+		f.begin(p.task, p.cb, p.arg)
 	}
 	if f.active < f.threads && f.Idle != nil {
 		f.Idle()

@@ -8,12 +8,23 @@ import (
 
 // Packet bundles decoded layers with the TCP payload. Nil layer pointers
 // mean the layer is absent.
+//
+// Packets on the simulated wire are single-owner objects: building and
+// sending one transfers it to the fabric, and whoever terminates its
+// journey (the consuming stack, or a drop point) calls Release exactly
+// once. See Get/Release in pool.go for the recycling contract.
 type Packet struct {
 	Eth     Ethernet
 	VLAN    *VLAN
 	IP      IPv4
 	TCP     TCP
 	Payload []byte
+
+	// buf is the retained payload backing of a pooled packet (GrowPayload
+	// carves Payload from it); pooled marks packets obtained from Get so
+	// Release is a safe no-op on ordinary &Packet{} literals.
+	buf    []byte
+	pooled bool
 }
 
 // Decode errors.

@@ -201,15 +201,26 @@ func (f Flow) Reverse() Flow {
 	return Flow{SrcIP: f.DstIP, DstIP: f.SrcIP, SrcPort: f.DstPort, DstPort: f.SrcPort}
 }
 
+// ieeeTable backs Flow.Hash's inline CRC-32 (identical to
+// crc32.ChecksumIEEE; see TestFlowHashMatchesCRC32).
+var ieeeTable = crc32.MakeTable(crc32.IEEE)
+
 // Hash returns the CRC-32 hash of the 4-tuple, matching the pre-processor's
-// use of the NFP lookup engine's CRC-32 unit (§4.1).
+// use of the NFP lookup engine's CRC-32 unit (§4.1). The byte-at-a-time
+// loop is local so the scratch buffer stays on the stack (ChecksumIEEE
+// dispatches through a function pointer, which forces it to escape —
+// three heap allocations per simulated segment on the old path).
 func (f Flow) Hash() uint32 {
 	var b [12]byte
 	binary.BigEndian.PutUint32(b[0:], uint32(f.SrcIP))
 	binary.BigEndian.PutUint32(b[4:], uint32(f.DstIP))
 	binary.BigEndian.PutUint16(b[8:], f.SrcPort)
 	binary.BigEndian.PutUint16(b[10:], f.DstPort)
-	return crc32.ChecksumIEEE(b[:])
+	crc := ^uint32(0)
+	for _, c := range b {
+		crc = ieeeTable[byte(crc)^c] ^ (crc >> 8)
+	}
+	return ^crc
 }
 
 // FlowGroup maps the flow to one of n flow-group islands (§3.1).

@@ -2,6 +2,8 @@ package packet
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -425,5 +427,27 @@ func TestAddrStrings(t *testing.T) {
 	f := Flow{SrcIP: IP(10, 0, 0, 1), DstIP: IP(10, 0, 0, 2), SrcPort: 5, DstPort: 6}
 	if got := f.String(); got != "10.0.0.1:5>10.0.0.2:6" {
 		t.Fatalf("Flow string = %q", got)
+	}
+}
+
+// TestFlowHashMatchesCRC32 pins Flow.Hash's inline table loop to the
+// standard library's crc32.ChecksumIEEE (the flow-group steering and
+// lookup keys must not change).
+func TestFlowHashMatchesCRC32(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		f := Flow{
+			SrcIP:   IPv4Addr(i * 2654435761),
+			DstIP:   IPv4Addr(i*40503 + 7),
+			SrcPort: uint16(i * 31),
+			DstPort: uint16(i*17 + 3),
+		}
+		var b [12]byte
+		binary.BigEndian.PutUint32(b[0:], uint32(f.SrcIP))
+		binary.BigEndian.PutUint32(b[4:], uint32(f.DstIP))
+		binary.BigEndian.PutUint16(b[8:], f.SrcPort)
+		binary.BigEndian.PutUint16(b[10:], f.DstPort)
+		if got, want := f.Hash(), crc32.ChecksumIEEE(b[:]); got != want {
+			t.Fatalf("Hash(%v) = %#x, crc32 = %#x", f, got, want)
+		}
 	}
 }

@@ -1,0 +1,76 @@
+package packet
+
+import "flextoe/internal/shm"
+
+// The data path builds every ACK and data segment into a recycled Packet
+// whose payload bytes are carved from a shared slab (shm.Slab), so the
+// steady-state wire path performs no heap allocation.
+//
+// Ownership rule (the single rule everything follows): a Packet has
+// exactly one owner at a time. Building one and handing it to the fabric
+// (netsim.Iface.Send) transfers ownership hop by hop; the party that
+// terminates the packet's journey — the stack that consumed it, or the
+// drop point (switch loss/WRED/flood, unconnected interface) — calls
+// Release exactly once, and must not touch the packet afterwards.
+// Senders must never retain or re-send a Packet they have transmitted
+// (retransmissions rebuild from the payload buffer). Release on a packet
+// built with a plain &Packet{} literal (control plane, applications,
+// tests) is a no-op, so consumers can release unconditionally.
+
+// payloadSlab backs pooled packets' payload bytes. The 2 KB class covers
+// the MTU-sized segments of every experiment; oversized payloads fall
+// back to a dedicated make that the packet then retains.
+var payloadSlab = shm.NewSlab(2048, 256)
+
+// pktFree is the global packet freelist. The simulation is single-
+// threaded, so a plain stack suffices; packets never released (e.g.
+// retained by a test) simply fall to the garbage collector.
+var pktFree shm.Freelist[Packet]
+
+// PoolStats reports pooled-packet traffic for tests and diagnostics.
+var PoolStats struct {
+	Gets     uint64
+	Releases uint64
+}
+
+// Get returns a zeroed pooled Packet. The caller owns it until it calls
+// Release or transmits it (transferring ownership to the receiver).
+func Get() *Packet {
+	PoolStats.Gets++
+	if p := pktFree.Get(); p != nil {
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// Release recycles a pooled packet. It is a no-op for packets not obtained
+// from Get, so consumers may call it unconditionally on any packet they
+// terminally own. Releasing the same packet twice is a caller bug (the
+// pool would hand one object to two owners); the pipeline's refcounted
+// segment items make that structurally impossible on the data path.
+func Release(p *Packet) {
+	if p == nil || !p.pooled {
+		return
+	}
+	PoolStats.Releases++
+	buf := p.buf
+	*p = Packet{}
+	p.buf = buf[:0]
+	p.pooled = true
+	pktFree.Put(p)
+}
+
+// GrowPayload sets p.Payload to an n-byte buffer carved from the packet's
+// retained backing (growing it from the payload slab on first use) and
+// returns it. The contents are unspecified; callers overwrite them fully.
+func (p *Packet) GrowPayload(n int) []byte {
+	if cap(p.buf) < n {
+		if p.pooled && n <= payloadSlab.Class() {
+			p.buf = payloadSlab.Get()
+		} else {
+			p.buf = make([]byte, 0, n)
+		}
+	}
+	p.Payload = p.buf[:n]
+	return p.Payload
+}

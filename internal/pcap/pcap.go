@@ -26,6 +26,7 @@ const (
 type Writer struct {
 	w       io.Writer
 	snap    uint32
+	scratch []byte // reusable serialization buffer (WritePacket)
 	Packets uint64
 }
 
@@ -66,9 +67,16 @@ func (pw *Writer) WriteFrame(at sim.Time, frame []byte) error {
 	return nil
 }
 
-// WritePacket serializes and logs a structured packet.
+// WritePacket serializes and logs a structured packet, reusing the
+// writer's scratch buffer so per-packet capture allocates nothing.
 func (pw *Writer) WritePacket(at sim.Time, p *packet.Packet) error {
-	return pw.WriteFrame(at, p.Serialize(packet.SerializeOptions{FixLengths: true, ComputeChecksums: true}))
+	n := p.WireLen()
+	if cap(pw.scratch) < n {
+		pw.scratch = make([]byte, n)
+	}
+	pw.scratch = pw.scratch[:n]
+	p.SerializeTo(pw.scratch, packet.SerializeOptions{FixLengths: true, ComputeChecksums: true})
+	return pw.WriteFrame(at, pw.scratch)
 }
 
 // Record is one captured packet.

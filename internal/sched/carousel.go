@@ -19,7 +19,17 @@ type Carousel struct {
 	hand     sim.Time // time at the start of the current slot
 	handInit bool
 
-	rr []uint32 // round-robin list: due and uncongested flows
+	// Round-robin list: due and uncongested flows. Consumed from rrHead
+	// and compacted periodically so the backing array recycles instead of
+	// reallocating on every append (the old head-slicing grew a fresh
+	// array per wheel rotation).
+	rr     []uint32
+	rrHead int
+
+	// wheelItems counts entries sitting in wheel slots (including stale
+	// ones not yet drained), so NextDeadline's slot scan — 4096 probes —
+	// only runs when something is actually rate-limited.
+	wheelItems int
 
 	state map[uint32]*flowState
 
@@ -104,6 +114,7 @@ func (c *Carousel) Submit(id uint32) {
 	}
 	idx := (c.cur + slots) % len(c.wheel)
 	c.wheel[idx] = append(c.wheel[idx], id)
+	c.wheelItems++
 	st.inWheel = true
 	c.Scheduled++
 }
@@ -122,6 +133,7 @@ func (c *Carousel) advanceHand(now sim.Time) {
 		due := c.wheel[c.cur]
 		if len(due) > 0 {
 			c.wheel[c.cur] = nil
+			c.wheelItems -= len(due)
 			for _, id := range due {
 				st, ok := c.state[id]
 				if !ok || !st.inWheel {
@@ -145,9 +157,17 @@ func (c *Carousel) advanceHand(now sim.Time) {
 func (c *Carousel) Next(bytes uint32) (uint32, bool) {
 	now := c.eng.Now()
 	c.advanceHand(now)
-	for len(c.rr) > 0 {
-		id := c.rr[0]
-		c.rr = c.rr[1:]
+	for c.rrHead < len(c.rr) {
+		id := c.rr[c.rrHead]
+		c.rrHead++
+		if c.rrHead == len(c.rr) {
+			c.rr = c.rr[:0]
+			c.rrHead = 0
+		} else if c.rrHead > 64 && c.rrHead*2 >= len(c.rr) {
+			n := copy(c.rr, c.rr[c.rrHead:])
+			c.rr = c.rr[:n]
+			c.rrHead = 0
+		}
 		st, ok := c.state[id]
 		if !ok || !st.inRR {
 			continue // removed while queued
@@ -170,8 +190,11 @@ func (c *Carousel) Next(bytes uint32) (uint32, bool) {
 // scheduler is empty.
 func (c *Carousel) NextDeadline() (sim.Time, bool) {
 	c.advanceHand(c.eng.Now())
-	if len(c.rr) > 0 {
+	if c.rrHead < len(c.rr) {
 		return c.eng.Now(), true
+	}
+	if c.wheelItems == 0 {
+		return 0, false
 	}
 	for i := 0; i < len(c.wheel); i++ {
 		idx := (c.cur + i) % len(c.wheel)

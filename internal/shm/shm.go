@@ -119,3 +119,90 @@ func (p *Pool) Free() {
 
 // InUse returns the number of allocated buffers.
 func (p *Pool) InUse() int { return p.cap - p.free }
+
+// Freelist recycles pointers to pooled objects: the pop-last/nil-slot
+// mechanics shared by every object pool on the zero-allocation hot path
+// (packets, frames, segItems, FPC task records, DMA transactions). The
+// caller owns reset semantics; Get returns nil when empty so each pool
+// constructs its own fresh object. Slots are nilled on Get so the
+// freelist never retains a reference to an object in flight.
+type Freelist[T any] struct {
+	items []*T
+}
+
+// Get pops the most recently returned object, or nil when empty.
+func (f *Freelist[T]) Get() *T {
+	n := len(f.items)
+	if n == 0 {
+		return nil
+	}
+	x := f.items[n-1]
+	f.items[n-1] = nil
+	f.items = f.items[:n-1]
+	return x
+}
+
+// Put returns an object to the freelist. The caller must have dropped
+// every other reference (and reset the object, per its pool's contract).
+func (f *Freelist[T]) Put(x *T) {
+	f.items = append(f.items, x)
+}
+
+// Slab is a grow-only arena of fixed-size byte buffers: payload staging
+// for the zero-allocation data path. Buffers are carved class-size at a
+// time from large blocks (one make per unitsPerBlock buffers) and recycled
+// through a freelist, so steady-state Get/Put performs no heap allocation
+// and consecutive buffers stay cache-adjacent, like the CTM packet-buffer
+// SRAM they stand in for.
+type Slab struct {
+	class int
+	unit  int // buffers carved per block
+	block []byte
+	free  [][]byte
+
+	// Statistics.
+	Blocks uint64
+	Gets   uint64
+	Puts   uint64
+}
+
+// NewSlab creates a slab handing out buffers of the given class size,
+// growing unitsPerBlock buffers at a time.
+func NewSlab(class, unitsPerBlock int) *Slab {
+	if class <= 0 || unitsPerBlock <= 0 {
+		panic("shm: bad slab geometry")
+	}
+	return &Slab{class: class, unit: unitsPerBlock}
+}
+
+// Class returns the buffer size this slab serves.
+func (s *Slab) Class() int { return s.class }
+
+// Get returns a zero-length buffer with capacity Class. The caller owns it
+// until Put.
+func (s *Slab) Get() []byte {
+	s.Gets++
+	if n := len(s.free); n > 0 {
+		b := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return b
+	}
+	if len(s.block) < s.class {
+		s.block = make([]byte, s.class*s.unit)
+		s.Blocks++
+	}
+	b := s.block[0:0:s.class]
+	s.block = s.block[s.class:]
+	return b
+}
+
+// Put returns a buffer to the freelist. Buffers of a different class are
+// dropped (left to the garbage collector).
+func (s *Slab) Put(b []byte) {
+	if cap(b) != s.class {
+		return
+	}
+	s.Puts++
+	s.free = append(s.free, b[0:0:s.class])
+}

@@ -105,3 +105,36 @@ func TestPoolInvariantProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSlabCarveAndRecycle(t *testing.T) {
+	s := NewSlab(128, 4)
+	a := s.Get()
+	if cap(a) != 128 || len(a) != 0 {
+		t.Fatalf("Get: len=%d cap=%d", len(a), cap(a))
+	}
+	// Buffers from one block are contiguous (cache-adjacent carving).
+	b := s.Get()
+	if &a[:1][0] == &b[:1][0] {
+		t.Fatal("distinct buffers alias")
+	}
+	if s.Blocks != 1 {
+		t.Fatalf("Blocks = %d after two gets of four-unit block", s.Blocks)
+	}
+	s.Put(a)
+	c := s.Get()
+	if &c[:1][0] != &a[:1][0] {
+		t.Fatal("freelist did not recycle the returned buffer")
+	}
+	// A fifth distinct buffer forces a second block.
+	s.Get()
+	s.Get()
+	s.Get()
+	if s.Blocks != 2 {
+		t.Fatalf("Blocks = %d after exhausting the first block", s.Blocks)
+	}
+	// Foreign-class buffers are dropped, not pooled.
+	s.Put(make([]byte, 64))
+	if s.Puts != 1 {
+		t.Fatalf("Puts = %d, foreign buffer was accepted", s.Puts)
+	}
+}

@@ -6,10 +6,19 @@
 // non-nanosecond periods (the NFP-4000's 800 MHz FPCs tick every 1250 ps)
 // stay exact. All state mutation happens inside events executed by a single
 // goroutine, so simulations are reproducible bit-for-bit from their seed.
+//
+// The event core is a hierarchical timing wheel: a near wheel of
+// fixed-width buckets covering the next ~67 us absorbs the dense
+// sub-microsecond traffic of the data-path (FPC issue slots, memory
+// stalls, PCIe completions) in O(1), while an overflow binary heap holds
+// the sparse far future (retransmission timeouts, experiment end markers).
+// Bucket slices and the heap reuse their capacity, so steady-state event
+// scheduling performs no heap allocation. Execution order is exactly the
+// order the old global heap produced: ascending timestamp, FIFO among
+// events scheduled for the same instant (the seq tie-break).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -64,45 +73,78 @@ func Cycles(n int64, hz int64) Time {
 	return Time(whole*1e12 + (rem*1e12+hz/2)/hz)
 }
 
+// event is one scheduled callback. Events come in two flavours: a plain
+// closure (fn) or the allocation-free call form (cb + arg), where cb is a
+// long-lived function value and arg carries the per-event state. Exactly
+// one of fn/cb is set.
 type event struct {
 	at  Time
 	seq uint64 // tie-break: FIFO among same-instant events
 	fn  func()
+	cb  func(any)
+	arg any
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (ev *event) run() {
+	if ev.cb != nil {
+		ev.cb(ev.arg)
+		return
 	}
-	return h[i].seq < h[j].seq
+	ev.fn()
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return ev
+
+// before reports whether a orders strictly before b in execution order.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }
+
+// Timing-wheel geometry. One bucket spans 2^tickBits ps (65.536 ns); the
+// wheel spans wheelSize buckets (~67 us). Deadlines beyond the span go to
+// the overflow heap and migrate into the wheel when it advances.
+const (
+	tickBits  = 16
+	tickSpan  = Time(1) << tickBits
+	wheelBits = 10
+	wheelSize = 1 << wheelBits
+	wheelMask = wheelSize - 1
+)
 
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; construct with New.
 type Engine struct {
 	now     Time
-	events  eventHeap
 	seq     uint64
 	stopped bool
 	nRun    uint64
+
+	// Near wheel: buckets[i&wheelMask] holds events whose tick index
+	// (at>>tickBits) is i, for ticks in [start>>tickBits, +wheelSize).
+	// heads[i] is the bucket's consumed prefix; sorted[i] records whether
+	// the unconsumed suffix is known to be in (at, seq) order.
+	buckets  [][]event
+	heads    []int
+	sorted   []bool
+	start    Time  // wheel window lower bound, tick-aligned
+	curTick  int64 // cursor: no wheel event lives below this tick
+	wheelCnt int
+
+	// Overflow heap for events beyond the wheel span, ordered by
+	// (at, seq). Invariant: every overflow event is at or beyond
+	// start+span whenever the wheel is non-empty, so the wheel minimum is
+	// always the global minimum when wheelCnt > 0.
+	overflow []event
 }
 
 // New returns an empty engine at time zero.
 func New() *Engine {
-	return &Engine{}
+	return &Engine{
+		buckets: make([][]event, wheelSize),
+		heads:   make([]int, wheelSize),
+		sorted:  make([]bool, wheelSize),
+	}
 }
 
 // Now returns the current simulated time.
@@ -118,7 +160,20 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.insert(event{at: t, seq: e.seq, fn: fn})
+}
+
+// AtCall schedules cb(arg) at absolute time t. It is the allocation-free
+// form of At: cb should be a long-lived function value (package-level or
+// cached on a struct) and arg the per-event state, so scheduling performs
+// no closure allocation. arg must not be a pooled object that could be
+// recycled before the event fires.
+func (e *Engine) AtCall(t Time, cb func(any), arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	e.insert(event{at: t, seq: e.seq, cb: cb, arg: arg})
 }
 
 // After schedules fn to run d picoseconds from now. Negative d panics.
@@ -126,10 +181,20 @@ func (e *Engine) After(d Time, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// AfterCall schedules cb(arg) d picoseconds from now (see AtCall).
+func (e *Engine) AfterCall(d Time, cb func(any), arg any) {
+	e.AtCall(e.now+d, cb, arg)
+}
+
 // Immediately schedules fn at the current instant, after all events already
 // queued for this instant.
 func (e *Engine) Immediately(fn func()) {
 	e.At(e.now, fn)
+}
+
+// ImmediatelyCall schedules cb(arg) at the current instant (see AtCall).
+func (e *Engine) ImmediatelyCall(cb func(any), arg any) {
+	e.AtCall(e.now, cb, arg)
 }
 
 // Every schedules fn at start and then every interval thereafter, for as
@@ -147,15 +212,129 @@ func (e *Engine) Every(start, interval Time, fn func() bool) {
 	e.At(start, tick)
 }
 
+// insert routes an event to its wheel bucket or the overflow heap.
+func (e *Engine) insert(ev event) {
+	const span = Time(wheelSize) << tickBits
+	if e.wheelCnt == 0 && ev.at-e.start >= span {
+		// Empty wheel: slide the window up to now so near-future events
+		// keep landing in buckets.
+		e.anchor(e.now)
+	}
+	if ev.at-e.start < span {
+		tick := int64(ev.at >> tickBits)
+		if tick < e.curTick {
+			// The cursor peeked ahead of now (RunUntil); rescan from here.
+			e.curTick = tick
+		}
+		idx := int(tick) & wheelMask
+		b := e.buckets[idx]
+		// Appending in (at, seq) order keeps the bucket sorted for free;
+		// anything else marks it for a lazy sort at drain time.
+		if len(b) > e.heads[idx] && !b[len(b)-1].before(&ev) {
+			e.sorted[idx] = false
+		}
+		e.buckets[idx] = append(b, ev)
+		e.wheelCnt++
+		return
+	}
+	e.heapPush(ev)
+}
+
+// anchor moves the wheel window so it starts at the tick containing t and
+// migrates overflow events that fall inside the new window. Only legal
+// when the wheel is empty.
+func (e *Engine) anchor(t Time) {
+	e.start = t &^ (tickSpan - 1)
+	e.curTick = int64(e.start >> tickBits)
+	const span = Time(wheelSize) << tickBits
+	for len(e.overflow) > 0 && e.overflow[0].at-e.start < span {
+		ev := e.heapPop()
+		idx := int(ev.at>>tickBits) & wheelMask
+		b := e.buckets[idx]
+		if len(b) > e.heads[idx] && !b[len(b)-1].before(&ev) {
+			e.sorted[idx] = false
+		}
+		e.buckets[idx] = append(b, ev)
+		e.wheelCnt++
+	}
+}
+
+// wheelMin advances the cursor to the first non-empty bucket and returns
+// a pointer to its earliest event. Only valid when wheelCnt > 0.
+func (e *Engine) wheelMin() *event {
+	for {
+		idx := int(e.curTick) & wheelMask
+		b := e.buckets[idx]
+		h := e.heads[idx]
+		if h < len(b) {
+			if !e.sorted[idx] {
+				insertionSort(b[h:])
+				e.sorted[idx] = true
+			}
+			return &b[h]
+		}
+		// Bucket exhausted: reset it for the next rotation.
+		if len(b) > 0 {
+			e.buckets[idx] = b[:0]
+			e.heads[idx] = 0
+			e.sorted[idx] = true
+		}
+		e.curTick++
+	}
+}
+
+// insertionSort orders events by (at, seq). Buckets are small and mostly
+// sorted already, so insertion sort beats sort.Slice and allocates nothing.
+func insertionSort(evs []event) {
+	for i := 1; i < len(evs); i++ {
+		ev := evs[i]
+		j := i - 1
+		for j >= 0 && ev.before(&evs[j]) {
+			evs[j+1] = evs[j]
+			j--
+		}
+		evs[j+1] = ev
+	}
+}
+
+// popWheelMin consumes the event wheelMin points at.
+func (e *Engine) popWheelMin() event {
+	idx := int(e.curTick) & wheelMask
+	h := e.heads[idx]
+	ev := e.buckets[idx][h]
+	e.buckets[idx][h] = event{}
+	e.heads[idx] = h + 1
+	e.wheelCnt--
+	return ev
+}
+
+// nextAt returns the timestamp of the next event to execute.
+func (e *Engine) nextAt() (Time, bool) {
+	if e.wheelCnt > 0 {
+		return e.wheelMin().at, true
+	}
+	if len(e.overflow) > 0 {
+		return e.overflow[0].at, true
+	}
+	return 0, false
+}
+
 // Step executes the next event. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if e.stopped || len(e.events) == 0 {
+	if e.stopped {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	if e.wheelCnt == 0 {
+		if len(e.overflow) == 0 {
+			return false
+		}
+		e.anchor(e.overflow[0].at)
+	}
+	e.wheelMin()
+	ev := e.popWheelMin()
 	e.now = ev.at
 	e.nRun++
-	ev.fn()
+	ev.run()
 	return true
 }
 
@@ -168,7 +347,11 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= t, then advances the clock
 // to t (even if the queue still holds later events).
 func (e *Engine) RunUntil(t Time) {
-	for !e.stopped && len(e.events) > 0 && e.events[0].at <= t {
+	for !e.stopped {
+		at, ok := e.nextAt()
+		if !ok || at > t {
+			break
+		}
 		e.Step()
 	}
 	if !e.stopped && e.now < t {
@@ -183,4 +366,50 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Stopped() bool { return e.stopped }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.wheelCnt + len(e.overflow) }
+
+// ---------------------------------------------------------------------
+// Overflow heap: a plain binary min-heap on (at, seq), hand-rolled so
+// pushes and pops never box events through container/heap's interface.
+// ---------------------------------------------------------------------
+
+func (e *Engine) heapPush(ev event) {
+	h := append(e.overflow, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.overflow = h
+}
+
+func (e *Engine) heapPop() event {
+	h := e.overflow
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{}
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h[l].before(&h[min]) {
+			min = l
+		}
+		if r < n && h[r].before(&h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	e.overflow = h
+	return top
+}

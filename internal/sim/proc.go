@@ -8,37 +8,58 @@ type Step struct {
 	Stall   Time  // latency hidden from the issue slot
 }
 
+// MaxTaskSteps bounds the steps in one Task. Tasks are value types with a
+// fixed-size step array so that building one on the data path performs no
+// heap allocation (the run-to-completion ablation's five-step task is the
+// deepest in the tree); keeping the array tight matters because tasks are
+// copied by value through every Submit.
+const MaxTaskSteps = 6
+
 // Task is a unit of work submitted to a Proc: alternating compute bursts
 // and stalls. Tasks are value types and may be built incrementally.
 type Task struct {
-	Steps []Step
+	n     int
+	steps [MaxTaskSteps]Step
 }
 
 // TaskC returns a Task consisting of a single compute burst.
 func TaskC(instr int64) Task {
-	return Task{Steps: []Step{{Compute: instr}}}
+	var t Task
+	t.steps[0] = Step{Compute: instr}
+	t.n = 1
+	return t
 }
 
 // Add appends a step and returns the task for chaining.
 func (t Task) Add(instr int64, stall Time) Task {
-	t.Steps = append(t.Steps, Step{Compute: instr, Stall: stall})
+	if t.n >= MaxTaskSteps {
+		panic("sim: task step overflow")
+	}
+	t.steps[t.n] = Step{Compute: instr, Stall: stall}
+	t.n++
 	return t
 }
 
+// NumSteps returns the number of steps in the task.
+func (t *Task) NumSteps() int { return t.n }
+
+// Step returns the i-th step.
+func (t *Task) Step(i int) Step { return t.steps[i] }
+
 // Instructions returns the total compute in the task.
-func (t Task) Instructions() int64 {
+func (t *Task) Instructions() int64 {
 	var n int64
-	for _, s := range t.Steps {
-		n += s.Compute
+	for i := 0; i < t.n; i++ {
+		n += t.steps[i].Compute
 	}
 	return n
 }
 
 // StallTime returns the total stall time in the task.
-func (t Task) StallTime() Time {
+func (t *Task) StallTime() Time {
 	var d Time
-	for _, s := range t.Steps {
-		d += s.Stall
+	for i := 0; i < t.n; i++ {
+		d += t.steps[i].Stall
 	}
 	return d
 }

@@ -24,6 +24,23 @@ func NewResource(eng *Engine, name string, unitsPerSecond float64) *Resource {
 // Acquire schedules a transfer of n units plus a fixed latency; done runs
 // when the transfer finishes. It returns the completion time.
 func (r *Resource) Acquire(n int64, extra Time, done func()) Time {
+	end := r.reserve(n, extra)
+	if done != nil {
+		r.eng.At(end, done)
+	}
+	return end
+}
+
+// AcquireCall is the allocation-free form of Acquire: cb(arg) runs at
+// completion, with cb a long-lived function value (see Engine.AtCall).
+func (r *Resource) AcquireCall(n int64, extra Time, cb func(any), arg any) Time {
+	end := r.reserve(n, extra)
+	r.eng.AtCall(end, cb, arg)
+	return end
+}
+
+// reserve books the facility for n units and returns the completion time.
+func (r *Resource) reserve(n int64, extra Time) Time {
 	now := r.eng.Now()
 	start := r.free
 	if start < now {
@@ -35,11 +52,7 @@ func (r *Resource) Acquire(n int64, extra Time, done func()) Time {
 	}
 	r.free = start + dur
 	r.busyAcc += dur
-	end := r.free + extra
-	if done != nil {
-		r.eng.At(end, done)
-	}
-	return end
+	return r.free + extra
 }
 
 // NextFree returns when the resource next becomes idle.

@@ -1,0 +1,77 @@
+package tcpseg
+
+import "testing"
+
+// TestProcessTXPiggybacksSACK: a sender whose receive side holds
+// out-of-order intervals advertises them on outgoing data segments when
+// SACK-permitted was negotiated, so bidirectional peers learn about holes
+// without waiting for a pure ACK.
+func TestProcessTXPiggybacksSACK(t *testing.T) {
+	const win = 1 << 16
+	st := &ProtoState{RxAvail: win, RemoteWin: win >> WindowScale, OOOCap: MaxOOOIntervals}
+	post := &PostState{RxSize: win, TxSize: win}
+	st.SetSACKPerm(true)
+
+	// Receive out-of-order data: two holes -> two intervals.
+	for _, seg := range []struct{ seq, n uint32 }{{1000, 500}, {3000, 500}} {
+		info := SegInfo{Seq: seg.seq, PayloadLen: seg.n, Flags: 0x10, Window: win >> WindowScale}
+		ProcessRX(st, post, &info, 0)
+	}
+	if st.OOOCnt != 2 {
+		t.Fatalf("OOOCnt = %d, want 2", st.OOOCnt)
+	}
+
+	// Stage data and transmit: the data segment must carry both blocks.
+	ProcessHC(st, post, HCOp{Kind: HCTx, Bytes: 2000})
+	res, ok := ProcessTX(st, post, 1448, 0)
+	if !ok {
+		t.Fatal("ProcessTX refused to send")
+	}
+	if res.SACKCnt != 2 {
+		t.Fatalf("data segment SACKCnt = %d, want 2", res.SACKCnt)
+	}
+	if res.SACK[0] != (SeqInterval{Start: 1000, End: 1500}) ||
+		res.SACK[1] != (SeqInterval{Start: 3000, End: 3500}) {
+		t.Fatalf("SACK blocks = %v", res.SACK[:res.SACKCnt])
+	}
+
+	// Without SACK-permitted the piggyback must stay off.
+	st2 := &ProtoState{RxAvail: win, RemoteWin: win >> WindowScale, OOOCap: MaxOOOIntervals}
+	post2 := &PostState{RxSize: win, TxSize: win}
+	info := SegInfo{Seq: 1000, PayloadLen: 500, Flags: 0x10, Window: win >> WindowScale}
+	ProcessRX(st2, post2, &info, 0)
+	ProcessHC(st2, post2, HCOp{Kind: HCTx, Bytes: 2000})
+	res2, ok := ProcessTX(st2, post2, 1448, 0)
+	if !ok || res2.SACKCnt != 0 {
+		t.Fatalf("non-SACK connection piggybacked %d blocks", res2.SACKCnt)
+	}
+}
+
+// TestSelectiveRetransmitPiggybacksSACK: repairs from the retransmit
+// queue carry the receive side's intervals too (they are data segments
+// like any other).
+func TestSelectiveRetransmitPiggybacksSACK(t *testing.T) {
+	const win = 1 << 16
+	st := &ProtoState{RxAvail: win, RemoteWin: win >> WindowScale, OOOCap: MaxOOOIntervals}
+	post := &PostState{RxSize: win, TxSize: win}
+	st.SetSACKPerm(true)
+	// Local receive side has a hole.
+	info := SegInfo{Seq: 1000, PayloadLen: 500, Flags: 0x10, Window: win >> WindowScale}
+	ProcessRX(st, post, &info, 0)
+	// Force a queued selective retransmit.
+	ProcessHC(st, post, HCOp{Kind: HCTx, Bytes: 4096})
+	for {
+		if _, ok := ProcessTX(st, post, 1448, 0); !ok {
+			break
+		}
+	}
+	st.RetxQ[0] = SeqInterval{Start: 0, End: 512}
+	st.RetxCnt = 1
+	res, ok := ProcessTX(st, post, 1448, 0)
+	if !ok || !res.Retransmit {
+		t.Fatalf("expected a retransmit segment, got ok=%v retx=%v", ok, res.Retransmit)
+	}
+	if res.SACKCnt != 1 || res.SACK[0] != (SeqInterval{Start: 1000, End: 1500}) {
+		t.Fatalf("retransmit SACK blocks = %v (cnt %d)", res.SACK[:res.SACKCnt], res.SACKCnt)
+	}
+}

@@ -340,8 +340,15 @@ func consumeOOOFin(st *ProtoState, res *RXResult) {
 // containing the most recently accepted segment leads (RFC 2018), so the
 // encoder's option-space truncation keeps the freshest information.
 func emitSACK(st *ProtoState, res *RXResult, recent uint32, hasRecent bool) {
+	res.AckSACKCnt = copySACK(st, &res.AckSACK, recent, hasRecent)
+}
+
+// copySACK writes the interval set into dst, leading with the interval
+// containing recent (if any), and returns the block count. Shared by the
+// pure-ACK path and the TX data-segment piggyback.
+func copySACK(st *ProtoState, dst *[MaxOOOIntervals]SeqInterval, recent uint32, hasRecent bool) uint8 {
 	if st.Flags&flagSACKPerm == 0 || st.OOOCnt == 0 {
-		return
+		return 0
 	}
 	n := int(st.OOOCnt)
 	first := 0
@@ -354,16 +361,16 @@ func emitSACK(st *ProtoState, res *RXResult, recent uint32, hasRecent bool) {
 		}
 	}
 	k := 0
-	res.AckSACK[k] = st.OOO[first]
+	dst[k] = st.OOO[first]
 	k++
-	for i := 0; i < n && k < len(res.AckSACK); i++ {
+	for i := 0; i < n && k < len(dst); i++ {
 		if i == first {
 			continue
 		}
-		res.AckSACK[k] = st.OOO[i]
+		dst[k] = st.OOO[i]
 		k++
 	}
-	res.AckSACKCnt = uint8(k)
+	return uint8(k)
 }
 
 // ingestSACK merges a segment's SACK blocks into the sender-side

@@ -19,6 +19,14 @@ type TXResult struct {
 	// (selective repairs, and go-back-N resends below SND.MAX), for the
 	// loss-recovery accounting in Fig. 15.
 	RetxBytes uint32
+
+	// SACK blocks to piggyback on the data segment (valid prefix of
+	// length SACKCnt): when SACK-permitted was negotiated and the receive
+	// side holds out-of-order intervals, the data path advertises them on
+	// outgoing data too, so heavily bidirectional flows don't wait for a
+	// pure ACK to learn about holes.
+	SACK    [MaxOOOIntervals]SeqInterval
+	SACKCnt uint8
 }
 
 // ProcessTX attempts to produce the next segment for transmission. mss
@@ -47,6 +55,7 @@ func ProcessTX(st *ProtoState, post *PostState, mss uint32, cwnd uint32) (TXResu
 			Retransmit: true,
 			RetxBytes:  n,
 		}
+		res.SACKCnt = copySACK(st, &res.SACK, 0, false)
 		h.Start += n
 		if h.Start == h.End {
 			copy(st.RetxQ[:], st.RetxQ[1:st.RetxCnt])
@@ -92,6 +101,7 @@ func ProcessTX(st *ProtoState, post *PostState, mss uint32, cwnd uint32) (TXResu
 		Win:    st.LocalWindow(),
 		EchoTS: st.NextTS,
 	}
+	res.SACKCnt = copySACK(st, &res.SACK, 0, false)
 	// Bytes below SND.MAX were on the wire before a go-back-N rewind:
 	// count them as retransmitted.
 	if sendable > 0 && SeqLT(st.Seq, st.TxMax) {
