@@ -87,6 +87,11 @@ func BenchmarkFig15LossRobustness(b *testing.B) { runExperiment(b, "fig15") }
 // distribution at line rate.
 func BenchmarkFig16Fairness(b *testing.B) { runExperiment(b, "fig16") }
 
+// BenchmarkFig17Fabric regenerates Figure 17 (reproduction extension):
+// incast fan-in × congestion control on the leaf-spine fabric, plus the
+// ECMP spine-balance table.
+func BenchmarkFig17Fabric(b *testing.B) { runExperiment(b, "fig17") }
+
 // ---------------------------------------------------------------------
 // Reassembly microbenchmarks: the protocol stage's RX hot path under
 // in-order delivery, a single hole (the paper's N=1 sweet spot), and

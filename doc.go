@@ -51,6 +51,40 @@
 // BenchmarkPipelineSegment reports the live number (~0.06 at this
 // writing) plus wall-clock ns per simulated segment; BENCH_pipeline.json
 // records the trajectory.
+//
+// # Datacenter fabric: topology model and ECMP hashing contract
+//
+// internal/fabric composes netsim switches into a two-tier leaf–spine
+// Clos: each leaf is a rack's top-of-rack switch, every leaf connects to
+// every spine, and hosts attach statically to one rack
+// (testbed.MachineSpec.Rack → fabric.AttachHost). Each tier carries its
+// own netsim.SwitchConfig, so ECN thresholds, WRED and queue caps are
+// per-tier policy; leaf ports optionally record egress occupancy
+// histograms (stats.LinearHist) beside per-port ECN/drop/peak counters.
+//
+// ECMP contract: a leaf that has not learned a destination MAC (leaves
+// learn only their local rack) forwards onto uplink index
+// packet.Flow.Hash() mod spines — the same CRC-32 the FlexTOE
+// pre-processor computes on the NFP lookup engine. Every segment of one
+// flow direction therefore takes one spine (per-flow ordering holds
+// across the fabric), the reverse direction hashes independently, and
+// path choice is a pure function of the 4-tuple: seeded reruns replay
+// identical paths bit for bit.
+//
+// Pooled-Frame ownership extends across multi-hop forwarding unchanged:
+// host NIC → leaf → spine → leaf → host NIC hands the same *Frame (and
+// its packet) from hop to hop; exactly one party terminates the journey —
+// the receiving stack, or whichever drop point (loss injection, tail
+// drop, WRED, unknown-MAC flood, the ECMP loop guard) ends it — and that
+// party releases frame and packet exactly once. The fabric adds hops,
+// never owners.
+//
+// internal/fabric/workload drives the fabric (or the single-switch
+// testbed) through api.Stack only: an open-loop Poisson flow generator
+// with pluggable size distributions (fixed, web-search, data-mining),
+// barrier-synchronized N-to-1 incast groups, and background cross-rack
+// bulk traffic. Figure 17 (cmd/flexbench fig17) sweeps incast fan-in ×
+// {CCNone, CCDCTCP, CCTimely} and tabulates ECMP spine balance.
 package main
 
 import (

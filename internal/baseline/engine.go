@@ -5,6 +5,7 @@ import (
 	"flextoe/internal/host"
 	"flextoe/internal/netsim"
 	"flextoe/internal/packet"
+	"flextoe/internal/shm"
 	"flextoe/internal/sim"
 	"flextoe/internal/stats"
 	"flextoe/internal/tcpseg"
@@ -25,7 +26,11 @@ type Stack struct {
 	localMAC packet.EtherAddr
 	bufSize  uint32
 
-	conns     map[packet.Flow]*bconn
+	conns map[packet.Flow]*bconn
+	// connList is the deterministic scan order for the RTO loop
+	// (creation order); iterating the map would randomize retransmission
+	// event order between identical runs.
+	connList  []*bconn
 	listeners map[uint16]func(api.Socket)
 	nextPort  uint16
 
@@ -65,9 +70,12 @@ func NewStack(eng *sim.Engine, prof Profile, iface *netsim.Iface,
 		s.stackCores = append(s.stackCores, host.NewCore(eng, prof.Name+"/fastpath", hz))
 	}
 	iface.Recv = s.rx
-	eng.Every(500*sim.Microsecond, 500*sim.Microsecond, func() bool { s.rtoScan(); return true })
+	eng.EveryCall(500*sim.Microsecond, 500*sim.Microsecond, stackRTOScan, s)
 	return s
 }
+
+// stackRTOScan adapts the RTO scan to the EveryCall form.
+func stackRTOScan(a any) bool { a.(*Stack).rtoScan(); return true }
 
 // Name returns the stack personality name.
 func (s *Stack) Name() string { return s.prof.Name }
@@ -148,10 +156,15 @@ type bconn struct {
 
 	sock    *bsocket
 	pumping bool
+	txN     uint64 // segment size staged by txStep for bconnEmit
+	// needWinUpdate: a Recv reopened a closed receive window; the charged
+	// socket-call completion must re-advertise it.
+	needWinUpdate bool
 
 	// Handshake.
 	active    bool // we sent the SYN
 	synDone   bool
+	sackOK    bool // SACK-permitted negotiated on SYN/SYN-ACK
 	connected func(api.Socket)
 }
 
@@ -212,6 +225,43 @@ func log2(n int) float64 {
 	return v
 }
 
+// segWork carries one received segment through the cost model's deferred
+// stages (lock, stack-core task) without a closure per segment. Pooled:
+// segWorkHandle consumes and recycles the carrier before running the
+// protocol logic.
+type segWork struct {
+	s    *Stack
+	c    *bconn
+	pkt  *packet.Packet
+	core *host.Core
+	task sim.Task
+}
+
+var segWorkFree shm.Freelist[segWork]
+
+func getSegWork() *segWork {
+	if w := segWorkFree.Get(); w != nil {
+		return w
+	}
+	return &segWork{}
+}
+
+// segWorkSubmit runs when the kernel lock is acquired: queue the segment
+// task on its stack core.
+func segWorkSubmit(a any) {
+	w := a.(*segWork)
+	w.core.SubmitCall(w.task, segWorkHandle, w)
+}
+
+// segWorkHandle runs when the segment's processing cost has been paid.
+func segWorkHandle(a any) {
+	w := a.(*segWork)
+	s, c, pkt := w.s, w.c, w.pkt
+	*w = segWork{}
+	segWorkFree.Put(w)
+	s.handleSeg(c, pkt)
+}
+
 // rx is the NIC receive path. The frame returns to the fabric pool here;
 // the packet is consumed (and recycled) at the end of handleSeg.
 func (s *Stack) rx(f *netsim.Frame) {
@@ -233,11 +283,12 @@ func (s *Stack) rx(f *netsim.Frame) {
 		}
 	}
 	s.RxSegs++
-	process := func() { s.handleSeg(c, pkt) }
+	w := getSegWork()
+	w.s, w.c, w.pkt = s, c, pkt
 	if s.prof.ASIC {
 		// TCP on the NIC: the ASIC processes the segment; the host is
 		// charged when the app is notified.
-		s.asic.Acquire(1, 0, process)
+		s.asic.AcquireCall(1, 0, segWorkHandle, w)
 		return
 	}
 	core := c.stackCore()
@@ -249,12 +300,11 @@ func (s *Stack) rx(f *netsim.Frame) {
 	}
 	if s.prof.LockFrac > 0 {
 		lockCycles := int64(float64(s.prof.TCPPerSeg) * s.prof.LockFrac)
-		s.lock.Acquire(lockCycles, 0, func() {
-			core.Submit(task, process)
-		})
+		w.core, w.task = core, task
+		s.lock.AcquireCall(lockCycles, 0, segWorkSubmit, w)
 		return
 	}
-	core.Submit(task, process)
+	core.SubmitCall(task, segWorkHandle, w)
 }
 
 // handleSeg runs the protocol logic (after the cost model).
@@ -507,8 +557,9 @@ func (c *bconn) halveCwnd() {
 }
 
 // sendAck emits a pure acknowledgment. The SACK personality advertises
-// its out-of-order interval set (most recent intervals are simply the
-// set; the wire encoder truncates from the tail if space runs out).
+// its out-of-order interval set when SACK-permitted was negotiated on the
+// handshake (most recent intervals are simply the set; the wire encoder
+// truncates from the tail if space runs out).
 func (s *Stack) sendAck(c *bconn, ece bool) {
 	flags := packet.FlagACK
 	if ece {
@@ -521,7 +572,7 @@ func (s *Stack) sendAck(c *bconn, ece bool) {
 	ackSeq := c.sndSeq(c.nxt)
 	pkt := s.mkPacket(c, ackSeq, flags)
 	pkt.TCP.Window = uint16(win)
-	if s.prof.Recovery == RecoverySACK {
+	if c.sackOK {
 		for _, iv := range c.ivs {
 			// Intervals hold truncated stream offsets; wire sequence =
 			// IRS + offset.
@@ -574,45 +625,55 @@ func (s *Stack) txPump(c *bconn) {
 		return
 	}
 	c.pumping = true
-	var step func()
-	step = func() {
-		inflight := c.nxt - c.una
-		limit := uint64(c.cwnd)
-		if uint64(c.remoteWin) < limit {
-			limit = uint64(c.remoteWin)
-		}
-		avail := c.appended - c.nxt
-		wantFin := c.finAt != ^uint64(0) && !c.finSent && c.nxt == c.appended
-		if (avail == 0 || inflight >= limit) && !wantFin {
-			c.pumping = false
-			return
-		}
-		n := s.prof.mss()
-		if n > avail {
-			n = avail
-		}
-		if inflight < limit && n > limit-inflight {
-			n = limit - inflight
-		}
-		if n == 0 && !wantFin {
-			c.pumping = false
-			return
-		}
-		emit := func() {
-			off := c.nxt
-			fin := c.finAt != ^uint64(0) && off+n == c.appended
-			s.emitSegment(c, off, n, fin)
-			c.nxt += n
-			step()
-		}
-		if s.prof.ASIC {
-			s.asic.Acquire(1, 0, emit)
-			return
-		}
-		txCost := (s.prof.DriverPerSeg + s.prof.TCPPerSeg + s.prof.OtherPerSeg) / 2
-		c.stackCore().Submit(sim.TaskC(txCost), emit)
+	s.txStep(c)
+}
+
+// txStep sizes the next segment and charges its transmit cost; bconnEmit
+// sends it when the cost has been paid and loops back here. The pumping
+// flag serializes the loop per connection, so the pending segment size
+// lives on the bconn (txN) instead of a closure.
+func (s *Stack) txStep(c *bconn) {
+	inflight := c.nxt - c.una
+	limit := uint64(c.cwnd)
+	if uint64(c.remoteWin) < limit {
+		limit = uint64(c.remoteWin)
 	}
-	step()
+	avail := c.appended - c.nxt
+	wantFin := c.finAt != ^uint64(0) && !c.finSent && c.nxt == c.appended
+	if (avail == 0 || inflight >= limit) && !wantFin {
+		c.pumping = false
+		return
+	}
+	n := s.prof.mss()
+	if n > avail {
+		n = avail
+	}
+	if inflight < limit && n > limit-inflight {
+		n = limit - inflight
+	}
+	if n == 0 && !wantFin {
+		c.pumping = false
+		return
+	}
+	c.txN = n
+	if s.prof.ASIC {
+		s.asic.AcquireCall(1, 0, bconnEmit, c)
+		return
+	}
+	txCost := (s.prof.DriverPerSeg + s.prof.TCPPerSeg + s.prof.OtherPerSeg) / 2
+	c.stackCore().SubmitCall(sim.TaskC(txCost), bconnEmit, c)
+}
+
+// bconnEmit transmits the segment txStep sized, then continues the pump.
+func bconnEmit(a any) {
+	c := a.(*bconn)
+	s := c.stack
+	n := c.txN
+	off := c.nxt
+	fin := c.finAt != ^uint64(0) && off+n == c.appended
+	s.emitSegment(c, off, n, fin)
+	c.nxt += n
+	s.txStep(c)
 }
 
 // emitSegment sends [off, off+n) (and possibly FIN).
@@ -643,7 +704,7 @@ func (c *bconn) retxLen() uint64 {
 // rtoScan retransmits stalled connections.
 func (s *Stack) rtoScan() {
 	now := s.eng.Now()
-	for _, c := range s.conns {
+	for _, c := range s.connList {
 		if c.nxt == c.una && !(c.finAt != ^uint64(0) && !c.finAcked && c.finSent) {
 			continue
 		}

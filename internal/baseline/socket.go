@@ -28,6 +28,7 @@ func (s *Stack) Dial(remote api.Addr, connected func(api.Socket)) {
 	syn := s.mkPacket(c, c.iss-1, packet.FlagSYN)
 	syn.TCP.MSS = 1448
 	syn.TCP.WScale = tcpseg.WindowScale
+	syn.TCP.SACKPerm = s.prof.Recovery == RecoverySACK
 	s.iface.Send(netsim.NewFrame(syn, s.eng.Now()))
 }
 
@@ -50,6 +51,7 @@ func (s *Stack) newConn(flow packet.Flow, peerMAC packet.EtherAddr) *bconn {
 		lastProgress: s.eng.Now(),
 	}
 	s.conns[flow] = c
+	s.connList = append(s.connList, c)
 	return c
 }
 
@@ -69,6 +71,7 @@ func (s *Stack) handshake(pkt *packet.Packet, flow packet.Flow) {
 		c := s.newConn(flow, pkt.Eth.Src)
 		c.irs = tcp.Seq + 1
 		c.synDone = true
+		c.sackOK = tcp.SACKPerm && s.prof.Recovery == RecoverySACK
 		if tcp.Window > 0 {
 			c.remoteWin = uint32(tcp.Window) << tcpseg.WindowScale
 		}
@@ -76,6 +79,7 @@ func (s *Stack) handshake(pkt *packet.Packet, flow packet.Flow) {
 		sa.TCP.Ack = c.irs
 		sa.TCP.MSS = 1448
 		sa.TCP.WScale = tcpseg.WindowScale
+		sa.TCP.SACKPerm = c.sackOK
 		s.iface.Send(netsim.NewFrame(sa, s.eng.Now()))
 		sock := newBSocket(c)
 		c.sock = sock
@@ -90,6 +94,7 @@ func (s *Stack) connHandshakeRx(c *bconn, pkt *packet.Packet) bool {
 	if c.active && !c.synDone && tcp.HasFlag(packet.FlagSYN|packet.FlagACK) {
 		c.irs = tcp.Seq + 1
 		c.synDone = true
+		c.sackOK = tcp.SACKPerm && s.prof.Recovery == RecoverySACK
 		if tcp.Window > 0 {
 			c.remoteWin = uint32(tcp.Window) << tcpseg.WindowScale
 		}
@@ -155,8 +160,23 @@ func (k *bsocket) Send(p []byte) int {
 		// Kernel-mediated TOE API: the host driver runs per write.
 		cost += s.prof.DriverPerSeg + s.prof.OtherPerSeg
 	}
-	c.appCore().Submit(sim.TaskC(cost), func() { s.txPump(c) })
+	c.appCore().SubmitCall(sim.TaskC(cost), bconnTxPump, c)
 	return int(n)
+}
+
+// bconnTxPump / bconnRecvDone are the socket calls' charged completions
+// (see host.Core.SubmitCall).
+func bconnTxPump(a any) {
+	c := a.(*bconn)
+	c.stack.txPump(c)
+}
+
+func bconnRecvDone(a any) {
+	c := a.(*bconn)
+	if c.needWinUpdate {
+		c.needWinUpdate = false
+		c.stack.sendAck(c, false) // window update
+	}
 }
 
 // Recv drains readable bytes, reopening the receive window.
@@ -173,14 +193,12 @@ func (k *bsocket) Recv(p []byte) int {
 	readCirc(c.rxData, c.readPos, p[:n])
 	c.readPos += uint64(n)
 	k.readable -= n
-	wasClosed := c.rxAvail>>tcpseg.WindowScale == 0
+	if c.rxAvail>>tcpseg.WindowScale == 0 {
+		c.needWinUpdate = true
+	}
 	c.rxAvail += n
 	cost := s.prof.SocketPerOp + int64(float64(n)*s.prof.PerByte)
-	c.appCore().Submit(sim.TaskC(cost), func() {
-		if wasClosed {
-			s.sendAck(c, false) // window update
-		}
-	})
+	c.appCore().SubmitCall(sim.TaskC(cost), bconnRecvDone, c)
 	return int(n)
 }
 

@@ -53,6 +53,9 @@ func (t *TOE) monoRX(pkt *packet.Packet) {
 		packet.Release(pkt) // the run-to-completion path consumes it here
 		t.RxSegs++
 		t.RxBytes += uint64(info.PayloadLen)
+		if res.SACKReneged {
+			t.SACKReneges++
+		}
 		if res.FastRetransmit {
 			t.FastRetx++
 			if res.SACKRetransmit {

@@ -40,6 +40,7 @@ type Counters struct {
 	FastRetx       uint64
 	// SACK loss-recovery accounting (Config.EnableSACK).
 	SACKRetx    uint64 // fast retransmits repaired selectively (no reset)
+	SACKReneges uint64 // scoreboard overflows: blocks discarded, go-back-N fallback
 	RetxSegs    uint64 // transmitted segments carrying previously sent bytes
 	RetxBytes   uint64 // previously transmitted payload bytes re-sent
 	OOOAccepted uint64
@@ -501,6 +502,9 @@ func (t *TOE) protoExec(isl *island, s *segItem) {
 	switch s.kind {
 	case segRX:
 		s.rx = tcpseg.ProcessRX(&conn.Proto, &conn.Post, &s.info, t.tsNow())
+		if s.rx.SACKReneged {
+			t.SACKReneges++
+		}
 		if s.rx.FastRetransmit {
 			t.FastRetx++
 			if s.rx.SACKRetransmit {

@@ -58,7 +58,12 @@ type Plane struct {
 	listeners map[uint16]func(*Conn)
 	pending   map[packet.Flow]*pendingConn
 	conns     map[uint32]*ccState
-	nextPort  uint16
+	// scan is the deterministic iteration order for the periodic loops
+	// (establishment order). Iterating the conns map instead would let Go's
+	// randomized map order reshuffle retransmit/window-programming events
+	// between otherwise identical runs, breaking bit-identical replay.
+	scan     []*ccState
+	nextPort uint16
 
 	// Statistics.
 	Established      uint64
@@ -99,6 +104,9 @@ type ccState struct {
 	// Persist timer (zero-window probing, RFC 9293 §3.8.6.1).
 	persistAt      sim.Time // next probe deadline (0 = timer off)
 	persistBackoff int
+
+	// scanIdx is this connection's slot in Plane.scan (O(1) removal).
+	scanIdx int
 
 	// seenUna is SND.UNA at the last rtoScan, so the scan itself detects
 	// forward progress. Without this, a run with congestion control off
@@ -142,12 +150,17 @@ func New(eng *sim.Engine, toe *core.TOE, cfg Config) *Plane {
 		nextPort:  20000,
 	}
 	toe.ControlRx = p.handleSegment
-	eng.Every(cfg.RTOScan, cfg.RTOScan, func() bool { p.rtoScan(); return true })
+	eng.EveryCall(cfg.RTOScan, cfg.RTOScan, planeRTOScan, p)
 	if cfg.CC != CCNone {
-		eng.Every(cfg.CCInterval, cfg.CCInterval, func() bool { p.ccLoop(); return true })
+		eng.EveryCall(cfg.CCInterval, cfg.CCInterval, planeCCLoop, p)
 	}
 	return p
 }
+
+// planeRTOScan / planeCCLoop adapt the periodic scans to the EveryCall
+// form (long-lived callbacks, the plane as the argument).
+func planeRTOScan(a any) bool { a.(*Plane).rtoScan(); return true }
+func planeCCLoop(a any) bool  { a.(*Plane).ccLoop(); return true }
 
 // Listen registers an accept callback for a port.
 func (p *Plane) Listen(port uint16, accept func(*Conn)) {
@@ -250,6 +263,8 @@ func (p *Plane) establish(pc *pendingConn, peerWin uint16) {
 		rto:       p.cfg.MinRTO,
 	}
 	p.conns[c.ID] = cc
+	cc.scanIdx = len(p.scan)
+	p.scan = append(p.scan, cc)
 	if p.cfg.CC != CCNone {
 		p.toe.SetCongestionWindow(c.ID, cc.cwnd)
 	}
@@ -269,6 +284,17 @@ func (p *Plane) Close(id uint32) {
 
 // Remove deletes data-path state (after FIN exchange or on abort).
 func (p *Plane) Remove(id uint32) {
+	// O(1) swap-remove via the stored index: the resulting order differs
+	// from establishment order but is still a pure function of the
+	// connection history, so reruns stay bit-identical.
+	if cc := p.conns[id]; cc != nil {
+		last := len(p.scan) - 1
+		moved := p.scan[last]
+		p.scan[cc.scanIdx] = moved
+		moved.scanIdx = cc.scanIdx
+		p.scan[last] = nil
+		p.scan = p.scan[:last]
+	}
 	delete(p.conns, id)
 	p.toe.RemoveConnection(id)
 }
@@ -281,7 +307,8 @@ func (p *Plane) Remove(id uint32) {
 // (RFC 9293 §3.8.6.1) for connections stalled against a zero window.
 func (p *Plane) rtoScan() {
 	now := p.eng.Now()
-	for id, cc := range p.conns {
+	for _, cc := range p.scan {
+		id := cc.conn.ID
 		c := p.toe.Connection(id)
 		if c == nil {
 			continue
@@ -377,7 +404,8 @@ func (p *Plane) sendZeroWindowProbe(c *core.Conn) {
 // per-flow statistics from the data-path, compute a new window or rate,
 // and program it back.
 func (p *Plane) ccLoop() {
-	for id, cc := range p.conns {
+	for _, cc := range p.scan {
+		id := cc.conn.ID
 		st := p.toe.ReadStats(id)
 		if st.AckedBytes > 0 {
 			cc.lastAcked = p.eng.Now()

@@ -168,6 +168,7 @@ func All() []Runner {
 		{"fig14", "Data-path parallelism on BlueField/x86", Fig14},
 		{"fig15", "Throughput under packet loss", Fig15},
 		{"fig16", "Connection fairness at line rate", Fig16},
+		{"fig17", "Leaf-spine fabric: incast fan-in and ECMP balance", Fig17},
 	}
 }
 

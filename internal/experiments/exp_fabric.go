@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flextoe/internal/api"
+	"flextoe/internal/ctrl"
+	"flextoe/internal/fabric"
+	"flextoe/internal/fabric/workload"
+	"flextoe/internal/netsim"
+	"flextoe/internal/sim"
+	"flextoe/internal/stats"
+	"flextoe/internal/testbed"
+)
+
+// Fig. 17 fabric parameters (reproduction extension): a DCTCP-style
+// marking threshold K and a shallow-buffer queue cap on the leaf tier,
+// the regime the paper's §5 congestion-control evaluation assumes but the
+// single-switch testbed could never produce.
+const (
+	fig17K        = 90_000  // leaf ECN threshold (bytes), the DCTCP K
+	fig17QueueCap = 250_000 // leaf egress queue cap (bytes), shallow ToR buffer
+)
+
+// fig17IncastResult is one incast sweep point.
+type fig17IncastResult struct {
+	goodputGbps float64
+	p50us       float64
+	p99us       float64
+	rounds      uint64
+	peakQ       int    // deepest leaf egress queue after warmup (bytes)
+	ecnMarks    uint64 // CE marks applied at the leaf tier
+	retxKB      float64
+}
+
+// fig17IncastPoint runs one N-to-1 incast point on a three-rack fabric:
+// the aggregator alone in rack 0, sender hosts spread over racks 1-2, and
+// fan-in connections spread over the sender hosts. All machines run
+// FlexTOE with the given control-plane congestion-control policy.
+func fig17IncastPoint(fanIn int, cc ctrl.CCAlgo, d sim.Time) fig17IncastResult {
+	hosts := fanIn
+	if hosts > 8 {
+		hosts = 8
+	}
+	fc := fabric.Config{
+		Leaves: 3, Spines: 2,
+		QueueHistUnit: 1448,
+		Leaf: netsim.SwitchConfig{
+			ECNThresholdBytes: fig17K,
+			QueueCapBytes:     fig17QueueCap,
+		},
+		Spine: netsim.SwitchConfig{
+			ECNThresholdBytes: fig17K,
+			QueueCapBytes:     2 * fig17QueueCap,
+		},
+		Seed: 170_000 + uint64(fanIn),
+	}
+	specs := []testbed.MachineSpec{{
+		Name: "agg", Kind: testbed.FlexTOE, Cores: 4, Rack: 0,
+		BufSize: 1 << 17, CC: cc, Seed: 1700,
+	}}
+	for i := 0; i < hosts; i++ {
+		specs = append(specs, testbed.MachineSpec{
+			Name: fmt.Sprintf("snd%d", i), Kind: testbed.FlexTOE, Cores: 2,
+			Rack: 1 + i%2, BufSize: 1 << 17, CC: cc, Seed: uint64(1710 + i),
+		})
+	}
+	tb := testbed.NewFabric(fc, specs...)
+
+	g := &workload.IncastGroup{BlockBytes: 32768}
+	g.Serve(tb.M("agg").Stack, 9400)
+	senders := make([]api.Stack, 0, fanIn)
+	for i := 0; i < fanIn; i++ {
+		senders = append(senders, tb.M(fmt.Sprintf("snd%d", i%hosts)).Stack)
+	}
+	g.Start(tb.Eng, senders, tb.Addr("agg", 9400))
+
+	// Warm up past connection setup and the initial slow-start burst,
+	// then snapshot every cumulative counter so all columns measure the
+	// same post-warmup window.
+	warm := d / 4
+	tb.Run(warm)
+	tb.Fabric.ResetQueueStats()
+	g.RoundFCT = stats.NewHistogram()
+	bytes0, rounds0 := g.BytesReceived, g.RoundsDone
+	marks0, _ := tb.Fabric.ECNMarks()
+	retx0 := fig17SenderRetx(tb, hosts)
+	tb.Run(warm + d)
+
+	leafMarks, _ := tb.Fabric.ECNMarks()
+	return fig17IncastResult{
+		goodputGbps: gbps(g.BytesReceived-bytes0, d),
+		p50us:       usOf(g.RoundFCT.Percentile(50)),
+		p99us:       usOf(g.RoundFCT.Percentile(99)),
+		rounds:      g.RoundsDone - rounds0,
+		peakQ:       tb.Fabric.PeakLeafQueueBytes(),
+		ecnMarks:    leafMarks - marks0,
+		retxKB:      float64(fig17SenderRetx(tb, hosts)-retx0) / 1024,
+	}
+}
+
+// fig17SenderRetx sums retransmitted payload bytes across the sender
+// machines.
+func fig17SenderRetx(tb *testbed.Testbed, hosts int) uint64 {
+	var retx uint64
+	for i := 0; i < hosts; i++ {
+		retx += tb.M(fmt.Sprintf("snd%d", i)).TOE.RetxBytes
+	}
+	return retx
+}
+
+// fig17ECMPPoint measures hash balance: flows fixed-size transfers from
+// rack-1 hosts to rack-0 hosts over a fabric with the given spine count,
+// returning the bytes each spine carried upward out of the sender leaf
+// tier and the heaviest spine's load relative to the fair share.
+func fig17ECMPPoint(spines, flows int, d sim.Time) (spineBytes []uint64, maxOverFair float64) {
+	fc := fabric.Config{Leaves: 2, Spines: spines, Seed: 171_000 + uint64(spines)}
+	const hostsPerSide = 4
+	var specs []testbed.MachineSpec
+	for i := 0; i < hostsPerSide; i++ {
+		specs = append(specs,
+			testbed.MachineSpec{Name: fmt.Sprintf("src%d", i), Kind: testbed.FlexTOE, Cores: 2,
+				Rack: 1, BufSize: 1 << 17, Seed: uint64(1750 + i)},
+			testbed.MachineSpec{Name: fmt.Sprintf("dst%d", i), Kind: testbed.FlexTOE, Cores: 2,
+				Rack: 0, BufSize: 1 << 17, Seed: uint64(1760 + i)},
+		)
+	}
+	tb := testbed.NewFabric(fc, specs...)
+
+	g := &workload.FlowGen{
+		Rate:     1e7, // effectively simultaneous arrivals
+		Size:     workload.Fixed(65536),
+		Conns:    flows,
+		MaxFlows: flows,
+		Seed:     171,
+	}
+	srcs := make([]api.Stack, hostsPerSide)
+	dsts := make([]api.Addr, hostsPerSide)
+	for i := 0; i < hostsPerSide; i++ {
+		srcs[i] = tb.M(fmt.Sprintf("src%d", i)).Stack
+		g.Serve(tb.M(fmt.Sprintf("dst%d", i)).Stack, 9500)
+		dsts[i] = tb.Addr(fmt.Sprintf("dst%d", i), 9500)
+	}
+	g.Start(tb.Eng, srcs, dsts...)
+	tb.Run(d)
+
+	spineBytes = tb.Fabric.SpineTxBytes()
+	var total uint64
+	max := uint64(0)
+	for _, b := range spineBytes {
+		total += b
+		if b > max {
+			max = b
+		}
+	}
+	fair := float64(total) / float64(spines)
+	if fair > 0 {
+		maxOverFair = float64(max) / fair
+	}
+	return spineBytes, maxOverFair
+}
+
+// Fig17 is a reproduction extension: FlexTOE's congestion control on a
+// leaf–spine fabric. 17a sweeps N-to-1 incast fan-in against the control
+// plane's CC policies; 17b measures per-flow ECMP load balance across the
+// spines.
+func Fig17(s Scale) []*Table {
+	incast := &Table{
+		ID:     "Figure 17a",
+		Title:  "Incast fan-in on the leaf-spine fabric (32 KB blocks per sender, barrier-synchronized rounds)",
+		Header: []string{"Fan-in", "CC", "Goodput (G)", "FCT p50 (us)", "FCT p99 (us)", "Rounds", "Peak leaf Q (KB)", "ECN marks", "Retx KB"},
+		Notes: fmt.Sprintf("leaf tier: K=%d B ECN threshold, %d B queue cap; DCTCP should hold the peak queue near K while CC-off fills the cap and pays RTO-scale tails (§5.3's Table 4 scenario on a real fabric)",
+			fig17K, fig17QueueCap),
+	}
+	fanIns := s.pick([]int{4, 16}, []int{4, 8, 16, 32})
+	d := s.dur(8*sim.Millisecond, 60*sim.Millisecond)
+	ccs := []struct {
+		name string
+		cc   ctrl.CCAlgo
+	}{
+		{"CCNone", ctrl.CCNone},
+		{"CCDCTCP", ctrl.CCDCTCP},
+		{"CCTimely", ctrl.CCTimely},
+	}
+	for _, fanIn := range fanIns {
+		for _, c := range ccs {
+			r := fig17IncastPoint(fanIn, c.cc, d)
+			incast.AddRow(fmt.Sprintf("%d", fanIn), c.name,
+				f2(r.goodputGbps), f1(r.p50us), f1(r.p99us),
+				fmt.Sprintf("%d", r.rounds),
+				f1(float64(r.peakQ)/1024),
+				fmt.Sprintf("%d", r.ecnMarks),
+				f1(r.retxKB))
+		}
+	}
+
+	ecmp := &Table{
+		ID:     "Figure 17b",
+		Title:  "ECMP balance: per-spine bytes for fixed-size cross-rack flows (64 KB each)",
+		Header: []string{"Spines", "Flows", "Per-spine MB", "Max/fair"},
+		Notes:  "per-flow CRC-32 hashing (packet.Flow.Hash) across the uplink group; documented imbalance bound: max spine load <= 1.45x fair share at >= 64 flows (seeded, deterministic)",
+	}
+	flowCounts := s.pick([]int{64}, []int{64, 256})
+	dE := s.dur(20*sim.Millisecond, 60*sim.Millisecond)
+	for _, spines := range []int{2, 4} {
+		for _, flows := range flowCounts {
+			bytes, maxOverFair := fig17ECMPPoint(spines, flows, dE)
+			per := ""
+			for i, b := range bytes {
+				if i > 0 {
+					per += " / "
+				}
+				per += f1(float64(b) / 1e6)
+			}
+			ecmp.AddRow(fmt.Sprintf("%d", spines), fmt.Sprintf("%d", flows), per, f2(maxOverFair))
+		}
+	}
+	return []*Table{incast, ecmp}
+}

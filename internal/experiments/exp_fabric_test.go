@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"testing"
+
+	"flextoe/internal/ctrl"
+	"flextoe/internal/sim"
+)
+
+// TestFig17IncastDCTCPBeatsCCOff is the Fig. 17a acceptance gate at
+// 16-way fan-in: with the control plane's DCTCP on, the leaf incast
+// queue stays near K (documented bound: peak <= 1.5*K after warmup)
+// while CC-off fills the shallow buffer to its cap and pays RTO-scale
+// round tails; DCTCP must beat CC-off on p99 FCT and goodput, and must
+// actually be reacting to CE marks.
+func TestFig17IncastDCTCPBeatsCCOff(t *testing.T) {
+	d := 8 * sim.Millisecond
+	none := fig17IncastPoint(16, ctrl.CCNone, d)
+	dctcp := fig17IncastPoint(16, ctrl.CCDCTCP, d)
+
+	if dctcp.peakQ > fig17K*3/2 {
+		t.Errorf("DCTCP peak leaf queue %d B exceeds 1.5*K = %d B", dctcp.peakQ, fig17K*3/2)
+	}
+	if none.peakQ < fig17QueueCap*9/10 {
+		t.Errorf("CC-off peak leaf queue %d B never approached the %d B cap; incast not overwhelming the buffer", none.peakQ, fig17QueueCap)
+	}
+	if dctcp.p99us >= none.p99us {
+		t.Errorf("DCTCP p99 FCT %.1f us does not beat CC-off %.1f us", dctcp.p99us, none.p99us)
+	}
+	if dctcp.goodputGbps <= none.goodputGbps {
+		t.Errorf("DCTCP goodput %.2f G does not beat CC-off %.2f G", dctcp.goodputGbps, none.goodputGbps)
+	}
+	if dctcp.ecnMarks == 0 {
+		t.Error("DCTCP run saw no ECN marks: the control loop had nothing to react to")
+	}
+	if none.retxKB == 0 {
+		t.Error("CC-off run retransmitted nothing: queue cap never enforced")
+	}
+	if dctcp.retxKB >= none.retxKB {
+		t.Errorf("DCTCP retransmitted %.1f KB, not less than CC-off %.1f KB", dctcp.retxKB, none.retxKB)
+	}
+}
+
+// TestFig17ECMPBalanceWithinBound is the Fig. 17b acceptance gate: for
+// >= 64 equal-size cross-rack flows, every spine carries traffic and the
+// heaviest spine stays within the documented imbalance bound (max spine
+// load <= 1.45x the fair share; runs are seeded, so the bound is exact).
+func TestFig17ECMPBalanceWithinBound(t *testing.T) {
+	for _, spines := range []int{2, 4} {
+		bytes, maxOverFair := fig17ECMPPoint(spines, 64, 20*sim.Millisecond)
+		for s, b := range bytes {
+			if b == 0 {
+				t.Fatalf("spines=%d: spine %d carried nothing", spines, s)
+			}
+		}
+		if maxOverFair > 1.45 {
+			t.Errorf("spines=%d: max spine load %.2fx fair share exceeds the 1.45 bound", spines, maxOverFair)
+		}
+	}
+}
+
+// TestFig17Determinism: the incast point (including CC-off's RTO storm,
+// the regime where event order is most fragile) and the ECMP point must
+// be bit-identical across reruns with the same seed.
+func TestFig17Determinism(t *testing.T) {
+	for _, cc := range []ctrl.CCAlgo{ctrl.CCNone, ctrl.CCDCTCP} {
+		a := fig17IncastPoint(16, cc, 4*sim.Millisecond)
+		b := fig17IncastPoint(16, cc, 4*sim.Millisecond)
+		if a != b {
+			t.Errorf("cc=%v: incast results diverged across identical runs:\n%+v\n%+v", cc, a, b)
+		}
+	}
+	a1, m1 := fig17ECMPPoint(2, 64, 10*sim.Millisecond)
+	a2, m2 := fig17ECMPPoint(2, 64, 10*sim.Millisecond)
+	if m1 != m2 || len(a1) != len(a2) {
+		t.Fatalf("ECMP imbalance diverged: %.4f vs %.4f", m1, m2)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Errorf("spine %d bytes diverged: %d vs %d", i, a1[i], a2[i])
+		}
+	}
+}

@@ -231,7 +231,50 @@ func Fig15(s Scale) []*Table {
 				f2(toe.OOOOccupancy.Mean()), fmt.Sprintf("%d", toe.OOOOccupancy.MaxSeen()))
 		}
 	}
-	return []*Table{small, large, recovery, reasm}
+
+	// Figure 15e (reproduction extension): cross-stack recovery — a
+	// FlexTOE SACK sender against the Linux personality's receiver. The
+	// Linux side tracks up to 32 reassembly intervals and advertises the
+	// freshest blocks on every ACK, while the FlexTOE scoreboard holds
+	// only MaxOOOIntervals (4): under enough loss the sender overflows,
+	// reneges (RFC 2018), and falls back to go-back-N until the episode
+	// drains — the paper's bounded-state design meeting a full-featured
+	// peer.
+	cross := &Table{
+		ID:     "Figure 15e",
+		Title:  "Cross-stack recovery: FlexTOE SACK sender vs Linux receiver (8 bulk conns)",
+		Header: []string{"Loss", "Gbps", "Retx KB", "SACK retx", "Reneges"},
+		Notes:  "Reneges counts scoreboard overflows on the FlexTOE sender (receiver tracks 32 intervals, scoreboard holds 4); each renege discards the blocks and go-back-Ns conservatively",
+	}
+	for _, lossE4 := range recRates {
+		loss := float64(lossE4) / 1e4
+		g, retxKB, sackRetx, reneges := fig15CrossStackPoint(loss, dR)
+		cross.AddRow(fmt.Sprintf("%g%%", loss*100), f2(g), f1(retxKB),
+			fmt.Sprintf("%d", sackRetx), fmt.Sprintf("%d", reneges))
+	}
+	return []*Table{small, large, recovery, reasm, cross}
+}
+
+// fig15CrossStackPoint runs 8 bulk FlexTOE→Linux flows at the given loss
+// rate: the FlexTOE client sends with SACK enabled, the Linux-personality
+// server receives with its 32-interval reassembly and real SACK blocks.
+func fig15CrossStackPoint(loss float64, d sim.Time) (goodputGbps, retxKB float64, sackRetx, reneges uint64) {
+	cfg := core.AgilioCX40Config()
+	cfg.OOOIntervals = tcpseg.MaxOOOIntervals
+	cfg.EnableSACK = true
+	tb := testbed.New(netsim.SwitchConfig{LossProb: loss, Seed: 159},
+		testbed.MachineSpec{Name: "server", Kind: testbed.Linux, Cores: 4, BufSize: 1 << 19, Seed: 159},
+		testbed.MachineSpec{Name: "client", Kind: testbed.FlexTOE, Cores: 4, BufSize: 1 << 19, FlexCfg: &cfg, Seed: 160},
+	)
+	sink := &apps.BulkSink{}
+	sink.Serve(tb.M("server").Stack, 9000)
+	for i := 0; i < 8; i++ {
+		snd := &apps.BulkSender{}
+		snd.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 9000))
+	}
+	tb.Run(d)
+	toe := tb.M("client").TOE
+	return gbps(sink.Received, d), float64(toe.RetxBytes) / 1024, toe.SACKRetx, toe.SACKReneges
 }
 
 // fig15ReassemblyPoint measures one FlexTOE-vs-FlexTOE bulk run with the

@@ -9,8 +9,8 @@ import (
 
 func TestRunnerRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("runners = %d, want 15 (6 tables + 9 figures)", len(all))
+	if len(all) != 16 {
+		t.Fatalf("runners = %d, want 16 (6 tables + 10 figures)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, r := range all {
@@ -68,6 +68,35 @@ func TestFig15SACKBeatsGBNAtOnePercentLoss(t *testing.T) {
 	}
 	if gbnRetx == 0 {
 		t.Fatal("no loss induced: the comparison is vacuous")
+	}
+}
+
+// TestFig15CrossStackRenegingEndToEnd is the cross-stack regression for
+// the scoreboard-overflow reneging path (ROADMAP follow-on): a FlexTOE
+// SACK sender against the Linux personality's 32-interval receiver must
+// (a) actually overflow its 4-interval scoreboard and renege, (b) fall
+// back conservatively (retransmissions happen, bytes keep flowing), and
+// (c) still make forward progress comparable to the lossless baseline's
+// order of magnitude — a wedged sender would deliver ~nothing.
+func TestFig15CrossStackRenegingEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full testbed run")
+	}
+	d := Quick.dur(15*sim.Millisecond, 0)
+	cleanG, _, _, cleanReneges := fig15CrossStackPoint(0, d)
+	lossyG, retxKB, _, reneges := fig15CrossStackPoint(0.01, d)
+	t.Logf("clean: %.2f Gbps; 1%% loss: %.2f Gbps, %.1f KB retx, %d reneges", cleanG, lossyG, retxKB, reneges)
+	if cleanReneges != 0 {
+		t.Fatalf("lossless run reneged %d times", cleanReneges)
+	}
+	if reneges == 0 {
+		t.Fatal("1% loss never overflowed the 4-interval scoreboard: reneging path not exercised")
+	}
+	if retxKB == 0 {
+		t.Fatal("reneging produced no retransmissions: fallback path dead")
+	}
+	if lossyG < cleanG/10 {
+		t.Fatalf("goodput %.2f Gbps collapsed vs clean %.2f Gbps: sender wedged after reneging", lossyG, cleanG)
 	}
 }
 

@@ -1,0 +1,451 @@
+// Package workload drives datacenter traffic patterns over any api.Stack:
+// an open-loop flow generator with Poisson arrivals and pluggable flow
+// size distributions (fixed, web-search and data-mining heavy tails),
+// N-to-1 incast groups with barrier-synchronized rounds, and background
+// cross-rack bulk traffic. Workloads speak only api.Stack/api.Socket, so
+// FlexTOE, Linux-, TAS- and Chelsio-personality machines run them
+// unmodified over the single-switch testbed or the leaf–spine fabric.
+//
+// Flows are multiplexed over a pool of persistent connections (datacenter
+// RPC style, and the regime FlexTOE's Table 5 state budget targets): each
+// flow is an 8-byte header [id:4][size:4] followed by size payload bytes;
+// the sink parses the stream per connection and records flow completion
+// time from the flow's *arrival* at the generator — queueing for a busy
+// connection counts against FCT, as in slowdown-style evaluations.
+package workload
+
+import (
+	"encoding/binary"
+	"math"
+
+	"flextoe/internal/api"
+	"flextoe/internal/apps"
+	"flextoe/internal/sim"
+	"flextoe/internal/stats"
+)
+
+// ---------------------------------------------------------------------
+// Flow-size distributions.
+// ---------------------------------------------------------------------
+
+// SizeDist samples flow sizes in bytes.
+type SizeDist interface {
+	Name() string
+	Sample(r *stats.RNG) int
+}
+
+// fixedDist is a degenerate point mass.
+type fixedDist int
+
+func (d fixedDist) Name() string          { return "fixed" }
+func (d fixedDist) Sample(*stats.RNG) int { return int(d) }
+func Fixed(bytes int) SizeDist            { return fixedDist(bytes) }
+
+type cdfPoint struct {
+	bytes float64
+	cum   float64
+}
+
+// cdfDist samples from an empirical CDF with log-linear interpolation
+// between the tabulated points (sizes span five orders of magnitude, so
+// linear interpolation would put nearly all mass at the segment tops).
+type cdfDist struct {
+	name string
+	pts  []cdfPoint
+}
+
+func (d *cdfDist) Name() string { return d.name }
+
+func (d *cdfDist) Sample(r *stats.RNG) int {
+	u := r.Float64()
+	prev := cdfPoint{bytes: d.pts[0].bytes, cum: 0}
+	for _, p := range d.pts {
+		if u <= p.cum {
+			if p.cum == prev.cum || p.bytes == prev.bytes {
+				return int(p.bytes)
+			}
+			frac := (u - prev.cum) / (p.cum - prev.cum)
+			return int(prev.bytes * math.Pow(p.bytes/prev.bytes, frac))
+		}
+		prev = p
+	}
+	return int(d.pts[len(d.pts)-1].bytes)
+}
+
+// WebSearch approximates the DCTCP web-search workload: query/short-
+// message dominated by count, with a heavy tail of multi-megabyte
+// responses carrying most of the bytes.
+func WebSearch() SizeDist {
+	return &cdfDist{name: "websearch", pts: []cdfPoint{
+		{6e3, 0.15}, {13e3, 0.20}, {19e3, 0.30}, {33e3, 0.40},
+		{53e3, 0.53}, {133e3, 0.60}, {667e3, 0.70}, {1.3e6, 0.80},
+		{3.3e6, 0.90}, {6.7e6, 0.95}, {20e6, 0.98}, {30e6, 1.0},
+	}}
+}
+
+// DataMining approximates the VL2 data-mining workload: ~80% of flows
+// under 10 KB, with a far heavier tail than web-search.
+func DataMining() SizeDist {
+	return &cdfDist{name: "datamining", pts: []cdfPoint{
+		{180, 0.10}, {216, 0.20}, {560, 0.30}, {900, 0.40},
+		{1.1e3, 0.50}, {1.87e3, 0.60}, {3.16e3, 0.70}, {1e4, 0.80},
+		{4e5, 0.90}, {3.16e6, 0.95}, {1e8, 0.98}, {1e9, 1.0},
+	}}
+}
+
+// ---------------------------------------------------------------------
+// Open-loop flow generator.
+// ---------------------------------------------------------------------
+
+// FlowGen issues flows open-loop: Poisson arrivals at Rate flows/second,
+// each flow Size.Sample bytes, assigned round-robin to a pool of
+// persistent connections. Serve installs the sink side (callable on
+// several machines); Start opens the connections and begins arrivals.
+type FlowGen struct {
+	Rate     float64  // flow arrivals per second
+	Size     SizeDist // flow size distribution
+	Conns    int      // connection pool size (default: one per sender)
+	MaxFlows int      // stop generating after this many arrivals (0 = never)
+	Seed     uint64
+
+	// Measurement.
+	Started        uint64
+	Completed      uint64
+	BytesCompleted uint64
+	BytesReceived  uint64
+	FCT            *stats.Histogram // picoseconds, arrival → last byte at sink
+	LastDone       sim.Time         // completion instant of the latest flow
+
+	eng   *sim.Engine
+	rng   *stats.RNG
+	conns []*genConn
+	next  int
+	start []sim.Time
+	size  []int
+	chunk []byte
+}
+
+type pendingFlow struct {
+	id        uint32
+	remaining int
+	hdrLeft   int
+}
+
+type genConn struct {
+	g       *FlowGen
+	sock    api.Socket
+	pending []pendingFlow
+	head    int
+	hdr     [8]byte
+}
+
+// Serve installs the flow sink on a stack port. Call before Start; may be
+// called on multiple machines (the generator spreads connections over all
+// targets passed to Start).
+func (g *FlowGen) Serve(stack api.Stack, port uint16) {
+	stack.Listen(port, func(sock api.Socket) {
+		sc := &sinkConn{g: g, buf: make([]byte, 16384)}
+		sock.OnReadable(func() { sc.drain(sock) })
+	})
+}
+
+// Start opens the connection pool (connection i: senders[i%len] →
+// targets[i%len]) and schedules the Poisson arrival process.
+func (g *FlowGen) Start(eng *sim.Engine, senders []api.Stack, targets ...api.Addr) {
+	g.eng = eng
+	g.rng = stats.NewRNG(g.Seed ^ 0xf10a6e)
+	if g.FCT == nil {
+		g.FCT = stats.NewHistogram()
+	}
+	if g.Conns <= 0 {
+		g.Conns = len(senders)
+	}
+	if g.chunk == nil {
+		g.chunk = make([]byte, 16384)
+	}
+	for i := 0; i < g.Conns; i++ {
+		gc := &genConn{g: g}
+		g.conns = append(g.conns, gc)
+		stack := senders[i%len(senders)]
+		target := targets[i%len(targets)]
+		stack.Dial(target, func(sock api.Socket) {
+			gc.sock = sock
+			sock.OnWritable(gc.pump)
+			gc.pump()
+		})
+	}
+	g.scheduleArrival()
+}
+
+func (g *FlowGen) scheduleArrival() {
+	if g.MaxFlows > 0 && int(g.Started) >= g.MaxFlows {
+		return
+	}
+	gap := sim.Time(g.rng.Exp(1e12 / g.Rate))
+	g.eng.AfterCall(gap, flowGenArrive, g)
+}
+
+// flowGenArrive fires one Poisson arrival and rearms (allocation-free
+// per arrival; see sim.Engine.AfterCall).
+func flowGenArrive(a any) {
+	g := a.(*FlowGen)
+	g.arrive()
+	g.scheduleArrival()
+}
+
+// arrive admits one flow: sample a size, stamp the arrival, enqueue it on
+// the next connection round-robin.
+func (g *FlowGen) arrive() {
+	id := uint32(len(g.start))
+	size := g.Size.Sample(g.rng)
+	if size < 1 {
+		size = 1
+	}
+	g.start = append(g.start, g.eng.Now())
+	g.size = append(g.size, size)
+	g.Started++
+	gc := g.conns[g.next%len(g.conns)]
+	g.next++
+	gc.pending = append(gc.pending, pendingFlow{id: id, remaining: size, hdrLeft: 8})
+	gc.pump()
+}
+
+// pump pushes the head flow's header and payload into the socket until
+// the buffer fills or the queue drains.
+func (gc *genConn) pump() {
+	if gc.sock == nil {
+		return
+	}
+	for gc.head < len(gc.pending) {
+		f := &gc.pending[gc.head]
+		for f.hdrLeft > 0 {
+			binary.BigEndian.PutUint32(gc.hdr[0:4], f.id)
+			binary.BigEndian.PutUint32(gc.hdr[4:8], uint32(f.remaining))
+			n := gc.sock.Send(gc.hdr[8-f.hdrLeft:])
+			if n == 0 {
+				return
+			}
+			f.hdrLeft -= n
+		}
+		for f.remaining > 0 {
+			chunk := gc.g.chunk
+			if f.remaining < len(chunk) {
+				chunk = chunk[:f.remaining]
+			}
+			n := gc.sock.Send(chunk)
+			if n == 0 {
+				return
+			}
+			f.remaining -= n
+		}
+		gc.pending[gc.head] = pendingFlow{}
+		gc.head++
+		if gc.head == len(gc.pending) {
+			gc.pending = gc.pending[:0]
+			gc.head = 0
+		}
+	}
+}
+
+// sinkConn parses one connection's flow stream.
+type sinkConn struct {
+	g         *FlowGen
+	buf       []byte
+	hdr       [8]byte
+	hdrGot    int
+	id        uint32
+	remaining int
+}
+
+func (sc *sinkConn) drain(sock api.Socket) {
+	g := sc.g
+	for {
+		n := sock.Recv(sc.buf)
+		if n == 0 {
+			return
+		}
+		g.BytesReceived += uint64(n)
+		b := sc.buf[:n]
+		for len(b) > 0 {
+			if sc.remaining == 0 {
+				k := copy(sc.hdr[sc.hdrGot:], b)
+				sc.hdrGot += k
+				b = b[k:]
+				if sc.hdrGot == 8 {
+					sc.id = binary.BigEndian.Uint32(sc.hdr[0:4])
+					sc.remaining = int(binary.BigEndian.Uint32(sc.hdr[4:8]))
+					sc.hdrGot = 0
+				}
+				continue
+			}
+			k := len(b)
+			if k > sc.remaining {
+				k = sc.remaining
+			}
+			sc.remaining -= k
+			b = b[k:]
+			if sc.remaining == 0 {
+				g.complete(sc.id)
+			}
+		}
+	}
+}
+
+func (g *FlowGen) complete(id uint32) {
+	if int(id) >= len(g.start) {
+		return
+	}
+	now := g.eng.Now()
+	g.Completed++
+	g.BytesCompleted += uint64(g.size[id])
+	g.FCT.Record(int64(now - g.start[id]))
+	g.LastDone = now
+}
+
+// Done reports whether every generated flow has completed (meaningful
+// once MaxFlows bounded the arrival process).
+func (g *FlowGen) Done() bool {
+	return g.MaxFlows > 0 && int(g.Completed) >= g.MaxFlows
+}
+
+// ---------------------------------------------------------------------
+// N-to-1 incast.
+// ---------------------------------------------------------------------
+
+// IncastGroup drives barrier-synchronized incast: every sender blasts
+// BlockBytes at the aggregator simultaneously; the round completes when
+// the aggregator holds all N×BlockBytes, and the next round starts
+// immediately (the classic partition/aggregate pattern). Round FCT is the
+// barrier-to-last-byte time.
+type IncastGroup struct {
+	BlockBytes int // per-sender bytes per round
+	Rounds     int // stop after this many rounds (0 = run until sim end)
+
+	// Measurement.
+	RoundsDone    uint64
+	BytesReceived uint64
+	RoundFCT      *stats.Histogram // picoseconds
+	LastDone      sim.Time
+
+	eng        *sim.Engine
+	senders    []*incastSender
+	want       int
+	connected  int
+	pending    int
+	roundStart sim.Time
+	running    bool
+}
+
+type incastSender struct {
+	g         *IncastGroup
+	sock      api.Socket
+	remaining int
+}
+
+// Serve installs the aggregator on a stack port.
+func (g *IncastGroup) Serve(stack api.Stack, port uint16) {
+	if g.RoundFCT == nil {
+		g.RoundFCT = stats.NewHistogram()
+	}
+	stack.Listen(port, func(sock api.Socket) {
+		buf := make([]byte, 16384)
+		sock.OnReadable(func() {
+			for {
+				n := sock.Recv(buf)
+				if n == 0 {
+					return
+				}
+				g.BytesReceived += uint64(n)
+				g.pending -= n
+				if g.running && g.pending <= 0 {
+					g.roundDone()
+				}
+			}
+		})
+	})
+}
+
+// Start opens one connection per sender entry (pass a stack several times
+// for several connections from one host) and begins round 1 once every
+// sender is connected.
+func (g *IncastGroup) Start(eng *sim.Engine, senders []api.Stack, agg api.Addr) {
+	g.eng = eng
+	g.want = len(senders)
+	for _, stack := range senders {
+		is := &incastSender{g: g}
+		g.senders = append(g.senders, is)
+		stack.Dial(agg, func(sock api.Socket) {
+			is.sock = sock
+			sock.OnWritable(is.pump)
+			g.connected++
+			if g.connected == g.want {
+				g.startRound()
+			}
+		})
+	}
+}
+
+func (g *IncastGroup) startRound() {
+	g.running = true
+	g.roundStart = g.eng.Now()
+	g.pending = g.want * g.BlockBytes
+	for _, is := range g.senders {
+		is.remaining = g.BlockBytes
+		is.pump()
+	}
+}
+
+func (g *IncastGroup) roundDone() {
+	g.running = false
+	now := g.eng.Now()
+	g.RoundFCT.Record(int64(now - g.roundStart))
+	g.RoundsDone++
+	g.LastDone = now
+	if g.Rounds == 0 || int(g.RoundsDone) < g.Rounds {
+		g.eng.ImmediatelyCall(incastStartRound, g)
+	}
+}
+
+// incastStartRound launches the next barrier round (see Engine.AtCall).
+func incastStartRound(a any) { a.(*IncastGroup).startRound() }
+
+var incastChunk = make([]byte, 16384)
+
+func (is *incastSender) pump() {
+	if is.sock == nil {
+		return
+	}
+	for is.remaining > 0 {
+		chunk := incastChunk
+		if is.remaining < len(chunk) {
+			chunk = chunk[:is.remaining]
+		}
+		n := is.sock.Send(chunk)
+		if n == 0 {
+			return
+		}
+		is.remaining -= n
+	}
+}
+
+// ---------------------------------------------------------------------
+// Background cross-rack traffic.
+// ---------------------------------------------------------------------
+
+// Background is continuous bulk cross-traffic: conns connections from
+// the source stacks (round-robin) into one sink machine, reusing the
+// apps bulk primitives.
+type Background struct {
+	Sink *apps.BulkSink
+}
+
+// StartBackground installs a bulk sink on sinkStack:port and saturates it
+// with conns connections from srcs.
+func StartBackground(eng *sim.Engine, srcs []api.Stack, sinkStack api.Stack, port uint16, conns int) *Background {
+	b := &Background{Sink: &apps.BulkSink{}}
+	b.Sink.Serve(sinkStack, port)
+	for i := 0; i < conns; i++ {
+		(&apps.BulkSender{}).Start(eng, srcs[i%len(srcs)], api.Addr{IP: sinkStack.LocalIP(), Port: port})
+	}
+	return b
+}

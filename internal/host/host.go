@@ -23,7 +23,8 @@ type Core struct {
 	queue     []hostTask
 	qHead     int
 	running   bool
-	curDone   func() // completion of the task currently executing
+	curCb     func(any) // completion of the task currently executing
+	curArg    any
 
 	// Statistics.
 	Tasks        uint64
@@ -33,7 +34,8 @@ type Core struct {
 
 type hostTask struct {
 	task sim.Task
-	done func()
+	cb   func(any)
+	arg  any
 }
 
 // NewCore creates a core with the given clock.
@@ -48,8 +50,25 @@ func (c *Core) Hz() int64 { return c.hz }
 func (c *Core) CyclesTime(n int64) sim.Time { return sim.Cycles(n, c.hz) }
 
 // Submit queues a task for serial execution. done runs when it completes.
+// It is a thin wrapper over SubmitCall for cold callers; hot paths should
+// use SubmitCall directly so no completion closure is built per task.
 func (c *Core) Submit(task sim.Task, done func()) {
-	c.queue = append(c.queue, hostTask{task, done})
+	if done == nil {
+		c.SubmitCall(task, nil, nil)
+		return
+	}
+	c.SubmitCall(task, runPlainFunc, done)
+}
+
+// runPlainFunc adapts a plain func() completion to the call form.
+func runPlainFunc(a any) { a.(func())() }
+
+// SubmitCall queues a task for serial execution; cb(arg) runs when it
+// completes. The allocation-free form of Submit: cb should be a
+// long-lived function value and arg the per-task state (queueing a task
+// then performs no heap allocation beyond amortized queue growth).
+func (c *Core) SubmitCall(task sim.Task, cb func(any), arg any) {
+	c.queue = append(c.queue, hostTask{task, cb, arg})
 	if !c.running {
 		c.running = true
 		c.eng.ImmediatelyCall(coreKick, c)
@@ -87,19 +106,19 @@ func (c *Core) next() {
 		dur += sim.Time(s.Compute)*c.cyclePs + s.Stall
 	}
 	c.busyAcc += dur
-	c.curDone = t.done
+	c.curCb, c.curArg = t.cb, t.arg
 	c.eng.AfterCall(dur, coreTaskDone, c)
 }
 
 // coreTaskDone completes the running task and starts the next (see
-// sim.Engine.AtCall; the core runs one task at a time, so curDone is
-// unambiguous).
+// sim.Engine.AtCall; the core runs one task at a time, so curCb/curArg
+// are unambiguous).
 func coreTaskDone(a any) {
 	c := a.(*Core)
-	done := c.curDone
-	c.curDone = nil
-	if done != nil {
-		done()
+	cb, arg := c.curCb, c.curArg
+	c.curCb, c.curArg = nil, nil
+	if cb != nil {
+		cb(arg)
 	}
 	c.next()
 }

@@ -90,6 +90,45 @@ func TestMachineLeastLoaded(t *testing.T) {
 	eng.Run()
 }
 
+// TestSubmitCallOrderAndArgs: call-form tasks run serially in submission
+// order with their own arguments, interleaved with plain Submits.
+func TestSubmitCallOrderAndArgs(t *testing.T) {
+	eng := sim.New()
+	c := NewCore(eng, "cpu", 2e9)
+	var order []int
+	record := func(a any) { order = append(order, a.(int)) }
+	c.SubmitCall(sim.TaskC(100), record, 1)
+	c.Submit(sim.TaskC(100), func() { order = append(order, 2) })
+	c.SubmitCall(sim.TaskC(100), record, 3)
+	eng.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if c.Tasks != 3 {
+		t.Fatalf("tasks = %d", c.Tasks)
+	}
+}
+
+// TestSubmitCallAllocFree: steady-state SubmitCall (pointer arg, warm
+// queue) performs no heap allocation.
+func TestSubmitCallAllocFree(t *testing.T) {
+	eng := sim.New()
+	c := NewCore(eng, "cpu", 2e9)
+	nop := func(a any) {}
+	// Warm the queue capacity and the engine wheel.
+	for i := 0; i < 128; i++ {
+		c.SubmitCall(sim.TaskC(10), nop, c)
+	}
+	eng.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		c.SubmitCall(sim.TaskC(10), nop, c)
+		eng.Run()
+	})
+	if allocs > 0 {
+		t.Fatalf("SubmitCall allocates %.1f/op in steady state", allocs)
+	}
+}
+
 func TestCountersAccessors(t *testing.T) {
 	c := Counters{Driver: 1, TCPIP: 4, Sockets: 2, App: 1, Other: 3, Instructions: 14.3}
 	if c.Total() != 11 {

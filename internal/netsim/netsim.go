@@ -92,9 +92,61 @@ type Iface struct {
 	TxFrames, RxFrames uint64
 	TxBytes, RxBytes   uint64
 
+	// Per-port egress accounting, maintained by the switch that owns this
+	// port (host NICs leave these zero): CE marks applied on this egress
+	// queue, frames tail-dropped or WRED-dropped targeting it, and the
+	// deepest occupancy ever accepted.
+	ECNMarks       uint64
+	TailDrops      uint64
+	WREDDrops      uint64
+	PeakQueueBytes int
+
+	// queueHist, when enabled, samples the egress queue depth (in units
+	// of queueHistUnit bytes) at every accepted enqueue.
+	queueHist     *stats.LinearHist
+	queueHistUnit int
+
 	// queueBytes tracks bytes accepted for transmission but not yet on
 	// the wire — the output queue depth used for ECN marking and WRED.
 	queueBytes int
+}
+
+// EnableQueueHist attaches an egress occupancy histogram to the port:
+// every accepted enqueue records the queue depth in buckets of unitBytes,
+// clamped at maxBytes. unitBytes defaults to 1448, maxBytes to 1 MiB.
+func (i *Iface) EnableQueueHist(unitBytes, maxBytes int) {
+	if unitBytes <= 0 {
+		unitBytes = 1448
+	}
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	i.queueHistUnit = unitBytes
+	i.queueHist = stats.NewLinearHist(maxBytes / unitBytes)
+}
+
+// QueueHist returns the egress occupancy histogram (nil unless enabled)
+// and its bucket width in bytes.
+func (i *Iface) QueueHist() (*stats.LinearHist, int) { return i.queueHist, i.queueHistUnit }
+
+// ResetQueueStats clears the peak-depth marker and occupancy histogram
+// (end of a warmup phase); cumulative drop/mark counters are untouched.
+func (i *Iface) ResetQueueStats() {
+	i.PeakQueueBytes = 0
+	if i.queueHist != nil {
+		i.queueHist.Reset()
+	}
+}
+
+// noteQueueDepth records an accepted enqueue that brought the egress
+// queue to q bytes.
+func (i *Iface) noteQueueDepth(q int) {
+	if q > i.PeakQueueBytes {
+		i.PeakQueueBytes = q
+	}
+	if i.queueHist != nil {
+		i.queueHist.Record(q / i.queueHistUnit)
+	}
 }
 
 // GbpsToBytesPerSec converts a Gbit/s line rate.
@@ -180,13 +232,21 @@ type SwitchConfig struct {
 	Seed uint64
 }
 
-// Switch is a store-and-forward Ethernet switch with static MAC learning.
+// Switch is a store-and-forward Ethernet switch with static MAC learning
+// and an optional ECMP uplink group: frames whose destination MAC misses
+// the table are spread across the uplinks by the flow 4-tuple's CRC-32
+// hash (packet.Flow.Hash — the same hash the FlexTOE pre-processor's
+// lookup engine computes), so every segment of a flow takes one path and
+// per-flow ordering survives the fan-out.
 type Switch struct {
-	eng   *sim.Engine
-	cfg   SwitchConfig
-	rng   *stats.RNG
-	ports []*Iface
-	table map[packet.EtherAddr]*Iface
+	Name string
+
+	eng     *sim.Engine
+	cfg     SwitchConfig
+	rng     *stats.RNG
+	ports   []*Iface
+	uplinks []*Iface
+	table   map[packet.EtherAddr]*Iface
 
 	// Statistics.
 	Forwarded  uint64
@@ -195,6 +255,11 @@ type Switch struct {
 	WREDDrops  uint64
 	ECNMarks   uint64
 	Flooded    uint64
+	ECMPPicks  uint64 // forwards resolved by uplink hashing
+	// ECMPLoopDrops counts frames whose hashed uplink was their ingress
+	// port — a fabric routing error (the MAC should have been learned
+	// below this switch), kept separate from benign unknown-MAC floods.
+	ECMPLoopDrops uint64
 }
 
 // NewSwitch creates a switch. Default forwarding latency is 600 ns if the
@@ -219,17 +284,32 @@ func (s *Switch) Config() *SwitchConfig { return &s.cfg }
 // interface to connect a host NIC to.
 func (s *Switch) AddPort(name string, bytesPerSec float64) *Iface {
 	port := NewIface(s.eng, fmt.Sprintf("sw/%s", name), packet.MAC(0x02, 0xff, 0, 0, 0, byte(len(s.ports))), bytesPerSec)
-	port.Recv = func(f *Frame) { s.forward(f) }
+	port.Recv = func(f *Frame) { s.forwardFrom(port, f) }
 	s.ports = append(s.ports, port)
 	return port
 }
+
+// AddUplink creates a switch port that is also a member of the ECMP
+// uplink group. Uplink order is the ECMP index order: every switch built
+// with the same ordered uplink set maps a given flow to the same index.
+func (s *Switch) AddUplink(name string, bytesPerSec float64) *Iface {
+	port := s.AddPort(name, bytesPerSec)
+	s.uplinks = append(s.uplinks, port)
+	return port
+}
+
+// Uplinks returns the ECMP uplink ports in index order.
+func (s *Switch) Uplinks() []*Iface { return s.uplinks }
+
+// Ports returns every switch port in creation order.
+func (s *Switch) Ports() []*Iface { return s.ports }
 
 // Learn installs a static MAC table entry toward the given port.
 func (s *Switch) Learn(mac packet.EtherAddr, port *Iface) {
 	s.table[mac] = port
 }
 
-func (s *Switch) forward(f *Frame) {
+func (s *Switch) forwardFrom(in *Iface, f *Frame) {
 	// Uniform loss injection applies to every forwarded frame. Every drop
 	// terminates the frame's (and packet's) journey: the switch is the
 	// owner at that point, so it releases both.
@@ -240,13 +320,28 @@ func (s *Switch) forward(f *Frame) {
 	}
 	out, ok := s.table[f.Pkt.Eth.Dst]
 	if !ok {
-		s.Flooded++
-		dropFrame(f)
-		return
+		if len(s.uplinks) > 0 {
+			// ECMP: hash the flow 4-tuple onto an uplink. A frame that
+			// arrived on the chosen uplink would loop back up the fabric
+			// (the MAC should have been learned below us) — drop it
+			// instead of forwarding a routing error forever.
+			out = s.uplinks[int(f.Pkt.Flow().Hash()%uint32(len(s.uplinks)))]
+			if out == in {
+				s.ECMPLoopDrops++
+				dropFrame(f)
+				return
+			}
+			s.ECMPPicks++
+		} else {
+			s.Flooded++
+			dropFrame(f)
+			return
+		}
 	}
 	q := out.QueueBytes() + f.Wire
 	if s.cfg.QueueCapBytes > 0 && q > s.cfg.QueueCapBytes {
 		s.QueueDrops++
+		out.TailDrops++
 		dropFrame(f)
 		return
 	}
@@ -254,12 +349,14 @@ func (s *Switch) forward(f *Frame) {
 		switch {
 		case q > s.cfg.WREDMaxBytes:
 			s.WREDDrops++
+			out.WREDDrops++
 			dropFrame(f)
 			return
 		case q > s.cfg.WREDMinBytes:
 			frac := float64(q-s.cfg.WREDMinBytes) / float64(s.cfg.WREDMaxBytes-s.cfg.WREDMinBytes)
 			if s.rng.Bool(frac * s.cfg.WREDMaxProb) {
 				s.WREDDrops++
+				out.WREDDrops++
 				dropFrame(f)
 				return
 			}
@@ -269,8 +366,10 @@ func (s *Switch) forward(f *Frame) {
 		f.Pkt.IP.ECN() != packet.ECNNotECT {
 		f.Pkt.IP.SetECN(packet.ECNCE)
 		s.ECNMarks++
+		out.ECNMarks++
 	}
 	s.Forwarded++
+	out.noteQueueDepth(q)
 	f.dst = out
 	s.eng.AfterCall(s.cfg.Latency, switchDeliver, f)
 }

@@ -218,6 +218,185 @@ func TestFIFOOrderPreserved(t *testing.T) {
 	}
 }
 
+// sendSpaced schedules frames 2 us apart so each forward decision sees
+// the previous frame's queue contribution (the 600 ns crossbar transit
+// must complete before the next frame is classified).
+func sendSpaced(eng *sim.Engine, a *Iface, pkts []*packet.Packet) {
+	for i, pkt := range pkts {
+		p := pkt
+		eng.At(sim.Time(i)*2*sim.Microsecond, func() { a.Send(NewFrame(p, 0)) })
+	}
+}
+
+// slowSinkNet builds a fast ingress into a crawling egress so the egress
+// queue holds exactly the accepted frames for the whole test window.
+func slowSinkNet(cfg SwitchConfig) (*sim.Engine, *Network, *Iface, *Iface) {
+	eng := sim.New()
+	n := NewNetwork(eng, cfg)
+	a := n.AttachHost("a", packet.MAC(2, 0, 0, 0, 0, 1), GbpsToBytesPerSec(40), 0)
+	b := n.AttachHost("b", packet.MAC(2, 0, 0, 0, 0, 2), GbpsToBytesPerSec(0.01), 0)
+	b.Recv = func(f *Frame) { ReleaseFrame(f) }
+	return eng, n, a, b
+}
+
+// TestECNMarkBoundaryExact pins the marking rule at the threshold: a
+// frame whose enqueue brings the queue to exactly ECNThresholdBytes is
+// NOT marked; one byte beyond is. With equal-size frames and K = 3 wire
+// lengths, frames 1-3 pass clean and every later frame is marked.
+func TestECNMarkBoundaryExact(t *testing.T) {
+	wire := testPacket(packet.MAC(0, 0, 0, 0, 0, 0), packet.MAC(0, 0, 0, 0, 0, 0), 1400).WireLen()
+	eng, n, a, _ := slowSinkNet(SwitchConfig{ECNThresholdBytes: 3 * wire})
+	var pkts []*packet.Packet
+	for i := 0; i < 6; i++ {
+		pkts = append(pkts, testPacket(a.MAC, packet.MAC(2, 0, 0, 0, 0, 2), 1400))
+	}
+	sendSpaced(eng, a, pkts)
+	eng.RunUntil(20 * sim.Microsecond)
+	for i, pkt := range pkts {
+		marked := pkt.IP.ECN() == packet.ECNCE
+		if i < 3 && marked {
+			t.Fatalf("frame %d (queue <= K) marked", i)
+		}
+		if i >= 3 && !marked {
+			t.Fatalf("frame %d (queue > K) not marked", i)
+		}
+	}
+	if n.Switch.ECNMarks != 3 {
+		t.Fatalf("ECNMarks = %d, want 3", n.Switch.ECNMarks)
+	}
+}
+
+// TestTailDropBoundaryAccounting pins the cap rule: frames are accepted
+// while queue + wire <= QueueCapBytes, dropped beyond, with switch and
+// per-port counters agreeing and the peak depth equal to the cap.
+func TestTailDropBoundaryAccounting(t *testing.T) {
+	wire := testPacket(packet.MAC(0, 0, 0, 0, 0, 0), packet.MAC(0, 0, 0, 0, 0, 0), 1400).WireLen()
+	eng, n, a, b := slowSinkNet(SwitchConfig{QueueCapBytes: 3 * wire})
+	port := b.peer
+	port.EnableQueueHist(wire, 10*wire)
+	var pkts []*packet.Packet
+	for i := 0; i < 6; i++ {
+		pkts = append(pkts, testPacket(a.MAC, b.MAC, 1400))
+	}
+	sendSpaced(eng, a, pkts)
+	eng.RunUntil(20 * sim.Microsecond)
+	if n.Switch.QueueDrops != 3 {
+		t.Fatalf("QueueDrops = %d, want 3 (frames 4-6)", n.Switch.QueueDrops)
+	}
+	if port.TailDrops != n.Switch.QueueDrops {
+		t.Fatalf("per-port TailDrops %d != switch QueueDrops %d", port.TailDrops, n.Switch.QueueDrops)
+	}
+	if port.PeakQueueBytes != 3*wire {
+		t.Fatalf("PeakQueueBytes = %d, want %d", port.PeakQueueBytes, 3*wire)
+	}
+	hist, unit := port.QueueHist()
+	if unit != wire || hist.Count() != 3 {
+		t.Fatalf("occupancy samples = %d (unit %d), want 3 accepted enqueues", hist.Count(), unit)
+	}
+	if hist.Bucket(1) != 1 || hist.Bucket(2) != 1 || hist.Bucket(3) != 1 {
+		t.Fatalf("occupancy distribution = %v, want one sample each at 1,2,3 wires", hist.Dist())
+	}
+}
+
+// TestWREDBoundaries pins the three WRED regions: at or below min no
+// early drop ever happens; between min and max the drop probability is
+// frac*WREDMaxProb (frac 1.0 exactly at max); beyond max the drop is
+// unconditional. WREDMaxProb=0 isolates the regions: only the
+// beyond-max tail can drop.
+func TestWREDBoundaries(t *testing.T) {
+	wire := testPacket(packet.MAC(0, 0, 0, 0, 0, 0), packet.MAC(0, 0, 0, 0, 0, 0), 1400).WireLen()
+	eng, n, a, b := slowSinkNet(SwitchConfig{
+		WREDMinBytes: 2 * wire, WREDMaxBytes: 4 * wire, WREDMaxProb: 0, Seed: 3,
+	})
+	var pkts []*packet.Packet
+	for i := 0; i < 6; i++ {
+		pkts = append(pkts, testPacket(a.MAC, b.MAC, 1400))
+	}
+	sendSpaced(eng, a, pkts)
+	eng.RunUntil(20 * sim.Microsecond)
+	// Frames 1-4 land at q = 1..4 wires (<= max): with MaxProb 0 none may
+	// drop, including the frame exactly at max (probability path, not the
+	// unconditional tail). Frames 5-6 land beyond max: always dropped.
+	if n.Switch.WREDDrops != 2 {
+		t.Fatalf("WREDDrops = %d, want 2 (only the beyond-max tail)", n.Switch.WREDDrops)
+	}
+	if b.peer.WREDDrops != 2 {
+		t.Fatalf("per-port WREDDrops = %d", b.peer.WREDDrops)
+	}
+
+	// With MaxProb 1.0 the frame exactly at max must drop (frac = 1.0)
+	// and frames at or below min must still always pass.
+	eng2, n2, a2, b2 := slowSinkNet(SwitchConfig{
+		WREDMinBytes: 2 * wire, WREDMaxBytes: 4 * wire, WREDMaxProb: 1.0, Seed: 3,
+	})
+	accepted := func() int { return int(b2.peer.QueueBytes() / wire) }
+	var pkts2 []*packet.Packet
+	for i := 0; i < 2; i++ {
+		pkts2 = append(pkts2, testPacket(a2.MAC, b2.MAC, 1400))
+	}
+	sendSpaced(eng2, a2, pkts2)
+	eng2.RunUntil(10 * sim.Microsecond)
+	if n2.Switch.WREDDrops != 0 || accepted() != 2 {
+		t.Fatalf("frames at or below min dropped: drops=%d accepted=%d", n2.Switch.WREDDrops, accepted())
+	}
+	// Fill to one below max, then the frame arriving exactly at max must
+	// be dropped with probability frac*1.0 = 1.
+	more := []*packet.Packet{testPacket(a2.MAC, b2.MAC, 1400), testPacket(a2.MAC, b2.MAC, 1400)}
+	eng2.At(eng2.Now()+2*sim.Microsecond, func() { a2.Send(NewFrame(more[0], 0)) })
+	eng2.At(eng2.Now()+4*sim.Microsecond, func() { a2.Send(NewFrame(more[1], 0)) })
+	eng2.RunUntil(eng2.Now() + 10*sim.Microsecond)
+	// Frame 3 at q=3w: frac=0.5 — seeded outcome either way; frame 4 (or
+	// the next surviving) reaches q=max: frac=1.0 must drop.
+	if n2.Switch.WREDDrops == 0 {
+		t.Fatal("MaxProb=1.0 never dropped approaching max")
+	}
+	if accepted() > 3 {
+		t.Fatalf("queue exceeded max-1 frames with MaxProb=1: %d accepted", accepted())
+	}
+}
+
+// TestDropPointsReleaseFrameAndPacket: every switch drop point must
+// terminate the journey — returning both the pooled frame and the pooled
+// packet. The pools are LIFO, so the dropped objects must be the next
+// ones handed out.
+func TestDropPointsReleaseFrameAndPacket(t *testing.T) {
+	wire := testPacket(packet.MAC(0, 0, 0, 0, 0, 0), packet.MAC(0, 0, 0, 0, 0, 0), 1400).WireLen()
+	cases := []struct {
+		name string
+		cfg  SwitchConfig
+		dst  func(b *Iface) packet.EtherAddr // frame destination
+		prep int                             // frames to enqueue first
+	}{
+		{"loss", SwitchConfig{LossProb: 1.0, Seed: 1}, func(b *Iface) packet.EtherAddr { return b.MAC }, 0},
+		{"flood", SwitchConfig{}, func(*Iface) packet.EtherAddr { return packet.MAC(9, 9, 9, 9, 9, 9) }, 0},
+		{"taildrop", SwitchConfig{QueueCapBytes: 1 * wire}, func(b *Iface) packet.EtherAddr { return b.MAC }, 1},
+		{"wredtail", SwitchConfig{WREDMinBytes: 1, WREDMaxBytes: 1 * wire, WREDMaxProb: 0}, func(b *Iface) packet.EtherAddr { return b.MAC }, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng, _, a, b := slowSinkNet(tc.cfg)
+			// Pre-fill the queue so the victim frame lands beyond the bound.
+			var pkts []*packet.Packet
+			for i := 0; i < tc.prep; i++ {
+				pkts = append(pkts, testPacket(a.MAC, b.MAC, 1400))
+			}
+			victim := packet.Get()
+			src := testPacket(a.MAC, tc.dst(b), 1400)
+			victim.Eth, victim.IP, victim.TCP = src.Eth, src.IP, src.TCP
+			victim.GrowPayload(len(src.Payload))
+			pkts = append(pkts, victim)
+			sendSpaced(eng, a, pkts)
+			eng.RunUntil(sim.Time(len(pkts)) * 4 * sim.Microsecond)
+			if got := packet.Get(); got != victim {
+				t.Fatalf("dropped packet not recycled: pool returned %p, want %p", got, victim)
+			}
+			if f := frameFree.Get(); f == nil {
+				t.Fatal("dropped frame not returned to the freelist")
+			}
+		})
+	}
+}
+
 func TestIfaceCounters(t *testing.T) {
 	eng, _, a, b := buildNet(t, SwitchConfig{})
 	b.Recv = func(f *Frame) {}

@@ -212,6 +212,38 @@ func (e *Engine) Every(start, interval Time, fn func() bool) {
 	e.At(start, tick)
 }
 
+// periodic carries one EveryCall arming: the long-lived callback, its
+// argument, and the rearm interval.
+type periodic struct {
+	e        *Engine
+	interval Time
+	cb       func(any) bool
+	arg      any
+}
+
+// periodicTick fires one EveryCall iteration and rearms while the
+// callback returns true.
+func periodicTick(a any) {
+	p := a.(*periodic)
+	if p.cb(p.arg) {
+		p.e.AfterCall(p.interval, periodicTick, p)
+	}
+}
+
+// EveryCall schedules cb(arg) at start and then every interval
+// thereafter, for as long as cb returns true. It is the allocation-free
+// form of Every: cb should be a long-lived function value and arg the
+// periodic state, so arming allocates one small carrier and each firing
+// allocates nothing (Every closes over fn and tick — two closures per
+// arming, which adds up when every connection-scan loop on every machine
+// arms one).
+func (e *Engine) EveryCall(start, interval Time, cb func(any) bool, arg any) {
+	if interval <= 0 {
+		panic("sim: non-positive interval")
+	}
+	e.AtCall(start, periodicTick, &periodic{e: e, interval: interval, cb: cb, arg: arg})
+}
+
 // insert routes an event to its wheel bucket or the overflow heap.
 func (e *Engine) insert(ev event) {
 	const span = Time(wheelSize) << tickBits

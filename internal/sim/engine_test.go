@@ -133,6 +133,41 @@ func TestEvery(t *testing.T) {
 	}
 }
 
+func TestEveryCall(t *testing.T) {
+	e := New()
+	n := 0
+	e.EveryCall(100, 50, func(a any) bool {
+		p := a.(*int)
+		*p++
+		return *p < 4
+	}, &n)
+	e.Run()
+	if n != 4 {
+		t.Fatalf("n = %d", n)
+	}
+	if e.Now() != 100+3*50 {
+		t.Fatalf("now = %v", e.Now())
+	}
+}
+
+// TestEveryCallAllocFree: steady-state firings of an armed EveryCall
+// must not allocate (the arming itself may allocate its one carrier).
+func TestEveryCallAllocFree(t *testing.T) {
+	e := New()
+	n := 0
+	e.EveryCall(0, 10, func(a any) bool { n++; return true }, nil)
+	e.RunUntil(100) // warm up past the arming
+	allocs := testing.AllocsPerRun(50, func() {
+		e.RunUntil(e.Now() + 1000)
+	})
+	if allocs > 0 {
+		t.Fatalf("EveryCall firing allocates %.1f/run", allocs)
+	}
+	if n == 0 {
+		t.Fatal("callback never fired")
+	}
+}
+
 func TestStop(t *testing.T) {
 	e := New()
 	ran := 0

@@ -37,8 +37,12 @@ type RXResult struct {
 	// holes via the selective-retransmit queue, instead of a go-back-N
 	// reset.
 	SACKRetransmit bool
-	WasOOO         bool // payload accepted out of order
-	OOODrop        bool // payload outside every tracked interval: dropped
+	// SACKReneged: this segment's SACK blocks overflowed the bounded
+	// scoreboard, newly marking it untrustworthy — recovery falls back to
+	// go-back-N until the episode drains (RFC 2018 conservatism).
+	SACKReneged bool
+	WasOOO      bool // payload accepted out of order
+	OOODrop     bool // payload outside every tracked interval: dropped
 
 	// SACK generation (receiver side): the out-of-order interval set to
 	// advertise with the ACK, most recently touched interval first
@@ -77,7 +81,9 @@ func ProcessRX(st *ProtoState, post *PostState, seg *SegInfo, tsNow uint32) RXRe
 	una := st.UnackedBase()
 	ackNo := seg.Ack
 	if seg.Flags&packet.FlagACK != 0 {
+		preRenege := st.Flags&flagSACKRenege != 0
 		ingestSACK(st, seg)
+		res.SACKReneged = !preRenege && st.Flags&flagSACKRenege != 0
 		switch {
 		case SeqGT(ackNo, st.Seq):
 			// The ack is beyond SND.NXT. This is legitimate in two ways.

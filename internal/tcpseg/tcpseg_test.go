@@ -910,8 +910,14 @@ func TestSACKScoreboardOverflowReneges(t *testing.T) {
 	if !r1.DupAck || st.SACKCnt != 4 {
 		t.Fatalf("setup: %+v scoreboard %v", r1, st.SACKIntervals())
 	}
-	ProcessRX(st, post, dupAckSACK(0, st.RemoteWin, SeqInterval{9000, 10000}), 0)
+	second := ProcessRX(st, post, dupAckSACK(0, st.RemoteWin, SeqInterval{9000, 10000}), 0)
+	if !second.SACKReneged {
+		t.Fatalf("fifth disjoint block must report the renege: %+v", second)
+	}
 	third := ProcessRX(st, post, dupAckSACK(0, st.RemoteWin, SeqInterval{9000, 10000}), 0)
+	if third.SACKReneged {
+		t.Fatalf("renege already reported; repeat overflow must not re-count: %+v", third)
+	}
 	if !third.FastRetransmit || third.SACKRetransmit {
 		t.Fatalf("overflowed scoreboard must fall back to GBN: %+v", third)
 	}

@@ -12,6 +12,7 @@ import (
 	"flextoe/internal/baseline"
 	"flextoe/internal/core"
 	"flextoe/internal/ctrl"
+	"flextoe/internal/fabric"
 	"flextoe/internal/host"
 	"flextoe/internal/libtoe"
 	"flextoe/internal/netsim"
@@ -55,6 +56,10 @@ type MachineSpec struct {
 	// TAS knobs.
 	StackCores int // dedicated fast-path cores (default 1)
 
+	// Rack places the machine on a leaf switch when the testbed runs on a
+	// fabric (NewFabric); ignored on the single-switch testbed.
+	Rack int
+
 	Seed uint64
 }
 
@@ -74,10 +79,12 @@ type Machine struct {
 	Base *baseline.Stack
 }
 
-// Testbed is the cluster.
+// Testbed is the cluster. Exactly one of Net (single switch) or Fabric
+// (leaf–spine) is set, per the constructor used.
 type Testbed struct {
 	Eng      *sim.Engine
 	Net      *netsim.Network
+	Fabric   *fabric.Fabric
 	Machines map[string]*Machine
 	macOf    map[packet.IPv4Addr]packet.EtherAddr
 }
@@ -91,6 +98,26 @@ func New(swCfg netsim.SwitchConfig, specs ...MachineSpec) *Testbed {
 		Machines: make(map[string]*Machine),
 		macOf:    make(map[packet.IPv4Addr]packet.EtherAddr),
 	}
+	tb.populate(specs)
+	return tb
+}
+
+// NewFabric builds a cluster on a leaf–spine fabric; each machine's Rack
+// selects its leaf. The same stacks run unmodified — only the network
+// between the NICs changes.
+func NewFabric(fc fabric.Config, specs ...MachineSpec) *Testbed {
+	eng := sim.New()
+	tb := &Testbed{
+		Eng:      eng,
+		Fabric:   fabric.New(eng, fc),
+		Machines: make(map[string]*Machine),
+		macOf:    make(map[packet.IPv4Addr]packet.EtherAddr),
+	}
+	tb.populate(specs)
+	return tb
+}
+
+func (tb *Testbed) populate(specs []MachineSpec) {
 	for i, spec := range specs {
 		tb.add(i, spec)
 	}
@@ -104,7 +131,6 @@ func New(swCfg netsim.SwitchConfig, specs ...MachineSpec) *Testbed {
 			m.Base.ResolveMAC = resolve
 		}
 	}
-	return tb
 }
 
 func (tb *Testbed) add(idx int, spec MachineSpec) {
@@ -125,7 +151,12 @@ func (tb *Testbed) add(idx int, spec MachineSpec) {
 	}
 	ip := packet.IP(10, 0, byte(idx>>8), byte(idx+1))
 	mac := packet.MAC(0x02, 0, 0, 0, byte(idx>>8), byte(idx+1))
-	iface := tb.Net.AttachHost(spec.Name, mac, netsim.GbpsToBytesPerSec(spec.NICGbps), 150*sim.Nanosecond)
+	var iface *netsim.Iface
+	if tb.Fabric != nil {
+		iface = tb.Fabric.AttachHost(spec.Rack, spec.Name, mac, netsim.GbpsToBytesPerSec(spec.NICGbps), 0)
+	} else {
+		iface = tb.Net.AttachHost(spec.Name, mac, netsim.GbpsToBytesPerSec(spec.NICGbps), 150*sim.Nanosecond)
+	}
 	machine := host.NewMachine(tb.Eng, spec.Name, spec.Cores, spec.CoreHz)
 
 	m := &Machine{Spec: spec, IP: ip, MAC: mac, Iface: iface}
