@@ -85,6 +85,58 @@
 // barrier-synchronized N-to-1 incast groups, and background cross-rack
 // bulk traffic. Figure 17 (cmd/flexbench fig17) sweeps incast fan-in ×
 // {CCNone, CCDCTCP, CCTimely} and tabulates ECMP spine balance.
+//
+// # Zero-copy socket views: ownership and aliasing contract
+//
+// api.Socket's primary data-path interface is the four view calls —
+// Peek/Consume on receive, Reserve/Commit on transmit — mirroring
+// libTOE's payload-buffer model (§3, Fig. 2): the application reads
+// received bytes and stages transmit bytes in place in the per-socket
+// payload ring, and only descriptors cross the host/NIC boundary.
+// Send/Recv survive as copy-based compatibility wrappers over the views.
+// The contract:
+//
+//   - Views are windows into the socket's payload ring, never copies.
+//     Peek returns every readable byte as up to two slices (the ring may
+//     wrap); Reserve returns up to n bytes of free transmit ring at the
+//     append position. View slice contents may be read and written in
+//     place.
+//
+//   - A Peek view is invalidated by the next Consume, a Reserve view by
+//     the next Commit. Views must never be retained across those calls,
+//     across event callbacks, or into deferred work (a core.Submit task,
+//     an engine event): by the time deferred work runs, the window may
+//     have been recycled for new data. Anything needed later is copied
+//     out first (the KV server copies only ring-wrap-straddling frames,
+//     through a reused scratch buffer).
+//
+//   - Repeated Peek/Reserve without an intervening Consume/Commit return
+//     stable views of the same window.
+//
+//   - Commit publishes the next n ring bytes as they are; an application
+//     whose payload content matters stages it via Reserve first, one
+//     that pads (fixed-size RPC benchmarks, bulk streams) may commit
+//     without staging.
+//
+// Composition with the pooling rules above: the RX payload ring is
+// written by the data-path (DMA from pooled packets) strictly ahead of
+// the bytes Peek exposes, and the TX ring is read by the data-path
+// (segment build from pooled packets, retransmissions included) only
+// below the committed head — so application views and data-path DMA
+// never alias the same region while both are live. Retransmissions
+// rebuild from the TX payload ring, which is why committed bytes must
+// stay untouched until acknowledged (DescTxFree) — the same one-shot
+// rule packets follow. Cost model: libTOE charges descriptor/doorbell
+// cycles but no PerByte copy cost on the view path (Table 1's split of
+// what offload can and cannot eliminate); the baseline personalities
+// implement the same view semantics for binary compatibility but keep
+// charging the kernel copy, which their architecture cannot avoid.
+//
+// The app-layer budget is enforced in CI by TestAppSteadyStateAllocBudget
+// (internal/apps): at most 2 heap allocations per steady-state RPC
+// request-response end to end; the cross-personality semantics
+// (including view aliasing rules) are pinned by the conformance suite in
+// internal/api/apitest.
 package main
 
 import (

@@ -1,0 +1,333 @@
+// Package apitest is the cross-stack conformance suite for the
+// api.Socket contract: every stack personality (FlexTOE, Linux, TAS,
+// Chelsio) must present identical semantics to applications — the paper
+// runs identical application binaries across all baselines (§5), so the
+// socket layer is the compatibility boundary the whole evaluation rests
+// on.
+//
+// The suite pins the parts of the contract applications actually depend
+// on:
+//
+//   - partial Send under full buffers (flow control surfaces as short
+//     writes, never blocking or data loss),
+//   - edge-triggered OnReadable/OnWritable (no level-triggered callback
+//     storms while data sits unconsumed),
+//   - the zero-copy view aliasing rules (Peek invalidated by Consume,
+//     Reserve by Commit; views stable between those calls),
+//   - EOF after FIN surfaced as an OnReadable fire that drains to
+//     Readable()==0,
+//   - no loss of data arriving between accept and OnReadable
+//     registration.
+package apitest
+
+import (
+	"testing"
+
+	"flextoe/internal/api"
+	"flextoe/internal/netsim"
+	"flextoe/internal/sim"
+	"flextoe/internal/testbed"
+)
+
+// pair is a connected client/server socket pair on a two-machine
+// testbed of one personality.
+type pair struct {
+	tb  *testbed.Testbed
+	srv api.Socket
+	cli api.Socket
+}
+
+// newPair builds the testbed, connects one socket pair and returns it.
+// onAccept, when non-nil, runs inside the server's accept callback
+// (before any data can arrive) in place of the default no-op.
+func newPair(t *testing.T, kind testbed.StackKind, bufSize uint32, port uint16, onAccept func(api.Socket)) *pair {
+	t.Helper()
+	tb := testbed.New(netsim.SwitchConfig{},
+		testbed.MachineSpec{Name: "server", Kind: kind, Cores: 2, BufSize: bufSize, Seed: 11},
+		testbed.MachineSpec{Name: "client", Kind: kind, Cores: 2, BufSize: bufSize, Seed: 22},
+	)
+	p := &pair{tb: tb}
+	tb.M("server").Stack.Listen(port, func(k api.Socket) {
+		p.srv = k
+		if onAccept != nil {
+			onAccept(k)
+		}
+	})
+	tb.M("client").Stack.Dial(tb.Addr("server", port), func(k api.Socket) { p.cli = k })
+	for i := 0; p.srv == nil || p.cli == nil; i++ {
+		if i > 100 {
+			t.Fatalf("%s: connection not established", kind)
+		}
+		p.run(sim.Millisecond)
+	}
+	return p
+}
+
+// run advances the simulation by d.
+func (p *pair) run(d sim.Time) { p.tb.Run(p.tb.Eng.Now() + d) }
+
+// until advances in millisecond steps until cond holds (or fails).
+func (p *pair) until(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	for i := 0; !cond(); i++ {
+		if i > 500 {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		p.run(sim.Millisecond)
+	}
+}
+
+// pattern returns the deterministic byte stream the suite validates
+// content with.
+func pattern(off int) byte { return byte(7*off + 13) }
+
+// Run executes the conformance suite against one stack personality.
+func Run(t *testing.T, kind testbed.StackKind) {
+	t.Run("PartialSendUnderFullBuffers", func(t *testing.T) { partialSend(t, kind) })
+	t.Run("EdgeTriggeredCallbacks", func(t *testing.T) { edgeTriggered(t, kind) })
+	t.Run("ViewAliasing", func(t *testing.T) { viewAliasing(t, kind) })
+	t.Run("EOFAfterFINDrain", func(t *testing.T) { eofAfterFIN(t, kind) })
+	t.Run("DataBeforeOnReadable", func(t *testing.T) { dataBeforeOnReadable(t, kind) })
+}
+
+// partialSend floods a small-buffer connection while the receiver sits on
+// its data: Send must go short (flow control), never lose bytes, and
+// OnWritable must resume the transfer once the receiver drains — with the
+// full byte stream intact and in order across many ring wraps.
+func partialSend(t *testing.T, kind testbed.StackKind) {
+	const total = 16384
+	const bufSize = 4096
+	p := newPair(t, kind, bufSize, 9000, nil)
+
+	payload := make([]byte, total)
+	for i := range payload {
+		payload[i] = pattern(i)
+	}
+	sent := 0
+	sawShort := false
+	push := func() {
+		for sent < total {
+			n := p.cli.Send(payload[sent:])
+			if n < total-sent {
+				sawShort = true
+			}
+			if n == 0 {
+				return
+			}
+			sent += n
+		}
+	}
+	p.cli.OnWritable(push)
+	push()
+
+	// The receiver is not consuming: the sender must stall well short of
+	// the total with a short write observed.
+	p.run(20 * sim.Millisecond)
+	if !sawShort {
+		t.Fatalf("no short Send observed against a %d-byte buffer", bufSize)
+	}
+	if sent >= total {
+		t.Fatalf("flow control failed: %d of %d bytes accepted with the receiver asleep", sent, total)
+	}
+
+	// Drain and validate content through the view path.
+	got := make([]byte, 0, total)
+	drain := func() {
+		a, b := p.srv.Peek()
+		n := api.ViewLen(a, b)
+		if n == 0 {
+			return
+		}
+		got = append(got, a...)
+		got = append(got, b...)
+		p.srv.Consume(n)
+	}
+	p.srv.OnReadable(drain)
+	drain() // pick up what buffered before registration
+	p.until(t, "full transfer", func() bool { return len(got) >= total && sent >= total })
+	if len(got) != total {
+		t.Fatalf("received %d bytes, want %d", len(got), total)
+	}
+	for i, v := range got {
+		if v != pattern(i) {
+			t.Fatalf("byte %d = %#x, want %#x: stream corrupted or reordered", i, v, pattern(i))
+		}
+	}
+}
+
+// edgeTriggered pins the callback contract: OnReadable fires on upward
+// Readable transitions only — unconsumed data must not retrigger it, and
+// consuming must not fire it either.
+func edgeTriggered(t *testing.T, kind testbed.StackKind) {
+	p := newPair(t, kind, 4096, 9001, nil)
+	fires := 0
+	p.srv.OnReadable(func() { fires++ })
+
+	payload := make([]byte, 100)
+	p.cli.Send(payload)
+	p.until(t, "first delivery", func() bool { return p.srv.Readable() == 100 })
+	if fires == 0 {
+		t.Fatal("OnReadable never fired for new data")
+	}
+
+	// Data sits unconsumed: an edge-triggered socket stays silent.
+	quiesced := fires
+	p.run(20 * sim.Millisecond)
+	if fires != quiesced {
+		t.Fatalf("OnReadable fired %d more times with no new data (level-triggered storm)", fires-quiesced)
+	}
+
+	// Consuming is not an upward transition.
+	p.srv.Consume(p.srv.Readable())
+	p.run(20 * sim.Millisecond)
+	if fires != quiesced {
+		t.Fatalf("OnReadable fired on Consume")
+	}
+
+	// New data is a fresh edge.
+	p.cli.Send(payload)
+	p.until(t, "second delivery", func() bool { return p.srv.Readable() == 100 })
+	if fires == quiesced {
+		t.Fatal("OnReadable did not fire for the second burst")
+	}
+}
+
+// viewAliasing pins the zero-copy view rules on both directions: Reserve
+// views address the ring beyond committed data (a Commit shifts the next
+// view), Peek views shift with Consume, and view lengths track
+// TxSpace/Readable exactly.
+func viewAliasing(t *testing.T, kind testbed.StackKind) {
+	const n = 1000
+	p := newPair(t, kind, 4096, 9002, nil)
+
+	// Stage a full pattern, publish only the first half.
+	a, b := p.cli.Reserve(n)
+	if got := api.ViewLen(a, b); got != n {
+		t.Fatalf("Reserve(%d) on an empty socket returned %d bytes", n, got)
+	}
+	for i := 0; i < n; i++ {
+		api.ViewCopyIn(a, b, i, []byte{pattern(i)})
+	}
+	// Re-reserving without a Commit returns a stable view of the same
+	// window: the staged prefix must still be there.
+	a2, b2 := p.cli.Reserve(n)
+	if api.ViewLen(a2, b2) != n || api.ViewByte(a2, b2, 0) != pattern(0) || api.ViewByte(a2, b2, n-1) != pattern(n-1) {
+		t.Fatal("Reserve view not stable before Commit")
+	}
+	p.cli.Commit(n / 2)
+
+	// After the Commit the next Reserve must start past the published
+	// bytes: overwrite the second half with a marker.
+	a3, b3 := p.cli.Reserve(n / 2)
+	if api.ViewLen(a3, b3) != n/2 {
+		t.Fatalf("Reserve after Commit returned %d bytes, want %d", api.ViewLen(a3, b3), n/2)
+	}
+	for i := 0; i < n/2; i++ {
+		api.ViewCopyIn(a3, b3, i, []byte{0xEE})
+	}
+	p.cli.Commit(n / 2)
+
+	p.until(t, "delivery", func() bool { return p.srv.Readable() >= n })
+
+	// Peek must expose exactly Readable() bytes: committed prefix then
+	// marker, proving the second Reserve aliased the ring past the first
+	// Commit.
+	ra, rb := p.srv.Peek()
+	if api.ViewLen(ra, rb) != p.srv.Readable() {
+		t.Fatalf("Peek length %d != Readable %d", api.ViewLen(ra, rb), p.srv.Readable())
+	}
+	for i := 0; i < n/2; i++ {
+		if api.ViewByte(ra, rb, i) != pattern(i) {
+			t.Fatalf("byte %d = %#x, want pattern", i, api.ViewByte(ra, rb, i))
+		}
+	}
+	for i := n / 2; i < n; i++ {
+		if api.ViewByte(ra, rb, i) != 0xEE {
+			t.Fatalf("byte %d = %#x, want marker: Reserve view did not advance past Commit", i, api.ViewByte(ra, rb, i))
+		}
+	}
+
+	// Consume shifts the next Peek: the old view is dead, the new one
+	// starts at the first unconsumed byte.
+	second := api.ViewByte(ra, rb, 1)
+	p.srv.Consume(1)
+	ra2, rb2 := p.srv.Peek()
+	if api.ViewLen(ra2, rb2) != p.srv.Readable() || api.ViewByte(ra2, rb2, 0) != second {
+		t.Fatal("Peek view did not shift after Consume")
+	}
+}
+
+// eofAfterFIN pins the EOF contract: after the peer closes, the receiver
+// observes an OnReadable fire that drains to Readable()==0 with every
+// byte delivered first.
+func eofAfterFIN(t *testing.T, kind testbed.StackKind) {
+	const total = 1000
+	p := newPair(t, kind, 4096, 9003, nil)
+
+	got := 0
+	eof := false
+	p.srv.OnReadable(func() {
+		a, b := p.srv.Peek()
+		if n := api.ViewLen(a, b); n > 0 {
+			p.srv.Consume(n)
+			got += n
+			return
+		}
+		// A fire with nothing readable after the stream drained is the
+		// FIN notification.
+		if got == total {
+			eof = true
+		}
+	})
+
+	p.cli.Send(make([]byte, total))
+	p.cli.Close()
+	p.until(t, "EOF", func() bool { return eof })
+	if got != total {
+		t.Fatalf("drained %d bytes before EOF, want %d", got, total)
+	}
+}
+
+// dataBeforeOnReadable is the regression for the accept/registration
+// race: bytes arriving after accept but before the application registers
+// OnReadable must be retained and visible via Readable/Peek.
+func dataBeforeOnReadable(t *testing.T, kind testbed.StackKind) {
+	const early = 600
+	const late = 400
+	p := newPair(t, kind, 4096, 9004, nil)
+
+	payload := make([]byte, early)
+	for i := range payload {
+		payload[i] = pattern(i)
+	}
+	p.cli.Send(payload)
+	// No OnReadable registered: the data must buffer, not vanish.
+	p.until(t, "early data buffered", func() bool { return p.srv.Readable() == early })
+	a, b := p.srv.Peek()
+	if api.ViewLen(a, b) != early {
+		t.Fatalf("Peek sees %d early bytes, want %d", api.ViewLen(a, b), early)
+	}
+	for i := 0; i < early; i++ {
+		if api.ViewByte(a, b, i) != pattern(i) {
+			t.Fatalf("early byte %d corrupted", i)
+		}
+	}
+
+	// Late registration drains the backlog plus fresh data.
+	got := 0
+	p.srv.OnReadable(func() {
+		va, vb := p.srv.Peek()
+		n := api.ViewLen(va, vb)
+		p.srv.Consume(n)
+		got += n
+	})
+	// The backlog does not re-fire the callback (edge-triggered): the
+	// application drains it at registration time, as epoll users do.
+	va, vb := p.srv.Peek()
+	n := api.ViewLen(va, vb)
+	p.srv.Consume(n)
+	got += n
+
+	p.cli.Send(make([]byte, late))
+	p.until(t, "late data", func() bool { return got == early+late })
+}

@@ -1,0 +1,18 @@
+package apitest
+
+import (
+	"testing"
+
+	"flextoe/internal/testbed"
+)
+
+// TestSocketConformance runs the api.Socket contract suite against all
+// four stack personalities: the paper's "identical application binaries"
+// claim (§5) holds only if every stack implements the same socket
+// semantics, views included.
+func TestSocketConformance(t *testing.T) {
+	for _, kind := range testbed.AllStacks {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) { Run(t, kind) })
+	}
+}

@@ -4,6 +4,15 @@
 // closed- and open-loop clients with pipelining, and bulk-transfer
 // senders (§5.2, §5.3). Applications use only the api.Stack interface, so
 // identical "binaries" run over every stack.
+//
+// Every workload drives the zero-copy view API (Peek/Consume on receive,
+// Reserve/Commit on transmit): frames are parsed and staged directly in
+// the per-socket payload rings, so the steady-state request path
+// allocates nothing at the application layer (gated in CI by
+// TestAppSteadyStateAllocBudget). Fixed-size benchmark payloads whose
+// content is never examined (RPC requests/responses, bulk streams) are
+// committed without staging — the ring bytes go out as-is, exactly the
+// liberty a padding payload grants a zero-copy application.
 package apps
 
 import (
@@ -11,6 +20,7 @@ import (
 
 	"flextoe/internal/api"
 	"flextoe/internal/host"
+	"flextoe/internal/shm"
 	"flextoe/internal/sim"
 	"flextoe/internal/stats"
 )
@@ -31,38 +41,82 @@ type RPCServer struct {
 	Served uint64
 }
 
+// rpcSession is one accepted connection's parse/respond state.
+type rpcSession struct {
+	srv  *RPCServer
+	sock api.Socket
+	core *host.Core
+
+	buffered int // request bytes received short of a full request
+	owed     int // response bytes ready to transmit
+}
+
 // Serve installs the server on a stack port.
 func (srv *RPCServer) Serve(stack api.Stack, port uint16) {
 	stack.Listen(port, func(sock api.Socket) {
-		buffered := 0
-		var pump func()
-		core := coreFor(stack, sock)
-		pump = func() {
-			buf := make([]byte, 4096)
-			for {
-				n := sock.Recv(buf)
-				if n == 0 {
-					break
-				}
-				buffered += n
-			}
-			for buffered >= srv.ReqSize {
-				buffered -= srv.ReqSize
-				srv.Served++
-				resp := srv.RespSize
-				if resp == 0 {
-					resp = srv.ReqSize
-				}
-				payload := make([]byte, resp)
-				if srv.AppCycles > 0 {
-					core.Submit(sim.TaskC(srv.AppCycles), func() { sock.Send(payload) })
-				} else {
-					sock.Send(payload)
-				}
-			}
-		}
-		sock.OnReadable(pump)
+		sess := &rpcSession{srv: srv, sock: sock, core: coreFor(stack, sock)}
+		sock.OnReadable(sess.onReadable)
+		sock.OnWritable(sess.push)
 	})
+}
+
+func (sess *rpcSession) onReadable() {
+	a, b := sess.sock.Peek()
+	n := api.ViewLen(a, b)
+	if n == 0 {
+		return
+	}
+	// Requests are content-ignored fixed-size frames: count and release
+	// the bytes in place.
+	sess.sock.Consume(n)
+	sess.buffered += n
+	for sess.buffered >= sess.srv.ReqSize {
+		sess.buffered -= sess.srv.ReqSize
+		sess.srv.Served++
+		if sess.srv.AppCycles > 0 {
+			sess.core.SubmitCall(sim.TaskC(sess.srv.AppCycles), rpcRespond, sess)
+		} else {
+			sess.owed += sess.respSize()
+		}
+	}
+	sess.push()
+}
+
+func (sess *rpcSession) respSize() int {
+	if sess.srv.RespSize > 0 {
+		return sess.srv.RespSize
+	}
+	return sess.srv.ReqSize
+}
+
+// rpcRespond releases one response after its application-processing cost
+// has been paid (see host.Core.SubmitCall).
+func rpcRespond(a any) {
+	sess := a.(*rpcSession)
+	sess.owed += sess.respSize()
+	sess.push()
+}
+
+// push commits owed response padding as transmit space allows; the
+// OnWritable callback resumes it when acknowledgments free buffer.
+func (sess *rpcSession) push() { commitOwed(sess.sock, &sess.owed) }
+
+// commitOwed commits up to *owed bytes of padding as transmit space
+// allows — the shared push step of every fixed-content sender (RPC
+// responses, closed-loop requests, bulk echoes).
+func commitOwed(sock api.Socket, owed *int) {
+	if *owed == 0 {
+		return
+	}
+	w := sock.TxSpace()
+	if w > *owed {
+		w = *owed
+	}
+	if w == 0 {
+		return
+	}
+	sock.Commit(w)
+	*owed -= w
 }
 
 // coreFor picks the application core serving a socket.
@@ -104,12 +158,14 @@ func (c *ClosedLoopClient) ConnJFI() float64 {
 }
 
 type clientConn struct {
-	c        *ClosedLoopClient
-	sock     api.Socket
-	idx      int        // per-connection index for fairness accounting
-	issued   []sim.Time // send timestamps, FIFO per pipelined request
-	received int
-	openLoop bool // open-loop mode: responses do not trigger reissue
+	c          *ClosedLoopClient
+	sock       api.Socket
+	idx        int        // per-connection index for fairness accounting
+	issued     []sim.Time // send timestamps, FIFO ring per pipelined request
+	issuedHead int
+	received   int
+	txOwed     int  // request bytes stamped but not yet committed
+	openLoop   bool // open-loop mode: responses do not trigger reissue
 }
 
 // Start opens conns connections from the stack to the server and begins
@@ -128,6 +184,7 @@ func (c *ClosedLoopClient) Start(eng *sim.Engine, stack api.Stack, server api.Ad
 			c.perConn = append(c.perConn, 0)
 			cc := &clientConn{c: c, sock: sock, idx: idx}
 			sock.OnReadable(cc.onReadable)
+			sock.OnWritable(cc.pushTx)
 			for p := 0; p < c.Pipeline; p++ {
 				cc.issue()
 			}
@@ -136,28 +193,29 @@ func (c *ClosedLoopClient) Start(eng *sim.Engine, stack api.Stack, server api.Ad
 }
 
 func (cc *clientConn) issue() {
-	payload := make([]byte, cc.c.ReqSize)
 	cc.issued = append(cc.issued, cc.c.eng.Now())
-	cc.sock.Send(payload)
+	cc.txOwed += cc.c.ReqSize
+	cc.pushTx()
 }
+
+// pushTx commits request padding as transmit space allows (requests are
+// fixed-size and content-ignored).
+func (cc *clientConn) pushTx() { commitOwed(cc.sock, &cc.txOwed) }
 
 func (cc *clientConn) onReadable() {
 	resp := cc.c.RespSize
 	if resp == 0 {
 		resp = cc.c.ReqSize
 	}
-	buf := make([]byte, 4096)
-	for {
-		n := cc.sock.Recv(buf)
-		if n == 0 {
-			break
-		}
+	a, b := cc.sock.Peek()
+	if n := api.ViewLen(a, b); n > 0 {
+		cc.sock.Consume(n)
 		cc.received += n
 	}
-	for cc.received >= resp && len(cc.issued) > 0 {
+	for cc.received >= resp && cc.issuedHead < len(cc.issued) {
 		cc.received -= resp
-		start := cc.issued[0]
-		cc.issued = cc.issued[1:]
+		start := cc.issued[cc.issuedHead]
+		cc.issued, cc.issuedHead = shm.PopRing(cc.issued, cc.issuedHead)
 		cc.c.Completed++
 		cc.c.Bytes += uint64(resp + cc.c.ReqSize)
 		if cc.idx < len(cc.c.perConn) {
@@ -190,7 +248,6 @@ type OpenLoopClient struct {
 
 	eng   *sim.Engine
 	rng   *stats.RNG
-	socks []api.Socket
 	conns []*clientConn
 	next  int
 }
@@ -210,6 +267,7 @@ func (c *OpenLoopClient) Start(eng *sim.Engine, stack api.Stack, server api.Addr
 				cc.onReadable()
 				c.Completed = cl.Completed
 			})
+			sock.OnWritable(cc.pushTx)
 			c.conns = append(c.conns, cc)
 			if len(c.conns) == 1 {
 				c.scheduleNext()
@@ -220,18 +278,23 @@ func (c *OpenLoopClient) Start(eng *sim.Engine, stack api.Stack, server api.Addr
 
 func (c *OpenLoopClient) scheduleNext() {
 	gap := sim.Time(c.rng.Exp(1e12 / c.Rate))
-	c.eng.After(gap, func() {
-		if len(c.conns) > 0 {
-			cc := c.conns[c.next%len(c.conns)]
-			c.next++
-			if cc.sock.TxSpace() >= c.ReqSize {
-				cc.issue()
-			} else {
-				c.Dropped++
-			}
+	c.eng.AfterCall(gap, openLoopArrive, c)
+}
+
+// openLoopArrive fires one Poisson arrival and rearms (allocation-free
+// per arrival; see sim.Engine.AfterCall).
+func openLoopArrive(a any) {
+	c := a.(*OpenLoopClient)
+	if len(c.conns) > 0 {
+		cc := c.conns[c.next%len(c.conns)]
+		c.next++
+		if cc.txOwed == 0 && cc.sock.TxSpace() >= c.ReqSize {
+			cc.issue()
+		} else {
+			c.Dropped++
 		}
-		c.scheduleNext()
-	})
+	}
+	c.scheduleNext()
 }
 
 // ---------------------------------------------------------------------
@@ -248,28 +311,39 @@ type BulkSink struct {
 	buffered   int
 }
 
+// bulkSession is one accepted bulk connection.
+type bulkSession struct {
+	b    *BulkSink
+	sock api.Socket
+	owed int // echo bytes awaiting transmit space
+}
+
 // Serve installs the sink.
 func (b *BulkSink) Serve(stack api.Stack, port uint16) {
 	stack.Listen(port, func(sock api.Socket) {
-		buf := make([]byte, 16384)
-		sock.OnReadable(func() {
-			for {
-				n := sock.Recv(buf)
-				if n == 0 {
-					break
-				}
-				b.Received += uint64(n)
-				b.buffered += n
-			}
-			for b.ChunkBytes > 0 && b.buffered >= b.ChunkBytes {
-				b.buffered -= b.ChunkBytes
-				if b.RespBytes > 0 {
-					sock.Send(make([]byte, b.RespBytes))
-				}
-			}
-		})
+		bs := &bulkSession{b: b, sock: sock}
+		sock.OnReadable(bs.onReadable)
+		sock.OnWritable(bs.push)
 	})
 }
+
+func (bs *bulkSession) onReadable() {
+	b := bs.b
+	va, vb := bs.sock.Peek()
+	n := api.ViewLen(va, vb)
+	if n > 0 {
+		bs.sock.Consume(n)
+		b.Received += uint64(n)
+		b.buffered += n
+	}
+	for b.ChunkBytes > 0 && b.buffered >= b.ChunkBytes {
+		b.buffered -= b.ChunkBytes
+		bs.owed += b.RespBytes
+	}
+	bs.push()
+}
+
+func (bs *bulkSession) push() { commitOwed(bs.sock, &bs.owed) }
 
 // PerConnBulkSink counts received bytes per accepted connection (the
 // Fig. 16 fairness measurement).
@@ -280,21 +354,29 @@ type PerConnBulkSink struct {
 // NewPerConnBulkSink returns an empty sink.
 func NewPerConnBulkSink() *PerConnBulkSink { return &PerConnBulkSink{} }
 
+// pcSession drains one counted connection.
+type pcSession struct {
+	b    *PerConnBulkSink
+	sock api.Socket
+	idx  int
+}
+
+func (ps *pcSession) onReadable() {
+	a, b := ps.sock.Peek()
+	n := api.ViewLen(a, b)
+	if n == 0 {
+		return
+	}
+	ps.sock.Consume(n)
+	ps.b.counts[ps.idx] += uint64(n)
+}
+
 // Serve installs the sink on a port.
 func (b *PerConnBulkSink) Serve(stack api.Stack, port uint16) {
 	stack.Listen(port, func(sock api.Socket) {
-		idx := len(b.counts)
+		ps := &pcSession{b: b, sock: sock, idx: len(b.counts)}
 		b.counts = append(b.counts, 0)
-		buf := make([]byte, 16384)
-		sock.OnReadable(func() {
-			for {
-				n := sock.Recv(buf)
-				if n == 0 {
-					break
-				}
-				b.counts[idx] += uint64(n)
-			}
-		})
+		sock.OnReadable(ps.onReadable)
 	})
 }
 
@@ -316,26 +398,29 @@ func (b *PerConnBulkSink) Shares() []float64 {
 
 // BulkSender streams as fast as the socket accepts.
 type BulkSender struct {
-	Sent  uint64
-	chunk []byte
+	Sent uint64
+
+	sock api.Socket
 }
 
 // Start opens a connection and saturates it.
 func (b *BulkSender) Start(eng *sim.Engine, stack api.Stack, server api.Addr) {
-	b.chunk = make([]byte, 16384)
 	stack.Dial(server, func(sock api.Socket) {
-		push := func() {
-			for {
-				n := sock.Send(b.chunk)
-				if n == 0 {
-					break
-				}
-				b.Sent += uint64(n)
-			}
-		}
-		sock.OnWritable(push)
-		push()
+		b.sock = sock
+		sock.OnWritable(b.push)
+		b.push()
 	})
+}
+
+// push commits every free transmit byte as padding: the saturating
+// bulk stream stages nothing and copies nothing.
+func (b *BulkSender) push() {
+	w := b.sock.TxSpace()
+	if w == 0 {
+		return
+	}
+	b.sock.Commit(w)
+	b.Sent += uint64(w)
 }
 
 // ---------------------------------------------------------------------
@@ -374,76 +459,153 @@ type KVServer struct {
 	AppCycles int64 // per-request application work (hash + LRU, §2.1)
 	ValueLen  int   // response value size for GET
 
-	store  map[string][]byte
-	Served uint64
-	Hits   uint64
+	store   map[string][]byte
+	missVal []byte // shared zero value returned on GET misses
+	Served  uint64
+	Hits    uint64
+}
+
+// kvSession parses one connection's request stream in place and stages
+// responses directly into the transmit ring.
+type kvSession struct {
+	kv   *KVServer
+	sock api.Socket
+	core *host.Core
+
+	scratch []byte // copy-on-straddle frame staging (reused)
+
+	// Response FIFO: each entry is the value of a completed request
+	// (nil for SET acknowledgments); the wire response is the 4-byte
+	// status header followed by the value. ready gates how many may
+	// transmit (their AppCycles cost has been paid).
+	respQ    [][]byte
+	respHead int
+	ready    int
+
+	// Response currently in flight (partially committed).
+	cur     []byte
+	curOff  int
+	sending bool
 }
 
 // Serve installs the KV server.
 func (kv *KVServer) Serve(stack api.Stack, port uint16) {
 	kv.store = make(map[string][]byte)
+	kv.missVal = make([]byte, kv.ValueLen)
 	stack.Listen(port, func(sock api.Socket) {
-		var acc []byte
-		core := coreFor(stack, sock)
-		sock.OnReadable(func() {
-			buf := make([]byte, 8192)
-			for {
-				n := sock.Recv(buf)
-				if n == 0 {
-					break
-				}
-				acc = append(acc, buf[:n]...)
-			}
-			for {
-				if len(acc) < 4 {
-					return
-				}
-				op := acc[0]
-				keyLen := int(acc[1])
-				valLen := int(binary.BigEndian.Uint16(acc[2:4]))
-				need := 4 + keyLen
-				if op == KVSet {
-					need += valLen
-				}
-				if len(acc) < need {
-					return
-				}
-				frame := acc[:need]
-				acc = acc[need:]
-				kv.handle(core, sock, op, frame[4:4+keyLen], frame[4+keyLen:need])
-			}
-		})
+		sess := &kvSession{kv: kv, sock: sock, core: coreFor(stack, sock)}
+		sock.OnReadable(sess.onReadable)
+		sock.OnWritable(sess.push)
 	})
 }
 
-func (kv *KVServer) handle(core *host.Core, sock api.Socket, op byte, key, val []byte) {
-	k := string(key)
-	work := func() {
-		kv.Served++
-		switch op {
-		case KVSet:
-			stored := make([]byte, len(val))
-			copy(stored, val)
-			kv.store[k] = stored
-			sock.Send([]byte{1, 0, 0, 0}) // 4-byte OK
-		default: // GET
-			v, ok := kv.store[k]
-			if ok {
-				kv.Hits++
-			} else {
-				v = make([]byte, kv.ValueLen)
-			}
-			resp := make([]byte, 4+len(v))
-			resp[0] = 1
-			binary.BigEndian.PutUint16(resp[2:4], uint16(len(v)))
-			copy(resp[4:], v)
-			sock.Send(resp)
+func (sess *kvSession) onReadable() {
+	a, b := sess.sock.Peek()
+	total := api.ViewLen(a, b)
+	pos := 0
+	for total-pos >= 4 {
+		op := api.ViewByte(a, b, pos)
+		keyLen := int(api.ViewByte(a, b, pos+1))
+		valLen := int(api.ViewByte(a, b, pos+2))<<8 | int(api.ViewByte(a, b, pos+3))
+		need := 4 + keyLen
+		if op == KVSet {
+			need += valLen
+		}
+		if total-pos < need {
+			break
+		}
+		// The frame body is parsed in place; only a frame straddling the
+		// ring wrap is staged through the reusable scratch buffer.
+		frame := api.ViewBytes(a, b, pos+4, need-4, &sess.scratch)
+		sess.handle(op, frame[:keyLen], frame[keyLen:])
+		pos += need
+	}
+	if pos > 0 {
+		sess.sock.Consume(pos)
+	}
+	sess.push()
+}
+
+// handle performs the store operation synchronously (the key and value
+// views are only valid now, before Consume) and queues the response
+// behind the request's application-processing cost.
+func (sess *kvSession) handle(op byte, key, val []byte) {
+	kv := sess.kv
+	kv.Served++
+	var resp []byte // response value; the slice must outlive the view
+	switch op {
+	case KVSet:
+		stored := make([]byte, len(val))
+		copy(stored, val)
+		kv.store[string(key)] = stored
+	default: // GET
+		v, ok := kv.store[string(key)]
+		if ok {
+			kv.Hits++
+			resp = v
+		} else {
+			resp = kv.missVal
 		}
 	}
+	sess.respQ = append(sess.respQ, resp)
 	if kv.AppCycles > 0 {
-		core.Submit(sim.TaskC(kv.AppCycles), work)
+		sess.core.SubmitCall(sim.TaskC(kv.AppCycles), kvRespond, sess)
 	} else {
-		work()
+		sess.ready++
+	}
+}
+
+// kvRespond releases one response after its application cost (see
+// host.Core.SubmitCall).
+func kvRespond(a any) {
+	sess := a.(*kvSession)
+	sess.ready++
+	sess.push()
+}
+
+// push stages ready responses directly into the transmit ring:
+// [1,0,len:2][value], resuming partially committed responses when
+// acknowledgments free space.
+func (sess *kvSession) push() {
+	for {
+		if !sess.sending {
+			if sess.ready == 0 || sess.respHead >= len(sess.respQ) {
+				return
+			}
+			sess.cur = sess.respQ[sess.respHead]
+			sess.respQ, sess.respHead = shm.PopRing(sess.respQ, sess.respHead)
+			sess.ready--
+			sess.curOff = 0
+			sess.sending = true
+		}
+		respLen := 4 + len(sess.cur)
+		a, b := sess.sock.Reserve(respLen - sess.curOff)
+		w := api.ViewLen(a, b)
+		if w == 0 {
+			return
+		}
+		var hdr [4]byte
+		hdr[0] = 1
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(len(sess.cur)))
+		vo := 0
+		if sess.curOff < 4 {
+			h := hdr[sess.curOff:]
+			if len(h) > w {
+				h = h[:w]
+			}
+			api.ViewCopyIn(a, b, 0, h)
+			vo = len(h)
+		}
+		if vo < w {
+			vs := sess.cur[sess.curOff+vo-4:]
+			api.ViewCopyIn(a, b, vo, vs[:w-vo])
+		}
+		sess.sock.Commit(w)
+		sess.curOff += w
+		if sess.curOff == respLen {
+			sess.cur = nil
+			sess.sending = false
+		}
 	}
 }
 
@@ -481,8 +643,9 @@ func (c *KVClient) Start(eng *sim.Engine, stack api.Stack, server api.Addr, conn
 	}
 	for i := 0; i < conns; i++ {
 		stack.Dial(server, func(sock api.Socket) {
-			kc := &kvConn{c: c, sock: sock}
+			kc := &kvConn{c: c, sock: sock, key: make([]byte, c.KeyLen)}
 			sock.OnReadable(kc.onReadable)
+			sock.OnWritable(kc.onWritable)
 			for p := 0; p < c.Pipeline; p++ {
 				kc.issue()
 			}
@@ -491,49 +654,71 @@ func (c *KVClient) Start(eng *sim.Engine, stack api.Stack, server api.Addr, conn
 }
 
 type kvConn struct {
-	c      *KVClient
-	sock   api.Socket
-	issued []sim.Time
-	expect []int // response size per outstanding op
-	acc    int
+	c          *KVClient
+	sock       api.Socket
+	issued     []sim.Time // FIFO ring
+	issuedHead int
+	expect     []int // response size per outstanding op, FIFO ring
+	expectHead int
+	acc        int
+	key        []byte // reusable key staging
+	deferred   int    // issues awaiting transmit space
 }
 
+// issue stages one request frame directly in the transmit ring. A
+// request that does not fit is deferred until space frees (the SET frame
+// is the larger of the two, so the gate is conservative).
 func (kc *kvConn) issue() {
 	c := kc.c
-	key := make([]byte, c.KeyLen)
-	c.rng.Uint64() // churn
-	for i := range key {
-		key[i] = byte('a' + c.rng.Intn(26))
+	if kc.sock.TxSpace() < 4+c.KeyLen+c.ValLen {
+		kc.deferred++
+		return
 	}
-	var frame []byte
-	var respSize int
+	c.rng.Uint64() // churn
+	for i := range kc.key {
+		kc.key[i] = byte('a' + c.rng.Intn(26))
+	}
+	var hdr [4]byte
+	var need, respSize int
 	if c.rng.Bool(c.SetRatio) {
-		val := make([]byte, c.ValLen)
-		frame = KVEncodeRequest(KVSet, key, val)
+		hdr[0] = KVSet
+		hdr[1] = byte(c.KeyLen)
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(c.ValLen))
+		need = 4 + c.KeyLen + c.ValLen
 		respSize = 4
 	} else {
-		frame = KVEncodeRequest(KVGet, key, nil)
+		hdr[0] = KVGet
+		hdr[1] = byte(c.KeyLen)
+		need = 4 + c.KeyLen
 		respSize = 4 + c.ValLen
 	}
+	a, b := kc.sock.Reserve(need)
+	api.ViewCopyIn(a, b, 0, hdr[:])
+	api.ViewCopyIn(a, b, 4, kc.key)
+	// A SET's value bytes are padding: committed from the ring as-is.
+	kc.sock.Commit(need)
 	kc.issued = append(kc.issued, c.eng.Now())
 	kc.expect = append(kc.expect, respSize)
-	kc.sock.Send(frame)
+}
+
+func (kc *kvConn) onWritable() {
+	for kc.deferred > 0 && kc.sock.TxSpace() >= 4+kc.c.KeyLen+kc.c.ValLen {
+		kc.deferred--
+		kc.issue()
+	}
 }
 
 func (kc *kvConn) onReadable() {
-	buf := make([]byte, 8192)
-	for {
-		n := kc.sock.Recv(buf)
-		if n == 0 {
-			break
-		}
+	a, b := kc.sock.Peek()
+	if n := api.ViewLen(a, b); n > 0 {
+		kc.sock.Consume(n)
 		kc.acc += n
 	}
-	for len(kc.expect) > 0 && kc.acc >= kc.expect[0] {
-		kc.acc -= kc.expect[0]
-		kc.expect = kc.expect[1:]
-		start := kc.issued[0]
-		kc.issued = kc.issued[1:]
+	for kc.expectHead < len(kc.expect) && kc.acc >= kc.expect[kc.expectHead] {
+		kc.acc -= kc.expect[kc.expectHead]
+		kc.expect, kc.expectHead = shm.PopRing(kc.expect, kc.expectHead)
+		start := kc.issued[kc.issuedHead]
+		kc.issued, kc.issuedHead = shm.PopRing(kc.issued, kc.issuedHead)
 		kc.c.Completed++
 		kc.c.Latency.Record(int64(kc.c.eng.Now() - start))
 		kc.issue()

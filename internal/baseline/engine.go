@@ -147,6 +147,13 @@ type bconn struct {
 	// rcvd.
 	ivs     []tcpseg.SeqInterval
 	peerFin bool
+	// SACK advertisement rotation (RFC 2018): lastOOO is the truncated
+	// stream offset of the most recently accepted out-of-order segment —
+	// its interval leads every advertisement — and sackRot is the cursor
+	// that cycles the older holes through the remaining wire slots on
+	// consecutive ACKs.
+	lastOOO uint32
+	sackRot int
 
 	// SACK scoreboard (RecoverySACK): peer-held ranges in sender sequence
 	// space, fed by incoming SACK blocks — the same interval machinery
@@ -437,6 +444,7 @@ func (s *Stack) receivePayload(c *bconn, pkt *packet.Packet) {
 			tcpseg.SeqInterval{Start: uint32(start), End: uint32(end)}, maxIvs)
 		if ir.Accepted {
 			writeCirc(c.rxData, start, data)
+			c.lastOOO = uint32(start)
 		}
 	}
 	// RecoveryDiscard: out-of-order data silently dropped.
@@ -459,6 +467,21 @@ func readCirc(buf []byte, pos uint64, out []byte) {
 	if k < len(out) {
 		copy(out[k:], buf)
 	}
+}
+
+// circSlices returns the window [pos, pos+n) of a circular buffer as up
+// to two in-place slices (the baseline analogue of shm.PayloadBuf.Slices
+// backing the zero-copy socket views).
+func circSlices(buf []byte, pos uint64, n int) (a, b []byte) {
+	if n == 0 {
+		return nil, nil
+	}
+	size := uint64(len(buf))
+	p := pos % size
+	if p+uint64(n) <= size {
+		return buf[p : p+uint64(n)], nil
+	}
+	return buf[p:], buf[:p+uint64(n)-size]
 }
 
 // ingestSACK merges incoming SACK blocks into the sender scoreboard
@@ -558,8 +581,13 @@ func (c *bconn) halveCwnd() {
 
 // sendAck emits a pure acknowledgment. The SACK personality advertises
 // its out-of-order interval set when SACK-permitted was negotiated on the
-// handshake (most recent intervals are simply the set; the wire encoder
-// truncates from the tail if space runs out).
+// handshake, following RFC 2018's ordering rules: the first block is the
+// interval containing the most recently received segment, and the
+// remaining wire slots rotate through the older holes on consecutive
+// ACKs (cursor advanced per advertisement) — so a peer whose scoreboard
+// holds fewer intervals than this receiver tracks (the FlexTOE sender's
+// 4 against Linux's 32, Fig. 15e) still learns every hole within a few
+// ACKs instead of only ever seeing the lowest-sequence ones.
 func (s *Stack) sendAck(c *bconn, ece bool) {
 	flags := packet.FlagACK
 	if ece {
@@ -573,13 +601,42 @@ func (s *Stack) sendAck(c *bconn, ece bool) {
 	pkt := s.mkPacket(c, ackSeq, flags)
 	pkt.TCP.Window = uint16(win)
 	if c.sackOK {
-		for _, iv := range c.ivs {
-			// Intervals hold truncated stream offsets; wire sequence =
-			// IRS + offset.
-			pkt.TCP.AddSACK(packet.SACKBlock{Start: c.irs + iv.Start, End: c.irs + iv.End})
-		}
+		c.appendSACK(&pkt.TCP)
 	}
 	s.iface.Send(netsim.NewFrame(pkt, s.eng.Now()))
+}
+
+// appendSACK fills the wire SACK blocks from the reassembly interval set.
+// Intervals hold truncated stream offsets; wire sequence = IRS + offset.
+func (c *bconn) appendSACK(tcp *packet.TCP) {
+	if len(c.ivs) == 0 {
+		return
+	}
+	// First block: the interval holding the most recent arrival.
+	first := 0
+	for i, iv := range c.ivs {
+		if !tcpseg.SeqLT(c.lastOOO, iv.Start) && tcpseg.SeqLT(c.lastOOO, iv.End) {
+			first = i
+			break
+		}
+	}
+	tcp.AddSACK(packet.SACKBlock{Start: c.irs + c.ivs[first].Start, End: c.irs + c.ivs[first].End})
+	// Remaining slots: rotate the other holes, the cursor advancing per
+	// advertisement so every hole reaches the wire within
+	// ceil(k / (MaxSACKBlocks-1)) consecutive ACKs.
+	if k := len(c.ivs) - 1; k > 0 {
+		emit := packet.MaxSACKBlocks - 1
+		if emit > k {
+			emit = k
+		}
+		for j := 0; j < emit; j++ {
+			// first+1 .. first+k (mod len) are exactly the other
+			// intervals; distinct r < k keeps the blocks distinct.
+			iv := c.ivs[(first+1+(c.sackRot+j)%k)%len(c.ivs)]
+			tcp.AddSACK(packet.SACKBlock{Start: c.irs + iv.Start, End: c.irs + iv.End})
+		}
+		c.sackRot += emit
+	}
 }
 
 // mkPacket fills a recycled packet with the connection's headers. The

@@ -3,6 +3,7 @@ package baseline
 import (
 	"testing"
 
+	"flextoe/internal/packet"
 	"flextoe/internal/tcpseg"
 )
 
@@ -45,6 +46,59 @@ func TestBaselineIntervalPolicy(t *testing.T) {
 	ivs, r = tcpseg.InsertSeqInterval(ivs, tcpseg.SeqInterval{Start: 300, End: 400}, linux.oooIvs())
 	if !r.Accepted || len(ivs) != 2 {
 		t.Fatalf("SACK insert failed: %v %+v", ivs, r)
+	}
+}
+
+// TestSACKAdvertisementRotation pins the RFC 2018 ordering rules for a
+// receiver tracking more holes than the wire can carry: the first block
+// always holds the most recently received segment, and consecutive ACKs
+// rotate the older holes through the remaining slots so every hole is
+// advertised within ceil(k/(MaxSACKBlocks-1)) ACKs — the Fig. 15e
+// scenario where the Linux receiver's 32 intervals meet the 4-block
+// option space.
+func TestSACKAdvertisementRotation(t *testing.T) {
+	c := &bconn{irs: 1000}
+	// Six disjoint holes; the most recent arrival extended the fourth.
+	for i := 0; i < 6; i++ {
+		c.ivs = append(c.ivs, tcpseg.SeqInterval{Start: uint32(100 * (i + 1)), End: uint32(100*(i+1) + 50)})
+	}
+	c.lastOOO = c.ivs[3].Start
+
+	blockSet := func() map[uint32]bool {
+		var tcp packet.TCP
+		c.appendSACK(&tcp)
+		if tcp.NumSACK != packet.MaxSACKBlocks {
+			t.Fatalf("advertised %d blocks, want %d", tcp.NumSACK, packet.MaxSACKBlocks)
+		}
+		if tcp.SACKBlocks[0].Start != c.irs+c.ivs[3].Start {
+			t.Fatalf("first block %d: most recent interval must lead", tcp.SACKBlocks[0].Start-c.irs)
+		}
+		seen := make(map[uint32]bool)
+		for i := uint8(0); i < tcp.NumSACK; i++ {
+			seen[tcp.SACKBlocks[i].Start-c.irs] = true
+		}
+		return seen
+	}
+
+	// Across two consecutive ACKs the rotation must expose every one of
+	// the six holes (1 recent + 3 rotating slots per ACK).
+	all := blockSet()
+	for s := range blockSet() {
+		all[s] = true
+	}
+	for _, iv := range c.ivs {
+		if !all[iv.Start] {
+			t.Fatalf("hole at %d never advertised across two ACKs: %v", iv.Start, all)
+		}
+	}
+
+	// A single-hole set advertises exactly that hole.
+	c.ivs = c.ivs[:1]
+	c.lastOOO = c.ivs[0].Start
+	var tcp packet.TCP
+	c.appendSACK(&tcp)
+	if tcp.NumSACK != 1 || tcp.SACKBlocks[0].Start != c.irs+100 {
+		t.Fatalf("single hole advertisement wrong: %+v", tcp.SACKBlocks[:tcp.NumSACK])
 	}
 }
 

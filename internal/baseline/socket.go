@@ -140,28 +140,82 @@ func (k *bsocket) TxSpace() int {
 func (k *bsocket) OnReadable(f func()) { k.onReadable = f }
 func (k *bsocket) OnWritable(f func()) { k.onWritable = f }
 
-// Send copies into the socket buffer and triggers transmission, charging
-// the socket-call cost on the application's core.
-func (k *bsocket) Send(p []byte) int {
+// Peek returns the readable byte stream as up to two slices of the
+// kernel socket buffer. The baseline personalities implement the
+// zero-copy view API so identical application binaries run across all
+// four stacks, but — unlike libTOE — the per-byte cost is not avoided:
+// the kernel already paid the skb-to-socket-buffer copy on the segment
+// path, and Consume/Commit keep charging it. The views only spare the
+// application its own staging buffers.
+func (k *bsocket) Peek() (a, b []byte) {
+	return circSlices(k.c.rxData, k.c.readPos, int(k.readable))
+}
+
+// Consume releases the first n readable bytes, reopening the receive
+// window and charging the socket-call cost (including the kernel copy,
+// which a kernel-mediated stack cannot eliminate).
+func (k *bsocket) Consume(n int) {
+	if n == 0 {
+		return
+	}
+	if n < 0 || uint32(n) > k.readable {
+		panic("baseline: Consume beyond readable bytes")
+	}
 	c := k.c
 	s := c.stack
-	free := uint64(k.TxSpace())
-	n := uint64(len(p))
-	if n > free {
+	c.readPos += uint64(n)
+	k.readable -= uint32(n)
+	if c.rxAvail>>tcpseg.WindowScale == 0 {
+		c.needWinUpdate = true
+	}
+	c.rxAvail += uint32(n)
+	cost := s.prof.SocketPerOp + int64(float64(n)*s.prof.PerByte)
+	c.appCore().SubmitCall(sim.TaskC(cost), bconnRecvDone, c)
+}
+
+// Reserve returns up to n bytes of free socket transmit buffer to stage
+// into, starting at the current append position.
+func (k *bsocket) Reserve(n int) (a, b []byte) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if free := k.TxSpace(); n > free {
 		n = free
 	}
+	return circSlices(k.c.txData, k.c.appended, n)
+}
+
+// Commit publishes the next n staged bytes and triggers transmission,
+// charging the socket-call cost on the application's core.
+func (k *bsocket) Commit(n int) {
 	if n == 0 {
-		return 0
+		return
 	}
-	writeCirc(c.txData, c.appended, p[:n])
-	c.appended += n
+	if n < 0 || n > k.TxSpace() {
+		panic("baseline: Commit beyond transmit buffer space")
+	}
+	c := k.c
+	s := c.stack
+	c.appended += uint64(n)
 	cost := s.prof.SocketPerOp + int64(float64(n)*s.prof.PerByte)
 	if s.prof.ASIC {
 		// Kernel-mediated TOE API: the host driver runs per write.
 		cost += s.prof.DriverPerSeg + s.prof.OtherPerSeg
 	}
 	c.appCore().SubmitCall(sim.TaskC(cost), bconnTxPump, c)
-	return int(n)
+}
+
+// Send copies into the socket buffer and triggers transmission: the
+// compatibility wrapper over Reserve/Commit.
+func (k *bsocket) Send(p []byte) int {
+	a, b := k.Reserve(len(p))
+	n := copy(a, p)
+	n += copy(b, p[n:])
+	if n == 0 {
+		return 0
+	}
+	k.Commit(n)
+	return n
 }
 
 // bconnTxPump / bconnRecvDone are the socket calls' charged completions
@@ -179,27 +233,19 @@ func bconnRecvDone(a any) {
 	}
 }
 
-// Recv drains readable bytes, reopening the receive window.
+// Recv drains readable bytes, reopening the receive window: the
+// compatibility wrapper over Peek/Consume.
 func (k *bsocket) Recv(p []byte) int {
-	c := k.c
-	s := c.stack
-	n := uint32(len(p))
-	if n > k.readable {
-		n = k.readable
+	a, b := k.Peek()
+	n := copy(p, a)
+	if n < len(p) {
+		n += copy(p[n:], b)
 	}
 	if n == 0 {
 		return 0
 	}
-	readCirc(c.rxData, c.readPos, p[:n])
-	c.readPos += uint64(n)
-	k.readable -= n
-	if c.rxAvail>>tcpseg.WindowScale == 0 {
-		c.needWinUpdate = true
-	}
-	c.rxAvail += n
-	cost := s.prof.SocketPerOp + int64(float64(n)*s.prof.PerByte)
-	c.appCore().SubmitCall(sim.TaskC(cost), bconnRecvDone, c)
-	return int(n)
+	k.Consume(n)
+	return n
 }
 
 // Close sends FIN after buffered data.

@@ -109,6 +109,80 @@ func fig17SenderRetx(tb *testbed.Testbed, hosts int) uint64 {
 	return retx
 }
 
+// fig17OversubResult is one oversubscription sweep point.
+type fig17OversubResult struct {
+	goodputGbps float64
+	p99us       float64
+	peakUplinkQ int    // deepest leaf→spine trunk queue after warmup
+	peakHostQ   int    // deepest host-facing leaf queue after warmup
+	uplinkMarks uint64 // CE marks applied at trunk ports
+	hostMarks   uint64 // CE marks applied at host-facing ports
+}
+
+// fig17OversubPoint runs an 8-way incast (4 sender hosts × 2 connections
+// in rack 1, aggregator in rack 0) over a single-spine fabric with the
+// given trunk rate, DCTCP on. With the trunk at 200 G the fabric is
+// non-blocking (4 hosts × 40 G = 160 G fits) and congestion sits where
+// incast always puts it: the aggregator's 40 G leaf egress port. At
+// 100 G the hosts oversubscribe the trunk (160 G > 100 G) and the
+// leaf→spine uplink queue joins in; at 30 G the trunk is the unique
+// bottleneck and the host-facing queue goes quiet — congestion has moved
+// from leaf egress to the uplink, and the ECN marks (what DCTCP reacts
+// to) move with it.
+func fig17OversubPoint(trunkGbps float64, d sim.Time) fig17OversubResult {
+	const hosts = 4
+	fc := fabric.Config{
+		Leaves: 2, Spines: 1,
+		LeafSpineGbps: trunkGbps,
+		QueueHistUnit: 1448,
+		Leaf: netsim.SwitchConfig{
+			ECNThresholdBytes: fig17K,
+			QueueCapBytes:     fig17QueueCap,
+		},
+		Spine: netsim.SwitchConfig{
+			ECNThresholdBytes: fig17K,
+			QueueCapBytes:     2 * fig17QueueCap,
+		},
+		Seed: 172_000 + uint64(trunkGbps),
+	}
+	specs := []testbed.MachineSpec{{
+		Name: "agg", Kind: testbed.FlexTOE, Cores: 4, Rack: 0,
+		BufSize: 1 << 17, CC: ctrl.CCDCTCP, Seed: 1720,
+	}}
+	for i := 0; i < hosts; i++ {
+		specs = append(specs, testbed.MachineSpec{
+			Name: fmt.Sprintf("snd%d", i), Kind: testbed.FlexTOE, Cores: 2,
+			Rack: 1, BufSize: 1 << 17, CC: ctrl.CCDCTCP, Seed: uint64(1730 + i),
+		})
+	}
+	tb := testbed.NewFabric(fc, specs...)
+
+	g := &workload.IncastGroup{BlockBytes: 32768}
+	g.Serve(tb.M("agg").Stack, 9600)
+	senders := make([]api.Stack, 0, 2*hosts)
+	for i := 0; i < 2*hosts; i++ {
+		senders = append(senders, tb.M(fmt.Sprintf("snd%d", i%hosts)).Stack)
+	}
+	g.Start(tb.Eng, senders, tb.Addr("agg", 9600))
+
+	warm := d / 4
+	tb.Run(warm)
+	tb.Fabric.ResetQueueStats()
+	g.RoundFCT = stats.NewHistogram()
+	bytes0 := g.BytesReceived
+	upMarks0, hostMarks0 := tb.Fabric.UplinkECNMarks(), tb.Fabric.HostPortECNMarks()
+	tb.Run(warm + d)
+
+	return fig17OversubResult{
+		goodputGbps: gbps(g.BytesReceived-bytes0, d),
+		p99us:       usOf(g.RoundFCT.Percentile(99)),
+		peakUplinkQ: tb.Fabric.PeakUplinkQueueBytes(),
+		peakHostQ:   tb.Fabric.PeakHostQueueBytes(),
+		uplinkMarks: tb.Fabric.UplinkECNMarks() - upMarks0,
+		hostMarks:   tb.Fabric.HostPortECNMarks() - hostMarks0,
+	}
+}
+
 // fig17ECMPPoint measures hash balance: flows fixed-size transfers from
 // rack-1 hosts to rack-0 hosts over a fabric with the given spine count,
 // returning the bytes each spine carried upward out of the sender leaf
@@ -215,5 +289,20 @@ func Fig17(s Scale) []*Table {
 			ecmp.AddRow(fmt.Sprintf("%d", spines), fmt.Sprintf("%d", flows), per, f2(maxOverFair))
 		}
 	}
-	return []*Table{incast, ecmp}
+
+	oversub := &Table{
+		ID:     "Figure 17c",
+		Title:  "Oversubscribed trunks: 8-way incast (4 sender hosts x 40G) vs single-spine trunk rate, DCTCP on",
+		Header: []string{"Trunk (G)", "Goodput (G)", "FCT p99 (us)", "Peak uplink Q (KB)", "Peak host Q (KB)", "Uplink marks", "Host marks"},
+		Notes:  "hosts x 40G > spines x trunk moves the congestion point: non-blocking (200G) queues at the aggregator's leaf egress; oversubscribed trunks shift the deep queue — and the CE marks DCTCP reacts to — onto the leaf->spine uplink",
+	}
+	trunks := s.pick([]int{200, 30}, []int{200, 100, 30})
+	dO := s.dur(8*sim.Millisecond, 40*sim.Millisecond)
+	for _, trunk := range trunks {
+		r := fig17OversubPoint(float64(trunk), dO)
+		oversub.AddRow(fmt.Sprintf("%d", trunk), f2(r.goodputGbps), f1(r.p99us),
+			f1(float64(r.peakUplinkQ)/1024), f1(float64(r.peakHostQ)/1024),
+			fmt.Sprintf("%d", r.uplinkMarks), fmt.Sprintf("%d", r.hostMarks))
+	}
+	return []*Table{incast, ecmp, oversub}
 }

@@ -59,6 +59,49 @@ func TestFig17ECMPBalanceWithinBound(t *testing.T) {
 	}
 }
 
+// TestFig17OversubscribedTrunkMovesCongestion is the Fig. 17c acceptance
+// gate: the same 8-way incast over a single-spine fabric must congest
+// the aggregator's leaf egress when the fabric is non-blocking (200 G
+// trunk ≥ 4 hosts × 40 G) and the leaf→spine uplink when the trunk is
+// oversubscribed (30 G) — with the deep queue AND the CE marks DCTCP
+// reacts to moving together. Measured at the pinned seed: 200 G puts
+// ~107 KB ≈ K at the host port (uplink ~18 KB, zero uplink marks);
+// 30 G puts ~110 KB ≈ K on the uplink (host port ~5 KB, zero host
+// marks).
+func TestFig17OversubscribedTrunkMovesCongestion(t *testing.T) {
+	d := 8 * sim.Millisecond
+	nb := fig17OversubPoint(200, d)
+	ov := fig17OversubPoint(30, d)
+
+	if nb.peakHostQ <= nb.peakUplinkQ {
+		t.Errorf("non-blocking: host-port queue %d B not deeper than uplink %d B", nb.peakHostQ, nb.peakUplinkQ)
+	}
+	if nb.uplinkMarks != 0 {
+		t.Errorf("non-blocking: %d CE marks at the 200 G uplink (expected none)", nb.uplinkMarks)
+	}
+	if nb.hostMarks == 0 {
+		t.Error("non-blocking: no CE marks at the host port — incast not biting")
+	}
+	if ov.peakUplinkQ <= ov.peakHostQ {
+		t.Errorf("oversubscribed: uplink queue %d B not deeper than host port %d B — congestion did not move", ov.peakUplinkQ, ov.peakHostQ)
+	}
+	if ov.uplinkMarks == 0 {
+		t.Error("oversubscribed: no CE marks at the trunk — DCTCP has nothing to react to at the new bottleneck")
+	}
+	if ov.hostMarks != 0 {
+		t.Errorf("oversubscribed: %d CE marks still at the host port", ov.hostMarks)
+	}
+	// DCTCP should hold the moved queue near K, same bound as Fig. 17a.
+	if ov.peakUplinkQ > fig17K*3/2 {
+		t.Errorf("oversubscribed: uplink peak %d B exceeds 1.5*K = %d B", ov.peakUplinkQ, fig17K*3/2)
+	}
+
+	// Determinism: the oversubscribed point is bit-identical on rerun.
+	if again := fig17OversubPoint(30, d); again != ov {
+		t.Errorf("oversubscribed point diverged across identical runs:\n%+v\n%+v", ov, again)
+	}
+}
+
 // TestFig17Determinism: the incast point (including CC-off's RTO storm,
 // the regime where event order is most fragile) and the ECMP point must
 // be bit-identical across reruns with the same seed.

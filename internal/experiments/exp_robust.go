@@ -244,7 +244,7 @@ func Fig15(s Scale) []*Table {
 		ID:     "Figure 15e",
 		Title:  "Cross-stack recovery: FlexTOE SACK sender vs Linux receiver (8 bulk conns)",
 		Header: []string{"Loss", "Gbps", "Retx KB", "SACK retx", "Reneges"},
-		Notes:  "Reneges counts scoreboard overflows on the FlexTOE sender (receiver tracks 32 intervals, scoreboard holds 4); each renege discards the blocks and go-back-Ns conservatively",
+		Notes:  "Reneges counts scoreboard overflows on the FlexTOE sender (receiver tracks 32 intervals, scoreboard holds 4); each renege discards the blocks and go-back-Ns conservatively. The receiver advertises blocks most-recent-first with RFC 2018 rotation of older holes (baseline.appendSACK); measured effect on this table is nil — the retransmit volume is RTO-epoch-dominated (TestFig15CrossStackRetxGap)",
 	}
 	for _, lossE4 := range recRates {
 		loss := float64(lossE4) / 1e4

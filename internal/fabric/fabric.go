@@ -248,6 +248,56 @@ func (f *Fabric) PeakLeafQueueBytes() int {
 	return peak
 }
 
+// PeakUplinkQueueBytes returns the deepest egress queue any leaf→spine
+// trunk port reached since the last ResetQueueStats: the congestion
+// point an oversubscribed fabric moves to.
+func (f *Fabric) PeakUplinkQueueBytes() int {
+	peak := 0
+	for _, ups := range f.leafUplinks {
+		for _, up := range ups {
+			if up.PeakQueueBytes > peak {
+				peak = up.PeakQueueBytes
+			}
+		}
+	}
+	return peak
+}
+
+// PeakHostQueueBytes returns the deepest egress queue any host-facing
+// leaf port reached since the last ResetQueueStats: the incast
+// congestion point of a non-blocking fabric.
+func (f *Fabric) PeakHostQueueBytes() int {
+	peak := 0
+	for _, h := range f.hostList {
+		if h.LeafPort.PeakQueueBytes > peak {
+			peak = h.LeafPort.PeakQueueBytes
+		}
+	}
+	return peak
+}
+
+// UplinkECNMarks sums CE marks applied at leaf→spine trunk ports;
+// HostPortECNMarks sums marks at host-facing leaf ports. Together they
+// locate which queue the congestion-control loop is reacting to.
+func (f *Fabric) UplinkECNMarks() uint64 {
+	var n uint64
+	for _, ups := range f.leafUplinks {
+		for _, up := range ups {
+			n += up.ECNMarks
+		}
+	}
+	return n
+}
+
+// HostPortECNMarks sums CE marks applied at host-facing leaf ports.
+func (f *Fabric) HostPortECNMarks() uint64 {
+	var n uint64
+	for _, h := range f.hostList {
+		n += h.LeafPort.ECNMarks
+	}
+	return n
+}
+
 // ResetQueueStats clears peak-depth markers and occupancy histograms on
 // every leaf port (end of warmup).
 func (f *Fabric) ResetQueueStats() {

@@ -122,7 +122,6 @@ type FlowGen struct {
 	next  int
 	start []sim.Time
 	size  []int
-	chunk []byte
 }
 
 type pendingFlow struct {
@@ -144,8 +143,8 @@ type genConn struct {
 // targets passed to Start).
 func (g *FlowGen) Serve(stack api.Stack, port uint16) {
 	stack.Listen(port, func(sock api.Socket) {
-		sc := &sinkConn{g: g, buf: make([]byte, 16384)}
-		sock.OnReadable(func() { sc.drain(sock) })
+		sc := &sinkConn{g: g, sock: sock}
+		sock.OnReadable(sc.drain)
 	})
 }
 
@@ -159,9 +158,6 @@ func (g *FlowGen) Start(eng *sim.Engine, senders []api.Stack, targets ...api.Add
 	}
 	if g.Conns <= 0 {
 		g.Conns = len(senders)
-	}
-	if g.chunk == nil {
-		g.chunk = make([]byte, 16384)
 	}
 	for i := 0; i < g.Conns; i++ {
 		gc := &genConn{g: g}
@@ -211,32 +207,40 @@ func (g *FlowGen) arrive() {
 }
 
 // pump pushes the head flow's header and payload into the socket until
-// the buffer fills or the queue drains.
+// the buffer fills or the queue drains. The 8-byte header is staged
+// directly in the transmit ring via Reserve/Commit; the payload is
+// content-ignored padding, committed without staging.
 func (gc *genConn) pump() {
 	if gc.sock == nil {
 		return
 	}
 	for gc.head < len(gc.pending) {
 		f := &gc.pending[gc.head]
-		for f.hdrLeft > 0 {
+		if f.hdrLeft > 0 {
 			binary.BigEndian.PutUint32(gc.hdr[0:4], f.id)
 			binary.BigEndian.PutUint32(gc.hdr[4:8], uint32(f.remaining))
-			n := gc.sock.Send(gc.hdr[8-f.hdrLeft:])
-			if n == 0 {
+			a, b := gc.sock.Reserve(f.hdrLeft)
+			w := api.ViewLen(a, b)
+			if w == 0 {
 				return
 			}
-			f.hdrLeft -= n
+			api.ViewCopyIn(a, b, 0, gc.hdr[8-f.hdrLeft:8-f.hdrLeft+w])
+			gc.sock.Commit(w)
+			f.hdrLeft -= w
+			if f.hdrLeft > 0 {
+				return
+			}
 		}
 		for f.remaining > 0 {
-			chunk := gc.g.chunk
-			if f.remaining < len(chunk) {
-				chunk = chunk[:f.remaining]
-			}
-			n := gc.sock.Send(chunk)
-			if n == 0 {
+			w := gc.sock.TxSpace()
+			if w == 0 {
 				return
 			}
-			f.remaining -= n
+			if w > f.remaining {
+				w = f.remaining
+			}
+			gc.sock.Commit(w)
+			f.remaining -= w
 		}
 		gc.pending[gc.head] = pendingFlow{}
 		gc.head++
@@ -247,47 +251,46 @@ func (gc *genConn) pump() {
 	}
 }
 
-// sinkConn parses one connection's flow stream.
+// sinkConn parses one connection's flow stream in place.
 type sinkConn struct {
 	g         *FlowGen
-	buf       []byte
+	sock      api.Socket
 	hdr       [8]byte
-	hdrGot    int
 	id        uint32
 	remaining int
 }
 
-func (sc *sinkConn) drain(sock api.Socket) {
+func (sc *sinkConn) drain() {
 	g := sc.g
-	for {
-		n := sock.Recv(sc.buf)
-		if n == 0 {
-			return
+	a, b := sc.sock.Peek()
+	total := api.ViewLen(a, b)
+	pos := 0
+	for pos < total {
+		if sc.remaining == 0 {
+			if total-pos < 8 {
+				// A split header stays unconsumed in the ring until the
+				// rest arrives.
+				break
+			}
+			api.ViewCopyOut(sc.hdr[:], a, b, pos)
+			sc.id = binary.BigEndian.Uint32(sc.hdr[0:4])
+			sc.remaining = int(binary.BigEndian.Uint32(sc.hdr[4:8]))
+			pos += 8
+			continue
 		}
-		g.BytesReceived += uint64(n)
-		b := sc.buf[:n]
-		for len(b) > 0 {
-			if sc.remaining == 0 {
-				k := copy(sc.hdr[sc.hdrGot:], b)
-				sc.hdrGot += k
-				b = b[k:]
-				if sc.hdrGot == 8 {
-					sc.id = binary.BigEndian.Uint32(sc.hdr[0:4])
-					sc.remaining = int(binary.BigEndian.Uint32(sc.hdr[4:8]))
-					sc.hdrGot = 0
-				}
-				continue
-			}
-			k := len(b)
-			if k > sc.remaining {
-				k = sc.remaining
-			}
-			sc.remaining -= k
-			b = b[k:]
-			if sc.remaining == 0 {
-				g.complete(sc.id)
-			}
+		k := total - pos
+		if k > sc.remaining {
+			k = sc.remaining
 		}
+		sc.remaining -= k
+		pos += k
+		if sc.remaining == 0 {
+			g.complete(sc.id)
+		}
+	}
+	if pos > 0 {
+		g.BytesReceived += uint64(pos)
+		sc.sock.Consume(pos)
 	}
 }
 
@@ -348,18 +351,17 @@ func (g *IncastGroup) Serve(stack api.Stack, port uint16) {
 		g.RoundFCT = stats.NewHistogram()
 	}
 	stack.Listen(port, func(sock api.Socket) {
-		buf := make([]byte, 16384)
 		sock.OnReadable(func() {
-			for {
-				n := sock.Recv(buf)
-				if n == 0 {
-					return
-				}
-				g.BytesReceived += uint64(n)
-				g.pending -= n
-				if g.running && g.pending <= 0 {
-					g.roundDone()
-				}
+			a, b := sock.Peek()
+			n := api.ViewLen(a, b)
+			if n == 0 {
+				return
+			}
+			sock.Consume(n)
+			g.BytesReceived += uint64(n)
+			g.pending -= n
+			if g.running && g.pending <= 0 {
+				g.roundDone()
 			}
 		})
 	})
@@ -409,22 +411,22 @@ func (g *IncastGroup) roundDone() {
 // incastStartRound launches the next barrier round (see Engine.AtCall).
 func incastStartRound(a any) { a.(*IncastGroup).startRound() }
 
-var incastChunk = make([]byte, 16384)
-
+// pump commits the round's remaining block bytes as padding — incast
+// blocks carry no examined content, so nothing is staged or copied.
 func (is *incastSender) pump() {
 	if is.sock == nil {
 		return
 	}
 	for is.remaining > 0 {
-		chunk := incastChunk
-		if is.remaining < len(chunk) {
-			chunk = chunk[:is.remaining]
-		}
-		n := is.sock.Send(chunk)
-		if n == 0 {
+		w := is.sock.TxSpace()
+		if w == 0 {
 			return
 		}
-		is.remaining -= n
+		if w > is.remaining {
+			w = is.remaining
+		}
+		is.sock.Commit(w)
+		is.remaining -= w
 	}
 }
 

@@ -130,7 +130,14 @@ func (s *Stack) newSocket(c *ctrl.Conn) *Socket {
 	return sock
 }
 
-// Socket implements api.Socket over FlexTOE context queues.
+// Socket implements api.Socket over FlexTOE context queues. The view
+// calls (Peek/Consume, Reserve/Commit) are the native interface: they
+// hand the application windows straight into the shared-memory payload
+// buffers and cross the host/NIC boundary with descriptors only, so the
+// cost model charges descriptor/doorbell cycles but no per-byte copy
+// cost — Table 1's "cannot be eliminated with TCP offload" split.
+// Send/Recv remain as copy-based compatibility wrappers that add the
+// PerByte cost the views avoid.
 type Socket struct {
 	stack *Stack
 	conn  *ctrl.Conn
@@ -142,6 +149,18 @@ type Socket struct {
 	avail  uint32 // readable bytes
 	closed bool
 	finRx  bool
+
+	// Doorbell batching: bytes whose descriptor cost has been charged on
+	// the app core but whose context-queue descriptor has not been
+	// injected yet. The first completion to run injects the accumulated
+	// total, so no closure is allocated per socket call.
+	pendTx uint32
+	pendRx uint32
+
+	// Pending NIC->host notifications awaiting their charged delivery
+	// task (FIFO ring; amortized allocation-free).
+	notifQ    []shm.Desc
+	notifHead int
 
 	onReadable func()
 	onWritable func()
@@ -171,45 +190,111 @@ func (k *Socket) OnReadable(f func()) { k.onReadable = f }
 // OnWritable registers the transmit-space callback.
 func (k *Socket) OnWritable(f func()) { k.onWritable = f }
 
-// Send appends to the transmit payload buffer and doorbells the NIC.
-func (k *Socket) Send(p []byte) int {
-	if k.closed {
-		return 0
-	}
-	n := uint32(len(p))
-	if n > k.txFree {
-		n = k.txFree
-	}
-	if n == 0 {
-		return 0
-	}
-	k.conn.TxBuf.WriteAt(k.txHead, p[:n])
-	k.txHead += n
-	k.txFree -= n
-	cost := k.stack.costs.SendCycles + int64(float64(n)*k.stack.costs.PerByte)
-	k.core.Submit(sim.TaskC(cost), func() {
-		k.stack.toe.InjectHC(shm.Desc{Kind: shm.DescTxBump, Conn: k.conn.ID, Bytes: n})
-	})
-	return int(n)
+// Peek returns the readable byte stream as up to two slices of the
+// shared-memory RX payload buffer: the zero-copy receive view.
+func (k *Socket) Peek() (a, b []byte) {
+	return k.conn.RxBuf.Slices(k.rxHead, k.avail)
 }
 
-// Recv copies received bytes out and reopens the receive window.
+// Consume releases the first n readable bytes and reopens the receive
+// window. Only the descriptor cost is charged: the application read the
+// bytes in place.
+func (k *Socket) Consume(n int) {
+	k.consume(n, k.stack.costs.RecvCycles)
+}
+
+func (k *Socket) consume(n int, cost int64) {
+	if n == 0 {
+		return
+	}
+	if n < 0 || uint32(n) > k.avail {
+		panic("libtoe: Consume beyond readable bytes")
+	}
+	k.rxHead += uint32(n)
+	k.avail -= uint32(n)
+	k.pendRx += uint32(n)
+	k.core.SubmitCall(sim.TaskC(cost), sockRxDoorbell, k)
+}
+
+// Reserve returns up to n bytes of free TX payload buffer to stage into,
+// starting at the current append position.
+func (k *Socket) Reserve(n int) (a, b []byte) {
+	if k.closed || n <= 0 {
+		return nil, nil
+	}
+	w := uint32(n)
+	if w > k.txFree {
+		w = k.txFree
+	}
+	return k.conn.TxBuf.Slices(k.txHead, w)
+}
+
+// Commit publishes the next n staged bytes and doorbells the NIC. Only
+// the descriptor + doorbell cost is charged: the payload already sits in
+// the shared-memory buffer the data-path DMAs from.
+func (k *Socket) Commit(n int) {
+	k.commit(n, k.stack.costs.SendCycles)
+}
+
+func (k *Socket) commit(n int, cost int64) {
+	if k.closed || n == 0 {
+		return
+	}
+	if n < 0 || uint32(n) > k.txFree {
+		panic("libtoe: Commit beyond transmit buffer space")
+	}
+	k.txHead += uint32(n)
+	k.txFree -= uint32(n)
+	k.pendTx += uint32(n)
+	k.core.SubmitCall(sim.TaskC(cost), sockTxDoorbell, k)
+}
+
+// sockTxDoorbell / sockRxDoorbell run when a socket call's charged cost
+// has been paid: they inject the accumulated descriptor (batching
+// doorbells when several calls' costs were in flight at once).
+func sockTxDoorbell(a any) {
+	k := a.(*Socket)
+	if n := k.pendTx; n > 0 {
+		k.pendTx = 0
+		k.stack.toe.InjectHC(shm.Desc{Kind: shm.DescTxBump, Conn: k.conn.ID, Bytes: n})
+	}
+}
+
+func sockRxDoorbell(a any) {
+	k := a.(*Socket)
+	if n := k.pendRx; n > 0 {
+		k.pendRx = 0
+		k.stack.toe.InjectHC(shm.Desc{Kind: shm.DescRxConsume, Conn: k.conn.ID, Bytes: n})
+	}
+}
+
+// Send appends to the transmit payload buffer and doorbells the NIC: the
+// copy-based compatibility wrapper over Reserve/Commit, paying the
+// per-byte copy cost the view path avoids.
+func (k *Socket) Send(p []byte) int {
+	a, b := k.Reserve(len(p))
+	n := copy(a, p)
+	n += copy(b, p[n:])
+	if n == 0 {
+		return 0
+	}
+	k.commit(n, k.stack.costs.SendCycles+int64(float64(n)*k.stack.costs.PerByte))
+	return n
+}
+
+// Recv copies received bytes out and reopens the receive window: the
+// copy-based compatibility wrapper over Peek/Consume.
 func (k *Socket) Recv(p []byte) int {
-	n := uint32(len(p))
-	if n > k.avail {
-		n = k.avail
+	a, b := k.Peek()
+	n := copy(p, a)
+	if n < len(p) {
+		n += copy(p[n:], b)
 	}
 	if n == 0 {
 		return 0
 	}
-	k.conn.RxBuf.ReadAt(k.rxHead, p[:n])
-	k.rxHead += n
-	k.avail -= n
-	cost := k.stack.costs.RecvCycles + int64(float64(n)*k.stack.costs.PerByte)
-	k.core.Submit(sim.TaskC(cost), func() {
-		k.stack.toe.InjectHC(shm.Desc{Kind: shm.DescRxConsume, Conn: k.conn.ID, Bytes: n})
-	})
-	return int(n)
+	k.consume(n, k.stack.costs.RecvCycles+int64(float64(n)*k.stack.costs.PerByte))
+	return n
 }
 
 // Close sends FIN.
@@ -222,31 +307,43 @@ func (k *Socket) Close() {
 }
 
 // notify handles NIC->host context-queue descriptors on the socket's
-// application core (eventfd wakeup + descriptor processing).
+// application core (eventfd wakeup + descriptor processing). The
+// descriptor is queued on the socket and consumed by sockNotify when the
+// delivery cost has been paid — one FIFO ring per socket, no closure per
+// notification.
 func (k *Socket) notify(d shm.Desc) {
 	task := sim.TaskC(k.stack.costs.NotifyCycles)
 	if !k.core.Busy() && k.stack.costs.WakeupLatency > 0 {
 		task = task.Add(0, k.stack.costs.WakeupLatency)
 	}
-	k.core.Submit(task, func() {
-		switch d.Kind {
-		case shm.DescRxNotify:
-			k.avail += d.Bytes
-			if k.onReadable != nil {
-				k.onReadable()
-			}
-		case shm.DescTxFree:
-			k.txFree += d.Bytes
-			if k.onWritable != nil {
-				k.onWritable()
-			}
-		case shm.DescFinRx:
-			k.finRx = true
-			if k.onReadable != nil {
-				k.onReadable() // EOF signaled via Readable()==0 after drain
-			}
+	k.notifQ = append(k.notifQ, d)
+	k.core.SubmitCall(task, sockNotify, k)
+}
+
+// sockNotify processes the next queued context-queue descriptor (see
+// host.Core.SubmitCall: tasks complete in FIFO order per core, so the
+// queue head always matches the completing task).
+func sockNotify(a any) {
+	k := a.(*Socket)
+	d := k.notifQ[k.notifHead]
+	k.notifQ, k.notifHead = shm.PopRing(k.notifQ, k.notifHead)
+	switch d.Kind {
+	case shm.DescRxNotify:
+		k.avail += d.Bytes
+		if k.onReadable != nil {
+			k.onReadable()
 		}
-	})
+	case shm.DescTxFree:
+		k.txFree += d.Bytes
+		if k.onWritable != nil {
+			k.onWritable()
+		}
+	case shm.DescFinRx:
+		k.finRx = true
+		if k.onReadable != nil {
+			k.onReadable() // EOF signaled via Readable()==0 after drain
+		}
+	}
 }
 
 // FinRx reports whether the peer closed its direction.

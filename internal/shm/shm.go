@@ -45,6 +45,26 @@ func (b *PayloadBuf) ReadAt(pos uint32, p []byte) {
 	}
 }
 
+// Slices returns the window [pos, pos+n) as up to two in-place slices:
+// the zero-copy view the libTOE socket layer hands applications. The
+// second slice is non-nil only when the window wraps the buffer end.
+// The slices alias the buffer — they stay valid only until the region is
+// recycled (receive: consumed; transmit: acknowledged and rewritten).
+// n must not exceed the buffer size.
+func (b *PayloadBuf) Slices(pos, n uint32) (a, c []byte) {
+	if n > uint32(len(b.data)) {
+		panic(fmt.Sprintf("shm: view of %d bytes exceeds %d-byte payload buffer", n, len(b.data)))
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	start := pos & b.mask
+	if start+n <= uint32(len(b.data)) {
+		return b.data[start : start+n], nil
+	}
+	return b.data[start:], b.data[:start+n-uint32(len(b.data))]
+}
+
 // DescKind discriminates context-queue descriptors.
 type DescKind uint8
 
@@ -146,6 +166,26 @@ func (f *Freelist[T]) Get() *T {
 // every other reference (and reset the object, per its pool's contract).
 func (f *Freelist[T]) Put(x *T) {
 	f.items = append(f.items, x)
+}
+
+// PopRing advances a slice-backed FIFO ring's head past one consumed
+// slot (zeroing it so the ring retains no reference), compacting the
+// backing slice when over half is dead so the ring stays O(outstanding)
+// under sustained load instead of growing with every push. Shared by the
+// app-layer request/response queues and libTOE's per-socket notification
+// FIFO.
+func PopRing[T any](s []T, head int) ([]T, int) {
+	var zero T
+	s[head] = zero
+	head++
+	if head == len(s) {
+		return s[:0], 0
+	}
+	if head > 32 && head*2 >= len(s) {
+		n := copy(s, s[head:])
+		return s[:n], 0
+	}
+	return s, head
 }
 
 // Slab is a grow-only arena of fixed-size byte buffers: payload staging

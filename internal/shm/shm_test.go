@@ -138,3 +138,43 @@ func TestSlabCarveAndRecycle(t *testing.T) {
 		t.Fatalf("Puts = %d, foreign buffer was accepted", s.Puts)
 	}
 }
+
+func TestPayloadBufSlices(t *testing.T) {
+	b := NewPayloadBuf(16)
+	for i := 0; i < 16; i++ {
+		b.WriteAt(uint32(i), []byte{byte(i)})
+	}
+	// Fully within the ring: one slice, zero copy.
+	a, c := b.Slices(2, 5)
+	if len(a) != 5 || c != nil || a[0] != 2 || a[4] != 6 {
+		t.Fatalf("contiguous view wrong: %v %v", a, c)
+	}
+	// Writes through the view land in the ring.
+	a[0] = 0xEE
+	out := make([]byte, 1)
+	b.ReadAt(2, out)
+	if out[0] != 0xEE {
+		t.Fatal("view is not a window into the buffer")
+	}
+	// Wrapping: two slices covering [14, 19) = ring[14:16] + ring[0:3].
+	a, c = b.Slices(14, 5)
+	if len(a) != 2 || len(c) != 3 || a[0] != 14 || c[0] != 0 {
+		t.Fatalf("wrapped view wrong: %v %v", a, c)
+	}
+	// Positions are absolute offsets: wrapping the position maps mod size.
+	a, _ = b.Slices(32+2, 1)
+	if a[0] != 0xEE {
+		t.Fatal("absolute position not masked")
+	}
+	// Empty view.
+	if a, c = b.Slices(3, 0); a != nil || c != nil {
+		t.Fatal("empty view not nil")
+	}
+	// Oversized views are a programming error.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("view larger than the buffer did not panic")
+		}
+	}()
+	b.Slices(0, 17)
+}
