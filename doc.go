@@ -52,6 +52,12 @@
 // writing) plus wall-clock ns per simulated segment; BENCH_pipeline.json
 // records the trajectory.
 //
+// The ownership rule is statically enforced by flexvet/poolown (leaks,
+// double release, use after release) and the closure-vs-Call discipline
+// by flexvet/hotclosure; building with -tags flexdebug adds runtime
+// double-release panics and payload poisoning on top (see the flexvet
+// section below).
+//
 // # Datacenter fabric: topology model and ECMP hashing contract
 //
 // internal/fabric composes netsim switches into a two-tier leaf–spine
@@ -136,7 +142,48 @@
 // (internal/apps): at most 2 heap allocations per steady-state RPC
 // request-response end to end; the cross-personality semantics
 // (including view aliasing rules) are pinned by the conformance suite in
-// internal/api/apitest.
+// internal/api/apitest. The no-retention rule is statically enforced by
+// flexvet/viewretain: storing a view into a struct field or package
+// variable, capturing it in an escaping closure, or touching it after the
+// invalidating Consume/Commit is a build-breaking diagnostic.
+//
+// # Static enforcement: flexvet
+//
+// The contracts above — and the one-seed determinism rule stated in
+// ROADMAP.md — are enforced at compile time by cmd/flexvet, a
+// multichecker over five passes (internal/analysis/...), run as a
+// blocking CI job and in-process by `go test ./internal/analysis`:
+//
+//   - viewretain: Peek/Reserve/PayloadBuf.Slices views must stay local —
+//     never stored, never captured by an escaping closure, never used
+//     after the invalidating Consume/Commit on the same socket.
+//   - poolown: pooled objects (packet.Get, netsim frames, shm
+//     freelists/slabs, segItems) must be released exactly once or handed
+//     off exactly once per acquisition.
+//   - detrange: simulation-critical packages must not range over maps
+//     (iteration order would leak into the event order), call wall-clock
+//     time, or draw from global/unseeded randomness.
+//   - hotclosure: scheduling a func literal where an allocation-free
+//     *Call variant exists (At/AtCall and friends) is flagged.
+//   - sharedstate: reporting-only; inventories package-level mutable
+//     state into SHAREDSTATE.md for the sharded-engine refactor.
+//
+// Suppression convention: a deliberate exception is annotated in place
+// with a machine-checked comment on the diagnosed line or the line above,
+//
+//	//flexvet:<pass> <why>
+//
+// e.g. `//flexvet:hotclosure connection establishment runs once per
+// connection, not per event`. For order-insensitive map scans (pure
+// counts, sums) the detrange alias `//flexvet:ordered <why>` reads
+// better. The <why> is mandatory prose for the reviewer; an annotation
+// without a justification should be rejected in review.
+//
+// The runtime complement is the flexdebug build tag: `go test -tags
+// flexdebug ./...` makes every freelist panic on double release, fills
+// released packet payloads and slab buffers with 0xDB poison (so stale
+// reads see garbage and stale writes panic at the next Get), and makes
+// the fabric panic on transmitting a released frame.
 package main
 
 import (

@@ -1,0 +1,118 @@
+// Package detrange enforces the determinism contract (doc.go
+// "Determinism", ROADMAP "Contracts & invariants") in simulation-critical
+// packages: one seed must produce bit-identical counters, traces, and
+// engine event counts on rerun.
+//
+// Three things break that and are flagged here:
+//
+//   - `for range` over a map: Go randomizes map iteration order per run,
+//     so any map scan whose side effects depend on order (emitting events,
+//     mutating counters, building slices) reshuffles between identical
+//     runs — exactly the bug PR 4 fixed by converting the connection
+//     tables to establishment-order scans. A map range that is provably
+//     order-insensitive (pure reduction: count, sum, max) may carry a
+//     `//flexvet:ordered <why>` comment on the statement (or the line
+//     above) to suppress the diagnostic.
+//   - Wall-clock time: time.Now and friends leak host scheduling into
+//     simulated state. Simulated code must use sim.Engine.Now.
+//   - Global or unseeded randomness: math/rand's package-level functions
+//     draw from the global source (shared, unseeded, and in Go 1.20+
+//     randomly seeded at startup); crypto/rand is nondeterministic by
+//     construction. Simulated code must thread an explicitly seeded
+//     *rand.Rand (rand.New(rand.NewSource(seed))), which remains allowed.
+package detrange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"flextoe/internal/analysis/flexanalysis"
+)
+
+// Analyzer is the detrange pass.
+var Analyzer = &flexanalysis.Analyzer{
+	Name: "detrange",
+	Doc: "forbid map-order iteration, wall-clock time, and global randomness " +
+		"in simulation-critical packages (suppress order-insensitive map scans " +
+		"with //flexvet:ordered <why>)",
+	Run: run,
+}
+
+// wallClock lists package time functions that read or wait on the host
+// clock. Types (time.Duration) and pure constructors stay legal.
+var wallClock = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"AfterFunc": true,
+}
+
+// randAllowed lists math/rand names that do NOT touch the global source:
+// constructors for explicitly seeded generators.
+var randAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func run(pass *flexanalysis.Pass) (any, error) {
+	if !flexanalysis.Critical(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.RangeStmt:
+				t := pass.TypeOf(node.X)
+				if t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						pass.Reportf(node.For,
+							"range over map %s: iteration order is nondeterministic in a simulation-critical package (scan an ordered index, or annotate //flexvet:ordered <why> if order-insensitive)",
+							types.ExprString(node.X))
+					}
+				}
+			case *ast.Ident:
+				// Selector uses (time.Now) and dot-import uses both
+				// resolve through Uses on the identifier itself.
+				checkUse(pass, node)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkUse(pass *flexanalysis.Pass, id *ast.Ident) {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	// Only package-level functions are of interest: methods on a
+	// seeded *rand.Rand (r.Intn) or on time values (t.After) are fine.
+	pkgFunc := func() bool {
+		fn, ok := obj.(*types.Func)
+		return ok && fn.Signature().Recv() == nil
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if pkgFunc() && wallClock[obj.Name()] {
+			pass.Reportf(id.Pos(),
+				"wall-clock time.%s in a simulation-critical package: simulated code must use sim.Engine.Now so runs are seed-deterministic", obj.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if pkgFunc() && !randAllowed[obj.Name()] {
+			pass.Reportf(id.Pos(),
+				"global rand.%s draws from the shared unseeded source: thread an explicitly seeded *rand.Rand instead", obj.Name())
+		}
+	case "crypto/rand":
+		pass.Reportf(id.Pos(),
+			"crypto/rand is nondeterministic by construction: simulation-critical code must use a seeded math/rand generator")
+	}
+}

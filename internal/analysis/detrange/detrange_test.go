@@ -1,0 +1,39 @@
+package detrange
+
+import (
+	"path/filepath"
+	"testing"
+
+	"flextoe/internal/analysis/flexanalysis"
+)
+
+func TestDetrange(t *testing.T) {
+	l := flexanalysis.NewLoader()
+	dir := filepath.Join("testdata", "src", "dettest")
+	res := flexanalysis.RunWant(t, l, Analyzer, dir, "flextoe/internal/sim/dettest")
+
+	// The two //flexvet:ordered map scans must be suppressed, not absent:
+	// the pass saw them and the justification silenced them.
+	if got := len(res.Suppressed); got != 2 {
+		t.Errorf("suppressed diagnostics = %d, want 2 (//flexvet:ordered scans)", got)
+		for _, d := range res.Suppressed {
+			t.Logf("  suppressed: %s: %s", d.Posn(res.Pkg.Fset), d.Message)
+		}
+	}
+}
+
+func TestDetrangeSkipsNonCriticalPackages(t *testing.T) {
+	l := flexanalysis.NewLoader()
+	dir := filepath.Join("testdata", "src", "dettest")
+	pkg, err := l.Load(dir, "flextoe/internal/apps/dettest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := flexanalysis.RunPackage(pkg, []*flexanalysis.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(results[0].Diags) + len(results[0].Suppressed); n != 0 {
+		t.Errorf("non-critical package produced %d diagnostics, want 0", n)
+	}
+}

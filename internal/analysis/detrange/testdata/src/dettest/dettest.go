@@ -1,0 +1,81 @@
+// Package dettest exercises the detrange pass. Its synthetic import path
+// places it under flextoe/internal/sim, so it is simulation-critical.
+package dettest
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+type conn struct {
+	id   uint32
+	cwnd int
+}
+
+// connScanReshuffle is the PR-1/PR-4 regression shape: iterating the
+// connection table in map order to emit simulation events reshuffled
+// RTO/cwnd ordering between identical-seed runs.
+func connScanReshuffle(conns map[uint32]*conn, emit func(uint32)) {
+	for id := range conns { // want `range over map conns: iteration order is nondeterministic`
+		emit(id)
+	}
+}
+
+// orderedScan is the fix: an establishment-order index drives the scan.
+func orderedScan(order []uint32, conns map[uint32]*conn, emit func(uint32)) {
+	for _, id := range order {
+		if _, ok := conns[id]; ok {
+			emit(id)
+		}
+	}
+}
+
+// countConns is an order-insensitive reduction: the justification comment
+// suppresses the diagnostic.
+func countConns(conns map[uint32]*conn) int {
+	n := 0
+	//flexvet:ordered pure count, no order-dependent side effects
+	for range conns {
+		n++
+	}
+	return n
+}
+
+// maxCwnd carries the marker on the statement line itself.
+func maxCwnd(conns map[uint32]*conn) int {
+	m := 0
+	for _, c := range conns { //flexvet:ordered max reduction is commutative
+		if c.cwnd > m {
+			m = c.cwnd
+		}
+	}
+	return m
+}
+
+func wallClock() time.Duration {
+	start := time.Now() // want `wall-clock time\.Now`
+	time.Sleep(time.Millisecond)                // want `wall-clock time\.Sleep`
+	return time.Since(start) // want `wall-clock time\.Since`
+}
+
+// durationMath uses time only for its unit types: legal.
+func durationMath(d time.Duration) float64 { return d.Seconds() }
+
+func globalRand() int {
+	return rand.Intn(10) // want `global rand\.Intn draws from the shared unseeded source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand\.Shuffle`
+}
+
+// seededRand is the sanctioned pattern: explicit seed, private generator.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func cryptoRand(p []byte) {
+	crand.Read(p) // want `crypto/rand is nondeterministic`
+}

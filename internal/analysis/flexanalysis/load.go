@@ -1,0 +1,181 @@
+package flexanalysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages for analysis. Dependencies are
+// resolved by the stdlib source importer (which shells out to `go list`
+// for module paths), so the loader works offline against the module and
+// GOROOT alone. One Loader shares a FileSet and an import cache across
+// every package it loads; it is not safe for concurrent use.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+	ctx  build.Context
+}
+
+// NewLoader returns a loader with the default build context (honouring
+// build tags, so flexdebug-tagged files are excluded like the normal
+// build excludes them).
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil),
+		ctx:  build.Default,
+	}
+}
+
+// Fset returns the loader's file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Dir   string
+	Path  string // import path; synthetic for testdata packages
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Load parses and type-checks the non-test Go files of dir as import path
+// importPath. Type errors are returned (analysis requires well-typed
+// input), but a missing package (no buildable files) is reported as
+// ErrNoGoFiles.
+func (l *Loader) Load(dir, importPath string) (*Package, error) {
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, ErrNoGoFiles
+		}
+		return nil, err
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		Dir:   dir,
+		Path:  importPath,
+		Fset:  l.fset,
+		Files: files,
+		Types: pkg,
+		Info:  info,
+	}, nil
+}
+
+// ErrNoGoFiles marks a directory with no buildable non-test Go files.
+var ErrNoGoFiles = fmt.Errorf("no buildable Go files")
+
+// ModuleRoot walks upward from dir to the directory holding go.mod and
+// returns it with the module path parsed from the file.
+func ModuleRoot(dir string) (root, modPath string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("go.mod in %s has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// PackageDirs returns every directory under root (inclusive) that can
+// hold a package: testdata, hidden and underscore-prefixed directories
+// are skipped, matching the go tool's traversal. The result is sorted so
+// multi-package runs are deterministic.
+func PackageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// LoadAll loads every buildable package under root, mapping directories
+// to import paths below modPath. Directories without buildable Go files
+// are skipped silently; any other load error aborts.
+func (l *Loader) LoadAll(root, modPath string) ([]*Package, error) {
+	dirs, err := PackageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.Load(dir, ip)
+		if err == ErrNoGoFiles {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

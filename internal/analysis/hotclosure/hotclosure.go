@@ -1,0 +1,100 @@
+// Package hotclosure enforces the zero-allocation event discipline
+// (doc.go "Pooling ownership", PR 3) in simulation-critical packages:
+// event scheduling and task submission must not allocate a closure per
+// event on the hot path.
+//
+// The engine and its clients expose paired APIs for exactly this reason —
+// At/AtCall, After/AfterCall, Immediately/ImmediatelyCall, Every/EveryCall
+// (sim.Engine), Submit/SubmitCall (host.Core, nfp.FPC), and
+// Acquire/AcquireCall (sim.Resource). The closure form exists for tests
+// and cold paths; the Call form carries a long-lived func(any) plus an
+// argument, so arming allocates nothing.
+//
+// The check is shape-generic rather than a hard-coded list: any method
+// call M(..., func(){...}, ...) whose receiver's method set also contains
+// an M+"Call" method is flagged — passing a func literal is what forces
+// the closure allocation, and the existence of the Call variant proves
+// the author of the API considered the site hot. Named function values,
+// method values, and cached closure fields pass (they allocate once, not
+// per event). A deliberate cold-path closure may carry
+// //flexvet:hotclosure <why>.
+//
+// The sim package itself is exempt: it defines the paired APIs and its
+// closure forms are implemented in terms of each other by design.
+package hotclosure
+
+import (
+	"go/ast"
+	"go/types"
+
+	"flextoe/internal/analysis/flexanalysis"
+)
+
+// Analyzer is the hotclosure pass.
+var Analyzer = &flexanalysis.Analyzer{
+	Name: "hotclosure",
+	Doc: "flag func-literal arguments to scheduling/submission methods that " +
+		"have an allocation-free *Call variant in simulation-critical packages",
+	Run: run,
+}
+
+// enginePkg defines the paired APIs and is exempt from the check.
+const enginePkg = "flextoe/internal/sim"
+
+func run(pass *flexanalysis.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	if !flexanalysis.Critical(path) || path == enginePkg {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkCall(pass *flexanalysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.MethodVal {
+		return // package-qualified call or field, not a method
+	}
+	name := sel.Sel.Name
+	if len(name) >= 4 && name[len(name)-4:] == "Call" {
+		return
+	}
+	hasLit := false
+	for _, arg := range call.Args {
+		if _, ok := arg.(*ast.FuncLit); ok {
+			hasLit = true
+			break
+		}
+	}
+	if !hasLit {
+		return
+	}
+	recv := selection.Recv()
+	obj, _, _ := types.LookupFieldOrMethod(recv, true, pass.Pkg, name+"Call")
+	if fn, ok := obj.(*types.Func); ok && fn != nil {
+		pass.Reportf(call.Pos(),
+			"closure-form %s.%s allocates a closure per event; use %sCall with a long-lived func(any) and an argument (//flexvet:hotclosure <why> for deliberate cold paths)",
+			typeLabel(recv), name, name)
+	}
+}
+
+// typeLabel renders a receiver type compactly (base type name when named).
+func typeLabel(t types.Type) string {
+	if n := flexanalysis.NamedType(t); n != nil {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,57 @@
+// Package hctest exercises the hotclosure pass against the real engine
+// APIs. Its synthetic import path places it under flextoe/internal/core,
+// so it is simulation-critical (and not the exempt sim package itself).
+package hctest
+
+import (
+	"flextoe/internal/host"
+	"flextoe/internal/sim"
+)
+
+type pump struct {
+	eng  *sim.Engine
+	fn   func()
+	work func(any)
+}
+
+// closureForms allocate one closure per arming where a Call variant
+// exists: every one is a hot-path regression.
+func closureForms(p *pump, core *host.Core, res *sim.Resource) {
+	p.eng.At(10, func() {})                     // want `closure-form Engine\.At allocates a closure per event; use AtCall`
+	p.eng.After(10, func() {})                  // want `closure-form Engine\.After .*use AfterCall`
+	p.eng.Immediately(func() {})                // want `closure-form Engine\.Immediately .*use ImmediatelyCall`
+	p.eng.Every(0, 10, func() bool { return false }) // want `closure-form Engine\.Every .*use EveryCall`
+	core.Submit(sim.TaskC(100), func() {})      // want `closure-form Core\.Submit .*use SubmitCall`
+	res.Acquire(1, 0, func() {})                // want `closure-form Resource\.Acquire .*use AcquireCall`
+}
+
+// callForms are the sanctioned zero-alloc shapes.
+func callForms(p *pump, core *host.Core) {
+	p.eng.AtCall(10, p.work, nil)
+	p.eng.AfterCall(10, p.work, nil)
+	core.SubmitCall(sim.TaskC(100), p.work, nil)
+}
+
+// namedValues pass long-lived function values: one allocation at setup,
+// none per arming — allowed by design.
+func namedValues(p *pump) {
+	p.eng.At(10, p.fn)
+	p.eng.After(10, tick)
+}
+
+func tick() {}
+
+// coldPath documents a deliberate one-shot closure with a justification.
+func coldPath(p *pump) {
+	//flexvet:hotclosure one-shot experiment teardown, runs once per simulation
+	p.eng.At(10, func() {})
+}
+
+// plainAPI has no Call variant: a closure argument is fine.
+type plainAPI struct{}
+
+func (plainAPI) Walk(fn func()) { fn() }
+
+func noCallVariant(w plainAPI) {
+	w.Walk(func() {})
+}

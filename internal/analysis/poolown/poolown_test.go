@@ -1,0 +1,18 @@
+package poolown
+
+import (
+	"path/filepath"
+	"testing"
+
+	"flextoe/internal/analysis/flexanalysis"
+)
+
+func TestPoolown(t *testing.T) {
+	l := flexanalysis.NewLoader()
+	dir := filepath.Join("testdata", "src", "potest")
+	res := flexanalysis.RunWant(t, l, Analyzer, dir, "flextoe/internal/core/potest")
+
+	if got := len(res.Suppressed); got != 1 {
+		t.Errorf("suppressed diagnostics = %d, want 1 (//flexvet:poolown fixture)", got)
+	}
+}

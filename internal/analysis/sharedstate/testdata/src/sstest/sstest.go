@@ -1,0 +1,87 @@
+// Package sstest exercises the sharedstate classifier: one variable per
+// class, plus write-site attribution shapes (field store, IncDec, method
+// call through a pointer receiver, address escape).
+package sstest
+
+import (
+	"sync"
+
+	"flextoe/internal/shm"
+)
+
+type entry struct {
+	id uint32
+}
+
+// entryFree is the global entry pool.
+var entryFree shm.Freelist[entry]
+
+// Counters is a hot-path stats block.
+type Counters struct {
+	Hits, Misses uint64
+}
+
+// PoolStats counts pool traffic.
+var PoolStats Counters
+
+// guarded carries its own lock.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+var lockbox guarded
+
+// seedTable is filled by init and never written again.
+var seedTable [16]uint32
+
+func init() {
+	for i := range seedTable {
+		seedTable[i] = uint32(i) * 2654435761
+	}
+}
+
+// registry is runtime-written global state with no synchronization.
+var registry map[string]*entry
+
+// limit is written through its address.
+var limit int
+
+func alloc() *entry {
+	PoolStats.Hits++
+	e := entryFree.Get()
+	if e == nil {
+		PoolStats.Misses++
+		e = &entry{}
+	}
+	return e
+}
+
+func free(e *entry) {
+	entryFree.Put(e)
+}
+
+func register(name string, e *entry) {
+	if registry == nil {
+		registry = map[string]*entry{}
+	}
+	registry[name] = e
+}
+
+func (g *guarded) bump() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func touchLock() {
+	lockbox.bump()
+}
+
+func setLimit(n int) {
+	store(&limit, n)
+}
+
+func store(p *int, v int) { *p = v }
+
+func lookup(i int) uint32 { return seedTable[i&15] }

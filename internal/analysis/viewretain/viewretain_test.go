@@ -1,0 +1,18 @@
+package viewretain
+
+import (
+	"path/filepath"
+	"testing"
+
+	"flextoe/internal/analysis/flexanalysis"
+)
+
+func TestViewretain(t *testing.T) {
+	l := flexanalysis.NewLoader()
+	dir := filepath.Join("testdata", "src", "vrtest")
+	res := flexanalysis.RunWant(t, l, Analyzer, dir, "flextoe/internal/apps/vrtest")
+
+	if got := len(res.Suppressed); got != 1 {
+		t.Errorf("suppressed diagnostics = %d, want 1 (//flexvet:viewretain fixture)", got)
+	}
+}

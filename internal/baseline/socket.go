@@ -83,6 +83,7 @@ func (s *Stack) handshake(pkt *packet.Packet, flow packet.Flow) {
 		s.iface.Send(netsim.NewFrame(sa, s.eng.Now()))
 		sock := newBSocket(c)
 		c.sock = sock
+		//flexvet:hotclosure passive open runs once per connection, not per event
 		s.eng.Immediately(func() { accept(sock) })
 	}
 }
@@ -103,6 +104,7 @@ func (s *Stack) connHandshakeRx(c *bconn, pkt *packet.Packet) bool {
 		c.sock = sock
 		if c.connected != nil {
 			cb := c.connected
+			//flexvet:hotclosure active open completes once per connection, not per event
 			s.eng.Immediately(func() { cb(sock) })
 		}
 		return true

@@ -17,6 +17,30 @@ func (t *TOE) monoInstr(base int64) int64 {
 	return int64(float64(base) * t.costs.MonolithicFetchPenalty)
 }
 
+// monoWork carries one run-to-completion task from Submit to its handler
+// without a closure per segment. Pooled: each handler consumes and
+// recycles the carrier before running the protocol logic.
+type monoWork struct {
+	t    *TOE
+	conn uint32
+	pkt  *packet.Packet
+	d    shm.Desc
+}
+
+var monoWorkFree shm.Freelist[monoWork]
+
+func getMonoWork() *monoWork {
+	if w := monoWorkFree.Get(); w != nil {
+		return w
+	}
+	return &monoWork{}
+}
+
+func putMonoWork(w *monoWork) {
+	*w = monoWork{}
+	monoWorkFree.Put(w)
+}
+
 func (t *TOE) monoRX(pkt *packet.Packet) {
 	if !pkt.TCP.IsDataPath() {
 		t.toControl(pkt)
@@ -39,41 +63,48 @@ func (t *TOE) monoRX(pkt *packet.Packet) {
 		Add(instr/3, n.CyclesTime(2*n.DRAMCycles)). // uncached state fetch + writeback
 		Add(instr/3, payloadDMA).                   // blocking payload DMA
 		Add(0, descDMA)                             // blocking notification
-	t.mono.Submit(task, func() {
-		conn2 := t.connOrNil(conn.ID)
-		if conn2 == nil {
-			packet.Release(pkt)
-			return
+	w := getMonoWork()
+	w.t, w.conn, w.pkt = t, conn.ID, pkt
+	t.mono.SubmitCall(task, monoRXDone, w)
+}
+
+func monoRXDone(a any) {
+	w := a.(*monoWork)
+	t, pkt := w.t, w.pkt
+	conn2 := t.connOrNil(w.conn)
+	putMonoWork(w)
+	if conn2 == nil {
+		packet.Release(pkt)
+		return
+	}
+	info := tcpseg.Summarize(pkt)
+	res := tcpseg.ProcessRX(&conn2.Proto, &conn2.Post, &info, t.tsNow())
+	if res.WriteLen > 0 {
+		conn2.RxBuf.WriteAt(res.WritePos, pkt.Payload[res.WriteOff:res.WriteOff+res.WriteLen])
+	}
+	packet.Release(pkt) // the run-to-completion path consumes it here
+	t.RxSegs++
+	t.RxBytes += uint64(info.PayloadLen)
+	if res.SACKReneged {
+		t.SACKReneges++
+	}
+	if res.FastRetransmit {
+		t.FastRetx++
+		if res.SACKRetransmit {
+			t.SACKRetx++
 		}
-		info := tcpseg.Summarize(pkt)
-		res := tcpseg.ProcessRX(&conn2.Proto, &conn2.Post, &info, t.tsNow())
-		if res.WriteLen > 0 {
-			conn2.RxBuf.WriteAt(res.WritePos, pkt.Payload[res.WriteOff:res.WriteOff+res.WriteLen])
-		}
-		packet.Release(pkt) // the run-to-completion path consumes it here
-		t.RxSegs++
-		t.RxBytes += uint64(info.PayloadLen)
-		if res.SACKReneged {
-			t.SACKReneges++
-		}
-		if res.FastRetransmit {
-			t.FastRetx++
-			if res.SACKRetransmit {
-				t.SACKRetx++
-			}
-		}
-		t.countReassembly(&res)
-		if res.SendAck {
-			s := &segItem{kind: segRX, conn: conn2.ID, rx: res}
-			t.AcksSent++
-			t.sendFrame(t.buildAck(conn2, s))
-		}
-		s := &segItem{rx: res}
-		t.monoNotify(conn2, s)
-		if tcpseg.SendableBytes(&conn2.Proto, conn2.CWnd) > 0 {
-			t.submitFlow(conn2)
-		}
-	})
+	}
+	t.countReassembly(&res)
+	if res.SendAck {
+		s := &segItem{kind: segRX, conn: conn2.ID, rx: res}
+		t.AcksSent++
+		t.sendFrame(t.buildAck(conn2, s))
+	}
+	s := &segItem{rx: res}
+	t.monoNotify(conn2, s)
+	if tcpseg.SendableBytes(&conn2.Proto, conn2.CWnd) > 0 {
+		t.submitFlow(conn2)
+	}
 }
 
 func (t *TOE) monoNotify(conn *Conn, s *segItem) {
@@ -111,24 +142,31 @@ func (t *TOE) monoHC(conn *Conn, d shm.Desc) {
 	task := sim.TaskC(instr).
 		Add(0, t.blockingXferTime(shm.DescWireSize)).
 		Add(0, n.CyclesTime(n.DRAMCycles))
-	t.mono.Submit(task, func() {
-		conn2 := t.connOrNil(conn.ID)
-		if conn2 == nil {
-			return
-		}
-		res := tcpseg.ProcessHC(&conn2.Proto, &conn2.Post, hcOpOf(d))
-		t.HCOps++
-		if res.SendWindowUpdate {
-			// Re-advertise the reopened window (same zero-window
-			// deadlock repair as the pipeline's HC path).
-			s := &segItem{kind: segHC, conn: conn2.ID, rx: tcpseg.WindowUpdateAck(&conn2.Proto)}
-			t.AcksSent++
-			t.sendFrame(t.buildAck(conn2, s))
-		}
-		if tcpseg.SendableBytes(&conn2.Proto, conn2.CWnd) > 0 || conn2.Proto.TxAvail > 0 {
-			t.submitFlow(conn2)
-		}
-	})
+	w := getMonoWork()
+	w.t, w.conn, w.d = t, conn.ID, d
+	t.mono.SubmitCall(task, monoHCDone, w)
+}
+
+func monoHCDone(a any) {
+	w := a.(*monoWork)
+	t, d := w.t, w.d
+	conn2 := t.connOrNil(w.conn)
+	putMonoWork(w)
+	if conn2 == nil {
+		return
+	}
+	res := tcpseg.ProcessHC(&conn2.Proto, &conn2.Post, hcOpOf(d))
+	t.HCOps++
+	if res.SendWindowUpdate {
+		// Re-advertise the reopened window (same zero-window
+		// deadlock repair as the pipeline's HC path).
+		s := &segItem{kind: segHC, conn: conn2.ID, rx: tcpseg.WindowUpdateAck(&conn2.Proto)}
+		t.AcksSent++
+		t.sendFrame(t.buildAck(conn2, s))
+	}
+	if tcpseg.SendableBytes(&conn2.Proto, conn2.CWnd) > 0 || conn2.Proto.TxAvail > 0 {
+		t.submitFlow(conn2)
+	}
 }
 
 func (t *TOE) monoTXPump() {
@@ -159,26 +197,33 @@ func (t *TOE) monoTXPump() {
 	task := sim.TaskC(instr/2).
 		Add(0, n.CyclesTime(2*n.DRAMCycles)).
 		Add(instr/2, t.blockingXferTime(int(sendable)))
-	t.mono.Submit(task, func() {
-		conn2 := t.connOrNil(id)
-		if conn2 == nil {
-			t.kickTX()
-			return
-		}
-		txr, ok := tcpseg.ProcessTX(&conn2.Proto, &conn2.Post, t.cfg.MSS, conn2.CWnd)
-		if ok {
-			s := &segItem{kind: segTX, conn: id, tx: txr}
-			t.TxSegs++
-			t.TxBytes += uint64(txr.Len)
-			if txr.RetxBytes > 0 {
-				t.RetxSegs++
-				t.RetxBytes += uint64(txr.RetxBytes)
-			}
-			t.sendFrame(t.buildData(conn2, s))
-			if tcpseg.SendableBytes(&conn2.Proto, conn2.CWnd) > 0 {
-				t.sched.Submit(id)
-			}
-		}
+	w := getMonoWork()
+	w.t, w.conn = t, id
+	t.mono.SubmitCall(task, monoTXDone, w)
+}
+
+func monoTXDone(a any) {
+	w := a.(*monoWork)
+	t, id := w.t, w.conn
+	conn2 := t.connOrNil(id)
+	putMonoWork(w)
+	if conn2 == nil {
 		t.kickTX()
-	})
+		return
+	}
+	txr, ok := tcpseg.ProcessTX(&conn2.Proto, &conn2.Post, t.cfg.MSS, conn2.CWnd)
+	if ok {
+		s := &segItem{kind: segTX, conn: id, tx: txr}
+		t.TxSegs++
+		t.TxBytes += uint64(txr.Len)
+		if txr.RetxBytes > 0 {
+			t.RetxSegs++
+			t.RetxBytes += uint64(txr.RetxBytes)
+		}
+		t.sendFrame(t.buildData(conn2, s))
+		if tcpseg.SendableBytes(&conn2.Proto, conn2.CWnd) > 0 {
+			t.sched.Submit(id)
+		}
+	}
+	t.kickTX()
 }

@@ -885,7 +885,16 @@ func (t *TOE) sendFrame(pkt *packet.Packet) {
 // directly via the MAC, bypassing the offloaded data-path — connection
 // management deliberately lives outside the pipeline (§3).
 func (t *TOE) SendControlFrame(pkt *packet.Packet) {
-	t.eng.After(t.cfg.NFP.MMIOLatency, func() { t.sendFrame(pkt) })
+	w := getMonoWork()
+	w.t, w.pkt = t, pkt
+	t.eng.AfterCall(t.cfg.NFP.MMIOLatency, sendCtrlFrame, w)
+}
+
+func sendCtrlFrame(a any) {
+	w := a.(*monoWork)
+	t, pkt := w.t, w.pkt
+	putMonoWork(w)
+	t.sendFrame(pkt)
 }
 
 // MAC returns the NIC's Ethernet address.

@@ -270,6 +270,7 @@ func (p *Plane) establish(pc *pendingConn, peerWin uint16) {
 	}
 	p.Established++
 	if pc.connected != nil {
+		//flexvet:hotclosure connection establishment runs once per connection, not per event
 		p.eng.Immediately(func() {
 			pc.connected(&Conn{ID: c.ID, Core: c, Flow: pc.flow, TxBuf: txBuf, RxBuf: rxBuf})
 		})

@@ -1,0 +1,19 @@
+//go:build flexdebug
+
+package netsim
+
+import "fmt"
+
+// poisonWire marks a released frame: a use-after-release that reaches the
+// fabric trips checkFrame instead of silently transmitting zero bytes.
+const poisonWire = -0xDB
+
+func poisonFrame(f *Frame) {
+	f.Wire = poisonWire
+}
+
+func checkFrame(f *Frame) {
+	if f.Wire == poisonWire {
+		panic(fmt.Sprintf("netsim: frame %p used after ReleaseFrame returned it to the pool", f))
+	}
+}

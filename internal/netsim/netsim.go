@@ -65,6 +65,7 @@ func ReleaseFrame(f *Frame) {
 		return
 	}
 	*f = Frame{pooled: true}
+	poisonFrame(f)
 	frameFree.Put(f)
 }
 
@@ -181,6 +182,7 @@ func (i *Iface) QueueBytes() int { return i.queueBytes }
 // after the propagation delay. Ownership of the frame (and its packet)
 // transfers to the link; an unconnected interface is a drop point.
 func (i *Iface) Send(f *Frame) {
+	checkFrame(f)
 	if i.peer == nil {
 		dropFrame(f)
 		return

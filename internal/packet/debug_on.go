@@ -1,0 +1,33 @@
+//go:build flexdebug
+
+package packet
+
+import (
+	"fmt"
+
+	"flextoe/internal/shm"
+)
+
+// poisonPayload fills the released packet's retained payload backing with
+// the poison byte. A stale Payload slice held past Release now reads
+// deterministic garbage, and any write through it is caught by checkPoison
+// when the pool hands the packet out again.
+func poisonPayload(p *Packet) {
+	buf := p.buf[:cap(p.buf)]
+	for i := range buf {
+		buf[i] = shm.PoisonByte
+	}
+}
+
+// checkPoison verifies the payload backing is still fully poisoned at Get:
+// a dirty byte means someone wrote through a Payload slice they no longer
+// owned.
+func checkPoison(p *Packet) {
+	buf := p.buf[:cap(p.buf)]
+	for i, b := range buf {
+		if b != shm.PoisonByte {
+			panic(fmt.Sprintf("packet: write-after-release detected: payload byte %d of %p is %#x, want poison %#x",
+				i, p, b, shm.PoisonByte))
+		}
+	}
+}

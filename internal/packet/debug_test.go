@@ -1,0 +1,49 @@
+//go:build flexdebug
+
+package packet
+
+import "testing"
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+func TestPacketDoubleReleasePanics(t *testing.T) {
+	p := Get()
+	Release(p)
+	mustPanic(t, "double Release", func() { Release(p) })
+	// Drain the poisoned entry so later tests start clean.
+	_ = Get()
+}
+
+func TestPacketWriteAfterReleaseCaught(t *testing.T) {
+	p := Get()
+	payload := p.GrowPayload(32)
+	Release(p)
+	// Stale write through the view handed out before Release.
+	payload[5] = 0xAA
+	mustPanic(t, "Get after write-after-release", func() { _ = Get() })
+}
+
+func TestPacketStaleReadSeesPoison(t *testing.T) {
+	p := Get()
+	payload := p.GrowPayload(16)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	Release(p)
+	for i, v := range payload {
+		if v != 0xDB {
+			t.Fatalf("stale payload byte %d = %#x, want poison 0xDB", i, v)
+		}
+	}
+	// Reacquire (contents untouched, so the check passes) and restore the
+	// pool to a clean state.
+	Release(Get())
+}

@@ -38,6 +38,7 @@ var PoolStats struct {
 func Get() *Packet {
 	PoolStats.Gets++
 	if p := pktFree.Get(); p != nil {
+		checkPoison(p)
 		return p
 	}
 	return &Packet{pooled: true}
@@ -57,6 +58,7 @@ func Release(p *Packet) {
 	*p = Packet{}
 	p.buf = buf[:0]
 	p.pooled = true
+	poisonPayload(p)
 	pktFree.Put(p)
 }
 

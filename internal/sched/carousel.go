@@ -208,6 +208,7 @@ func (c *Carousel) NextDeadline() (sim.Time, bool) {
 // Pending returns the number of flows waiting (wheel + RR).
 func (c *Carousel) Pending() int {
 	n := 0
+	//flexvet:ordered pure count over the map; the result is order-insensitive
 	for _, st := range c.state {
 		if st.inWheel || st.inRR {
 			n++

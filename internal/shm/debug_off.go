@@ -1,0 +1,16 @@
+//go:build !flexdebug
+
+package shm
+
+// Debug reports whether the flexdebug build tag is active.
+const Debug = false
+
+// poolCheck is the release-build no-op of the flexdebug double-release
+// tracker: zero-size, so Freelist stays a bare slice header and Get/Put
+// compile down to the slice ops alone.
+type poolCheck[T any] struct{}
+
+func (poolCheck[T]) got(x *T) {}
+func (poolCheck[T]) put(x *T) {}
+
+func slabPoison(b []byte) {}

@@ -1,0 +1,42 @@
+//go:build flexdebug
+
+package shm
+
+import "fmt"
+
+// Debug reports whether the flexdebug build tag is active.
+const Debug = true
+
+// PoisonByte fills released pooled buffers under flexdebug, so stale
+// reads see deterministic garbage instead of plausible old contents and
+// writes through stale references are caught at the next Get.
+const PoisonByte = 0xDB
+
+// poolCheck tracks which objects are resident in a freelist and panics
+// when the same pointer is Put twice without an intervening Get — the
+// two-owners bug the poolown pass hunts statically, caught here at
+// runtime for the flows static analysis cannot follow.
+type poolCheck[T any] struct {
+	resident map[*T]struct{}
+}
+
+func (c *poolCheck[T]) got(x *T) {
+	delete(c.resident, x)
+}
+
+func (c *poolCheck[T]) put(x *T) {
+	if c.resident == nil {
+		c.resident = make(map[*T]struct{})
+	}
+	if _, dup := c.resident[x]; dup {
+		panic(fmt.Sprintf("shm: double release of %T %p", x, x))
+	}
+	c.resident[x] = struct{}{}
+}
+
+func slabPoison(b []byte) {
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = PoisonByte
+	}
+}

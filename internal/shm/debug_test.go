@@ -1,0 +1,53 @@
+//go:build flexdebug
+
+package shm
+
+import "testing"
+
+// mustPanic runs f and fails the test if it completes without panicking.
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+func TestFreelistDoubleReleasePanics(t *testing.T) {
+	type obj struct{ n int }
+	var fl Freelist[obj]
+	x := &obj{n: 1}
+	fl.Put(x)
+	mustPanic(t, "double Put", func() { fl.Put(x) })
+}
+
+func TestFreelistReacquireIsClean(t *testing.T) {
+	type obj struct{ n int }
+	var fl Freelist[obj]
+	x := &obj{}
+	fl.Put(x)
+	if got := fl.Get(); got != x {
+		t.Fatalf("Get = %p, want %p", got, x)
+	}
+	fl.Put(x) // legal again after the Get
+	if got := fl.Get(); got != x {
+		t.Fatalf("Get = %p, want %p", got, x)
+	}
+}
+
+func TestSlabPoisonsReleasedBuffers(t *testing.T) {
+	s := NewSlab(64, 4)
+	b := s.Get()
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = 0x11
+	}
+	s.Put(b)
+	for i, v := range b {
+		if v != PoisonByte {
+			t.Fatalf("released slab byte %d = %#x, want poison %#x", i, v, PoisonByte)
+		}
+	}
+}

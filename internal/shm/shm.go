@@ -148,6 +148,7 @@ func (p *Pool) InUse() int { return p.cap - p.free }
 // freelist never retains a reference to an object in flight.
 type Freelist[T any] struct {
 	items []*T
+	check poolCheck[T] // zero-size unless built with -tags flexdebug
 }
 
 // Get pops the most recently returned object, or nil when empty.
@@ -159,12 +160,14 @@ func (f *Freelist[T]) Get() *T {
 	x := f.items[n-1]
 	f.items[n-1] = nil
 	f.items = f.items[:n-1]
+	f.check.got(x)
 	return x
 }
 
 // Put returns an object to the freelist. The caller must have dropped
 // every other reference (and reset the object, per its pool's contract).
 func (f *Freelist[T]) Put(x *T) {
+	f.check.put(x)
 	f.items = append(f.items, x)
 }
 
@@ -244,5 +247,6 @@ func (s *Slab) Put(b []byte) {
 		return
 	}
 	s.Puts++
+	slabPoison(b)
 	s.free = append(s.free, b[0:0:s.class])
 }
