@@ -5,8 +5,14 @@
 //
 //	flexbench                 # run everything at quick scale
 //	flexbench -full           # paper-scale parameters (slow)
+//	flexbench -cores 8        # shard engines / parallelize cells up to 8 cores
 //	flexbench table3 fig11    # run specific experiments
 //	flexbench -list           # list experiment ids
+//
+// With -cores > 1 the scaling-sensitive experiments (Fig 8, 15, 17)
+// additionally emit a harness-scaling table: wall-clock and speedup at
+// 1/2/4/8 cores (capped at -cores). Results are bit-identical across
+// core counts; only the wall-clock changes.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 
 func main() {
 	full := flag.Bool("full", false, "run at paper-scale parameters (slow)")
+	cores := flag.Int("cores", 1, "max cores for engine sharding and cell-level parallelism")
 	list := flag.Bool("list", false, "list experiment identifiers")
 	flag.Parse()
 
@@ -34,6 +41,7 @@ func main() {
 	if *full {
 		scale = experiments.Full
 	}
+	scale.Cores = *cores
 
 	runners := experiments.All()
 	if args := flag.Args(); len(args) > 0 {

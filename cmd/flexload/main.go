@@ -49,7 +49,7 @@ func main() {
 		kv := &apps.KVServer{AppCycles: 890, ValueLen: 32}
 		kv.Serve(tb.M("server").Stack, 11211)
 		cl := &apps.KVClient{KeyLen: 32, ValLen: 32, SetRatio: 0.1, Pipeline: *pipeline, Seed: 3}
-		cl.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 11211), *conns)
+		cl.Start(tb.M("client").Stack, tb.Addr("server", 11211), *conns)
 		tb.Run(d)
 		completed, latency = cl.Completed, cl.Latency
 	default:
@@ -57,12 +57,12 @@ func main() {
 		srv.Serve(tb.M("server").Stack, 7777)
 		if *rate > 0 {
 			ol := &apps.OpenLoopClient{ReqSize: *size, Rate: *rate, Seed: 3}
-			ol.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 7777), *conns)
+			ol.Start(tb.M("client").Stack, tb.Addr("server", 7777), *conns)
 			tb.Run(d)
 			completed, latency = ol.Completed, ol.Latency
 		} else {
 			cl := &apps.ClosedLoopClient{ReqSize: *size, Pipeline: *pipeline}
-			cl.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 7777), *conns)
+			cl.Start(tb.M("client").Stack, tb.Addr("server", 7777), *conns)
 			tb.Run(d)
 			completed, latency = cl.Completed, cl.Latency
 		}

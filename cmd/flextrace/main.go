@@ -49,7 +49,7 @@ func main() {
 	srv := &apps.RPCServer{ReqSize: 256}
 	srv.Serve(server.Stack, 7777)
 	cl := &apps.ClosedLoopClient{ReqSize: 256, Pipeline: 4}
-	cl.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 7777), 8)
+	cl.Start(tb.M("client").Stack, tb.Addr("server", 7777), 8)
 	tb.Run(sim.Time(*durMs) * sim.Millisecond)
 
 	fmt.Printf("completed %d RPCs in %dms (%.3f%% loss injected)\n\n", cl.Completed, *durMs, *loss*100)

@@ -147,6 +147,60 @@
 // variable, capturing it in an escaping closure, or touching it after the
 // invalidating Consume/Commit is a build-breaking diagnostic.
 //
+// # Sharding contract: conservative-lookahead parallel engine
+//
+// The simulation runs on a sim.Group of N engine shards (PR 7). Shard 0
+// owns the network — every switch, the fabric, background timers — and
+// each machine (host + TOE + libTOE + apps) lives wholly on one shard,
+// rack-affine on the fabric (machines in the same rack share a shard) and
+// round-robin on the single-switch testbed. N=1 bypasses the group
+// machinery entirely and is byte-for-byte the serial timing wheel.
+//
+// Lookahead rule. The only cross-shard edges are frames in flight on
+// host↔switch links, and every such boundary link registers its minimum
+// delivery latency with Group.NoteBoundary (propagation delay + the ≥1 ps
+// serialization floor that sim.Resource.Reserve enforces). The group
+// lookahead L is the minimum over boundaries. Each window executes events
+// in [m, min(m+L, t+1)) where m is the global minimum next-event time: a
+// frame transmitted during the window cannot arrive before the window
+// ends, so shards run the whole window with no coordination, then
+// exchange injected events at a barrier (run phase, drain phase).
+// Engine.Inject therefore requires its target time to be at or beyond the
+// current window end — the link model guarantees this by construction.
+// Corollary: code on the data path must never deliver anything to another
+// machine "now"; everything crosses a link with nonzero latency.
+//
+// Cross-shard frame ownership handoff. Iface.Send splits delivery: the
+// sender-side wire-egress event (queue debit) stays on the sending shard
+// and the arrival event crosses through the group's per-pair SPSC queue.
+// Both carry the same delivery key the serial engine would have used, so
+// every queue-occupancy read orders identically in both modes. On
+// arrival, the receiving shard adopts the frame and its packet into its
+// own pools (packet.Pool.Adopt / FramePool adoption) before any consumer
+// sees them — the single-owner release rule above is unchanged; adoption
+// only redirects which shard's freelist the eventual Release feeds.
+//
+// Per-shard pools and stats. Pools, freelists and counters on the hot
+// path are single-threaded by design; sharding keeps them that way by
+// giving each shard its own instance (Engine.Local — packet pools, frame
+// pools, TOE work rings, per-stack segment freelists). Package-level
+// defaults survive for single-threaded entry points and are annotated
+// `//flexvet:sharedstate shard-confined` (inventoried in SHAREDSTATE.md).
+// Measurement state follows the same rule: each shard accumulates its own
+// histograms/counters and readout methods merge them in construction
+// order, so merged results are identical at every shard count.
+//
+// Determinism. Same-instant events order by (time, delivery key,
+// schedule sequence); delivery keys are linkID<<32|txSeq, unique per
+// in-flight frame and identical in serial and sharded mode. Window
+// placement, worker count (capped at GOMAXPROCS-1, shards multiplexed
+// round-robin; GOMAXPROCS=1 runs the windows inline sequentially) and
+// source-queue drain order are all result-invariant. The gate is
+// TestParallelMatchesSerial (internal/experiments): counters, tracepoint
+// hits and app results bit-identical to serial at 2 and 4 shards, and
+// sharded reruns bit-identical including per-shard event counts; CI runs
+// it under the race detector at GOMAXPROCS 2 and 8.
+//
 // # Static enforcement: flexvet
 //
 // The contracts above — and the one-seed determinism rule stated in
@@ -166,7 +220,8 @@
 //   - hotclosure: scheduling a func literal where an allocation-free
 //     *Call variant exists (At/AtCall and friends) is flagged.
 //   - sharedstate: reporting-only; inventories package-level mutable
-//     state into SHAREDSTATE.md for the sharded-engine refactor.
+//     state into SHAREDSTATE.md and classifies each variable against the
+//     sharding contract above (shard-confined defaults included).
 //
 // Suppression convention: a deliberate exception is annotated in place
 // with a machine-checked comment on the diagnosed line or the line above,

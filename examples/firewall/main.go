@@ -52,9 +52,9 @@ func main() {
 	srv.Serve(server.Stack, 7777)
 
 	good := &apps.ClosedLoopClient{ReqSize: 64}
-	good.Start(tb.Eng, tb.M("good").Stack, tb.Addr("server", 7777), 2)
+	good.Start(tb.M("good").Stack, tb.Addr("server", 7777), 2)
 	evilClient := &apps.ClosedLoopClient{ReqSize: 64}
-	evilClient.Start(tb.Eng, tb.M("evil").Stack, tb.Addr("server", 7777), 2)
+	evilClient.Start(tb.M("evil").Stack, tb.Addr("server", 7777), 2)
 
 	tb.Run(20 * sim.Millisecond)
 

@@ -24,7 +24,7 @@ func main() {
 		kv := &apps.KVServer{AppCycles: 890, ValueLen: 32}
 		kv.Serve(tb.M("server").Stack, 11211)
 		cl := &apps.KVClient{KeyLen: 32, ValLen: 32, SetRatio: 0.1, Pipeline: 2, Seed: 3}
-		cl.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 11211), 32)
+		cl.Start(tb.M("client").Stack, tb.Addr("server", 11211), 32)
 		tb.Run(dur)
 		fmt.Printf("%-8s  %12.0f  %12.1f  %12.1f\n", kind,
 			float64(cl.Completed)/dur.Seconds(),

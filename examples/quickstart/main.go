@@ -38,7 +38,7 @@ func main() {
 
 	// A closed-loop client measuring RPC latency.
 	client := &apps.ClosedLoopClient{ReqSize: 64}
-	client.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 7777), 4)
+	client.Start(tb.M("client").Stack, tb.Addr("server", 7777), 4)
 
 	// Run 50 simulated milliseconds.
 	tb.Run(50 * sim.Millisecond)

@@ -14,8 +14,15 @@
 //   - stats: global counters written on the hot path (PoolStats and
 //     friends). Sharding needs per-shard counters merged at readout, or
 //     the gates lose bit-determinism.
-//   - synchronized: carries its own sync/atomic machinery (none exist
-//     today — the simulation is deliberately single-threaded).
+//   - synchronized: carries its own sync/atomic machinery (the netsim
+//     interface-ID allocator, whose per-testbed relative order is all the
+//     event tie-break needs).
+//   - shard-confined: annotated `//flexvet:sharedstate shard-confined
+//     <why>` in the var's doc comment — a default instance reached only
+//     from single-threaded entry points (tests, examples, standalone
+//     tools), while every sharded hot path uses the per-engine instance
+//     (sim.Engine.Local). The annotation is an audited claim: the why is
+//     committed to SHAREDSTATE.md with the var.
 //   - immutable-after-init: written only by initializer expressions or
 //     init functions; safe to share read-only across shards.
 //   - shared-mutable: everything else — written at runtime from ordinary
@@ -42,7 +49,8 @@ import (
 var Analyzer = &flexanalysis.Analyzer{
 	Name: "sharedstate",
 	Doc: "inventory package-level mutable state and classify it for the " +
-		"sharded-engine refactor (pool / stats / synchronized / immutable-after-init / shared-mutable)",
+		"sharded engine (pool / stats / synchronized / shard-confined / " +
+		"immutable-after-init / shared-mutable)",
 	Run: run,
 }
 
@@ -51,7 +59,7 @@ type Var struct {
 	Pkg     string // import path
 	Name    string
 	Type    string   // rendered with package-qualified names
-	Class   string   // pool | stats | synchronized | immutable-after-init | shared-mutable
+	Class   string   // pool | stats | synchronized | shard-confined | immutable-after-init | shared-mutable
 	Writers []string // functions performing non-init writes (sorted, deduped)
 	Pos     string   // file:line, path relative to the package directory
 	Doc     string   // first sentence of the var's doc comment, if any
@@ -66,6 +74,8 @@ func ShardingNote(class string) string {
 		return "per-shard counters, merged deterministically at readout"
 	case "synchronized":
 		return "already synchronized; audit for shard-quantum ordering"
+	case "shard-confined":
+		return "single-threaded entry points only; sharded hot paths use the per-engine instance (Engine.Local)"
 	case "immutable-after-init":
 		return "share read-only"
 	default:
@@ -76,6 +86,7 @@ func ShardingNote(class string) string {
 func run(pass *flexanalysis.Pass) (any, error) {
 	// Collect package-level vars.
 	vars := map[types.Object]*Var{}
+	confined := map[types.Object]bool{}
 	qualifier := func(p *types.Package) string { return p.Name() }
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
@@ -107,6 +118,9 @@ func run(pass *flexanalysis.Pass) (any, error) {
 						Type: types.TypeString(obj.Type(), qualifier),
 						Pos:  fmt.Sprintf("%s:%d", file, pos.Line),
 						Doc:  docSentence(gd, vs),
+					}
+					if confinedDirective(gd, vs) {
+						confined[obj] = true
 					}
 				}
 			}
@@ -180,7 +194,14 @@ func run(pass *flexanalysis.Pass) (any, error) {
 	for obj, v := range vars {
 		w := writers[obj]
 		v.Writers = sortedKeys(w)
-		v.Class = classify(obj.Type(), v.Name, len(w) > 0)
+		if confined[obj] {
+			// The directive is an audited claim that outranks the type
+			// rules: a default pool stays a pool structurally, but its
+			// sharding story is "never reached from a sharded path".
+			v.Class = "shard-confined"
+		} else {
+			v.Class = classify(obj.Type(), v.Name, len(w) > 0)
+		}
 		out = append(out, *v)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -301,6 +322,22 @@ func containsSync(t types.Type, depth int) bool {
 	return false
 }
 
+// confinedDirective reports whether the var's doc comment carries the
+// `//flexvet:sharedstate shard-confined` directive.
+func confinedDirective(gd *ast.GenDecl, vs *ast.ValueSpec) bool {
+	for _, doc := range []*ast.CommentGroup{vs.Doc, vs.Comment, gd.Doc} {
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			if strings.HasPrefix(c.Text, "//flexvet:sharedstate shard-confined") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // docSentence extracts the first sentence of the var's doc comment.
 func docSentence(gd *ast.GenDecl, vs *ast.ValueSpec) string {
 	doc := vs.Doc
@@ -332,9 +369,10 @@ func Report(all []Var) string {
 	b.WriteString("Generated by `flexvet -sharedstate ./...` (the sharedstate pass); kept in\n")
 	b.WriteString("sync by `TestSharedStateReportCurrent`. Do not edit by hand.\n\n")
 	b.WriteString("Every simulated host/TOE hangs off its own struct, so the variables below\n")
-	b.WriteString("are exactly the state shared across all of them — the cross-shard surface\n")
-	b.WriteString("ROADMAP item 1 (per-core sharded event loop) must partition, replicate, or\n")
-	b.WriteString("synchronize before the engine can split across cores.\n\n")
+	b.WriteString("are exactly the state shared across all of them — the surface the sharded\n")
+	b.WriteString("engine (PR 7, doc.go \"Sharding contract\") partitions per shard (pool/stats:\n")
+	b.WriteString("per-engine instances via sim.Engine.Local), confines to single-threaded\n")
+	b.WriteString("entry points (shard-confined), or leaves safely shared.\n\n")
 
 	counts := map[string]int{}
 	for _, v := range all {
@@ -342,7 +380,7 @@ func Report(all []Var) string {
 	}
 	b.WriteString("## Summary\n\n")
 	b.WriteString("| class | count | sharding action |\n|---|---|---|\n")
-	for _, class := range []string{"pool", "stats", "synchronized", "shared-mutable", "immutable-after-init"} {
+	for _, class := range []string{"pool", "stats", "synchronized", "shard-confined", "shared-mutable", "immutable-after-init"} {
 		if counts[class] == 0 {
 			continue
 		}

@@ -170,8 +170,8 @@ type clientConn struct {
 
 // Start opens conns connections from the stack to the server and begins
 // issuing load.
-func (c *ClosedLoopClient) Start(eng *sim.Engine, stack api.Stack, server api.Addr, conns int) {
-	c.eng = eng
+func (c *ClosedLoopClient) Start(stack api.Stack, server api.Addr, conns int) {
+	c.eng = stack.Engine()
 	if c.Latency == nil {
 		c.Latency = stats.NewHistogram()
 	}
@@ -253,13 +253,13 @@ type OpenLoopClient struct {
 }
 
 // Start opens conns connections and schedules Poisson arrivals.
-func (c *OpenLoopClient) Start(eng *sim.Engine, stack api.Stack, server api.Addr, conns int) {
-	c.eng = eng
+func (c *OpenLoopClient) Start(stack api.Stack, server api.Addr, conns int) {
+	c.eng = stack.Engine()
 	c.rng = stats.NewRNG(c.Seed + 7)
 	if c.Latency == nil {
 		c.Latency = stats.NewHistogram()
 	}
-	cl := &ClosedLoopClient{ReqSize: c.ReqSize, RespSize: c.RespSize, Latency: c.Latency, eng: eng}
+	cl := &ClosedLoopClient{ReqSize: c.ReqSize, RespSize: c.RespSize, Latency: c.Latency, eng: c.eng}
 	for i := 0; i < conns; i++ {
 		stack.Dial(server, func(sock api.Socket) {
 			cc := &clientConn{c: cl, sock: sock, openLoop: true}
@@ -404,7 +404,7 @@ type BulkSender struct {
 }
 
 // Start opens a connection and saturates it.
-func (b *BulkSender) Start(eng *sim.Engine, stack api.Stack, server api.Addr) {
+func (b *BulkSender) Start(stack api.Stack, server api.Addr) {
 	stack.Dial(server, func(sock api.Socket) {
 		b.sock = sock
 		sock.OnWritable(b.push)
@@ -626,8 +626,8 @@ type KVClient struct {
 }
 
 // Start opens conns connections and drives the closed loop.
-func (c *KVClient) Start(eng *sim.Engine, stack api.Stack, server api.Addr, conns int) {
-	c.eng = eng
+func (c *KVClient) Start(stack api.Stack, server api.Addr, conns int) {
+	c.eng = stack.Engine()
 	c.rng = stats.NewRNG(c.Seed + 99)
 	if c.Latency == nil {
 		c.Latency = stats.NewHistogram()

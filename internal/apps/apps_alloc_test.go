@@ -24,7 +24,7 @@ func newRPCPair(reqSize, pipeline int) *rpcPair {
 	srv := &RPCServer{ReqSize: reqSize, AppCycles: 250}
 	srv.Serve(tb.M("server").Stack, 9100)
 	cli := &ClosedLoopClient{ReqSize: reqSize, Pipeline: pipeline, Latency: stats.NewHistogram()}
-	cli.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 9100), 2)
+	cli.Start(tb.M("client").Stack, tb.Addr("server", 9100), 2)
 	return &rpcPair{tb: tb, srv: srv, cli: cli}
 }
 

@@ -38,6 +38,13 @@ type Stack struct {
 	// the testbed).
 	ResolveMAC func(ip packet.IPv4Addr) packet.EtherAddr
 
+	// Shard-local pools (SHAREDSTATE.md): packets/frames come from this
+	// stack's engine, and segFree recycles segment work carriers per
+	// stack.
+	pkts    *packet.Pool
+	frames  *netsim.FramePool
+	segFree shm.Freelist[segWork]
+
 	// Statistics.
 	RxSegs, TxSegs uint64
 	Retransmits    uint64
@@ -57,6 +64,8 @@ func NewStack(eng *sim.Engine, prof Profile, iface *netsim.Iface,
 		localIP:   localIP,
 		localMAC:  iface.MAC,
 		bufSize:   bufSize,
+		pkts:      packet.PoolOf(eng),
+		frames:    netsim.FramesOf(eng),
 		conns:     make(map[packet.Flow]*bconn),
 		listeners: make(map[uint16]func(api.Socket)),
 		nextPort:  30000,
@@ -82,6 +91,9 @@ func (s *Stack) Name() string { return s.prof.Name }
 
 // Machine returns the application CPU model.
 func (s *Stack) Machine() *host.Machine { return s.machine }
+
+// Engine returns the shard engine this stack runs on.
+func (s *Stack) Engine() *sim.Engine { return s.eng }
 
 // LocalIP returns the machine address.
 func (s *Stack) LocalIP() packet.IPv4Addr { return s.localIP }
@@ -244,10 +256,8 @@ type segWork struct {
 	task sim.Task
 }
 
-var segWorkFree shm.Freelist[segWork]
-
-func getSegWork() *segWork {
-	if w := segWorkFree.Get(); w != nil {
+func (s *Stack) getSegWork() *segWork {
+	if w := s.segFree.Get(); w != nil {
 		return w
 	}
 	return &segWork{}
@@ -265,7 +275,7 @@ func segWorkHandle(a any) {
 	w := a.(*segWork)
 	s, c, pkt := w.s, w.c, w.pkt
 	*w = segWork{}
-	segWorkFree.Put(w)
+	s.segFree.Put(w)
 	s.handleSeg(c, pkt)
 }
 
@@ -290,7 +300,7 @@ func (s *Stack) rx(f *netsim.Frame) {
 		}
 	}
 	s.RxSegs++
-	w := getSegWork()
+	w := s.getSegWork()
 	w.s, w.c, w.pkt = s, c, pkt
 	if s.prof.ASIC {
 		// TCP on the NIC: the ASIC processes the segment; the host is
@@ -603,7 +613,7 @@ func (s *Stack) sendAck(c *bconn, ece bool) {
 	if c.sackOK {
 		c.appendSACK(&pkt.TCP)
 	}
-	s.iface.Send(netsim.NewFrame(pkt, s.eng.Now()))
+	s.iface.Send(s.frames.NewFrame(pkt, s.eng.Now()))
 }
 
 // appendSACK fills the wire SACK blocks from the reassembly interval set.
@@ -643,7 +653,7 @@ func (c *bconn) appendSACK(tcp *packet.TCP) {
 // caller attaches payload (GrowPayload) and owns the packet until it is
 // transmitted.
 func (s *Stack) mkPacket(c *bconn, seq uint32, flags uint8) *packet.Packet {
-	pkt := packet.Get()
+	pkt := s.pkts.Get()
 	pkt.Eth = packet.Ethernet{Src: s.localMAC, Dst: c.peerMAC, EtherType: packet.EtherTypeIPv4}
 	pkt.IP = packet.IPv4{
 		TTL: 64, Protocol: packet.ProtoTCP, TOS: packet.ECNECT0,
@@ -746,7 +756,7 @@ func (s *Stack) emitSegment(c *bconn, off, n uint64, fin bool) {
 	pkt := s.mkPacket(c, c.sndSeq(off), flags)
 	readCirc(c.txData, off, pkt.GrowPayload(int(n)))
 	s.TxSegs++
-	s.iface.Send(netsim.NewFrame(pkt, s.eng.Now()))
+	s.iface.Send(s.frames.NewFrame(pkt, s.eng.Now()))
 }
 
 // retxLen bounds a head retransmission to one MSS of sent data.

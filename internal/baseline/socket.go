@@ -2,7 +2,6 @@ package baseline
 
 import (
 	"flextoe/internal/api"
-	"flextoe/internal/netsim"
 	"flextoe/internal/packet"
 	"flextoe/internal/sim"
 	"flextoe/internal/tcpseg"
@@ -29,7 +28,7 @@ func (s *Stack) Dial(remote api.Addr, connected func(api.Socket)) {
 	syn.TCP.MSS = 1448
 	syn.TCP.WScale = tcpseg.WindowScale
 	syn.TCP.SACKPerm = s.prof.Recovery == RecoverySACK
-	s.iface.Send(netsim.NewFrame(syn, s.eng.Now()))
+	s.iface.Send(s.frames.NewFrame(syn, s.eng.Now()))
 }
 
 // ResolveMAC maps destination IPs to MACs (installed by the testbed).
@@ -80,7 +79,7 @@ func (s *Stack) handshake(pkt *packet.Packet, flow packet.Flow) {
 		sa.TCP.MSS = 1448
 		sa.TCP.WScale = tcpseg.WindowScale
 		sa.TCP.SACKPerm = c.sackOK
-		s.iface.Send(netsim.NewFrame(sa, s.eng.Now()))
+		s.iface.Send(s.frames.NewFrame(sa, s.eng.Now()))
 		sock := newBSocket(c)
 		c.sock = sock
 		//flexvet:hotclosure passive open runs once per connection, not per event

@@ -27,18 +27,16 @@ type monoWork struct {
 	d    shm.Desc
 }
 
-var monoWorkFree shm.Freelist[monoWork]
-
-func getMonoWork() *monoWork {
-	if w := monoWorkFree.Get(); w != nil {
+func (t *TOE) getMonoWork() *monoWork {
+	if w := t.monoFree.Get(); w != nil {
 		return w
 	}
 	return &monoWork{}
 }
 
-func putMonoWork(w *monoWork) {
+func (t *TOE) putMonoWork(w *monoWork) {
 	*w = monoWork{}
-	monoWorkFree.Put(w)
+	t.monoFree.Put(w)
 }
 
 func (t *TOE) monoRX(pkt *packet.Packet) {
@@ -63,7 +61,7 @@ func (t *TOE) monoRX(pkt *packet.Packet) {
 		Add(instr/3, n.CyclesTime(2*n.DRAMCycles)). // uncached state fetch + writeback
 		Add(instr/3, payloadDMA).                   // blocking payload DMA
 		Add(0, descDMA)                             // blocking notification
-	w := getMonoWork()
+	w := t.getMonoWork()
 	w.t, w.conn, w.pkt = t, conn.ID, pkt
 	t.mono.SubmitCall(task, monoRXDone, w)
 }
@@ -72,7 +70,7 @@ func monoRXDone(a any) {
 	w := a.(*monoWork)
 	t, pkt := w.t, w.pkt
 	conn2 := t.connOrNil(w.conn)
-	putMonoWork(w)
+	t.putMonoWork(w)
 	if conn2 == nil {
 		packet.Release(pkt)
 		return
@@ -142,7 +140,7 @@ func (t *TOE) monoHC(conn *Conn, d shm.Desc) {
 	task := sim.TaskC(instr).
 		Add(0, t.blockingXferTime(shm.DescWireSize)).
 		Add(0, n.CyclesTime(n.DRAMCycles))
-	w := getMonoWork()
+	w := t.getMonoWork()
 	w.t, w.conn, w.d = t, conn.ID, d
 	t.mono.SubmitCall(task, monoHCDone, w)
 }
@@ -151,7 +149,7 @@ func monoHCDone(a any) {
 	w := a.(*monoWork)
 	t, d := w.t, w.d
 	conn2 := t.connOrNil(w.conn)
-	putMonoWork(w)
+	t.putMonoWork(w)
 	if conn2 == nil {
 		return
 	}
@@ -197,7 +195,7 @@ func (t *TOE) monoTXPump() {
 	task := sim.TaskC(instr/2).
 		Add(0, n.CyclesTime(2*n.DRAMCycles)).
 		Add(instr/2, t.blockingXferTime(int(sendable)))
-	w := getMonoWork()
+	w := t.getMonoWork()
 	w.t, w.conn = t, id
 	t.mono.SubmitCall(task, monoTXDone, w)
 }
@@ -206,7 +204,7 @@ func monoTXDone(a any) {
 	w := a.(*monoWork)
 	t, id := w.t, w.conn
 	conn2 := t.connOrNil(id)
-	putMonoWork(w)
+	t.putMonoWork(w)
 	if conn2 == nil {
 		t.kickTX()
 		return

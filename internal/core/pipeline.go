@@ -67,6 +67,14 @@ type TOE struct {
 	segPool  *shm.Pool
 	descPool *shm.Pool
 
+	// Shard-local pools: packets/frames come from this TOE's engine
+	// (packet.PoolOf/netsim.FramesOf), and monoFree recycles the
+	// run-to-completion work carriers per TOE. No pool state is shared
+	// across shard engines (SHAREDSTATE.md).
+	pkts     *packet.Pool
+	frames   *netsim.FramePool
+	monoFree shm.Freelist[monoWork]
+
 	// ControlRx receives non-data-path segments (SYN, RST, unknown
 	// flows); the control plane installs it.
 	ControlRx func(*packet.Packet)
@@ -236,6 +244,8 @@ func New(eng *sim.Engine, cfg Config, iface *netsim.Iface) *TOE {
 		descPool:     shm.NewPool("desc", cfg.DescPoolSize),
 		preLookup:    nfp.NewCache(cfg.NFP.PreLookupEntries, 1),
 		OOOOccupancy: stats.NewLinearHist(tcpseg.MaxOOOIntervals),
+		pkts:         packet.PoolOf(eng),
+		frames:       netsim.FramesOf(eng),
 	}
 	t.dma = nfp.NewDMAEngine(eng, &cfg.NFP)
 	if cfg.CopyBytesPerSec > 0 {
@@ -878,14 +888,14 @@ func (t *TOE) sendFrame(pkt *packet.Packet) {
 	if t.PacketTap != nil {
 		t.PacketTap("tx", pkt)
 	}
-	t.iface.Send(netsim.NewFrame(pkt, t.eng.Now()))
+	t.iface.Send(t.frames.NewFrame(pkt, t.eng.Now()))
 }
 
 // SendControlFrame transmits a control-plane segment (handshake, RST)
 // directly via the MAC, bypassing the offloaded data-path — connection
 // management deliberately lives outside the pipeline (§3).
 func (t *TOE) SendControlFrame(pkt *packet.Packet) {
-	w := getMonoWork()
+	w := t.getMonoWork()
 	w.t, w.pkt = t, pkt
 	t.eng.AfterCall(t.cfg.NFP.MMIOLatency, sendCtrlFrame, w)
 }
@@ -893,7 +903,7 @@ func (t *TOE) SendControlFrame(pkt *packet.Packet) {
 func sendCtrlFrame(a any) {
 	w := a.(*monoWork)
 	t, pkt := w.t, w.pkt
-	putMonoWork(w)
+	t.putMonoWork(w)
 	t.sendFrame(pkt)
 }
 
@@ -931,7 +941,7 @@ func (t *TOE) buildAck(conn *Conn, s *segItem) *packet.Packet {
 	if s.rx.AckECE {
 		flags |= packet.FlagECE
 	}
-	pkt := packet.Get()
+	pkt := t.pkts.Get()
 	pkt.Eth = packet.Ethernet{Src: t.iface.MAC, Dst: conn.Pre.PeerMAC, EtherType: packet.EtherTypeIPv4}
 	pkt.IP = packet.IPv4{
 		TTL: 64, Protocol: packet.ProtoTCP, TOS: packet.ECNECT0,
@@ -964,7 +974,7 @@ func (t *TOE) buildData(conn *Conn, s *segItem) *packet.Packet {
 		flags |= packet.FlagFIN
 		t.trace.Hit(trace.TPConnFinTx)
 	}
-	pkt := packet.Get()
+	pkt := t.pkts.Get()
 	payload := pkt.GrowPayload(int(s.tx.Len))
 	conn.TxBuf.ReadAt(s.tx.BufPos, payload)
 	pkt.Eth = packet.Ethernet{Src: t.iface.MAC, Dst: conn.Pre.PeerMAC, EtherType: packet.EtherTypeIPv4}

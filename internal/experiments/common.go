@@ -5,39 +5,135 @@
 // bench_test.go wraps each in a testing.B benchmark.
 //
 // Every runner accepts a Scale: Quick shrinks durations and sweep points
-// for CI/benchmark runs; Full approaches the paper's parameters.
+// for CI/benchmark runs; Full approaches the paper's parameters; Cores
+// spreads a run over host cores (independent sweep cells on a worker
+// pool, plus sharded engines inside the fabric experiments) without
+// changing any result — sharded runs are bit-identical to serial ones.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"flextoe/internal/sim"
 	"flextoe/internal/testbed"
 )
 
-// Scale selects experiment fidelity.
-type Scale int
+// Scale selects experiment fidelity and host-core usage.
+type Scale struct {
+	Full  bool // paper-scale durations and sweep points
+	Cores int  // host cores to spread the run over (<=1: serial)
+}
 
-// Scales.
-const (
-	Quick Scale = iota
-	Full
+// Scales. Quick shrinks durations/sweeps for CI; Full approaches the
+// paper's parameters. Both run serial; set Cores for parallel execution.
+var (
+	Quick = Scale{}
+	Full  = Scale{Full: true}
 )
 
 // dur returns a simulated duration scaled to the fidelity level.
 func (s Scale) dur(quick, full sim.Time) sim.Time {
-	if s == Full {
+	if s.Full {
 		return full
 	}
 	return quick
 }
 
 func (s Scale) pick(quick, full []int) []int {
-	if s == Full {
+	if s.Full {
 		return full
 	}
 	return quick
+}
+
+// cores returns the worker budget (at least 1).
+func (s Scale) cores() int {
+	if s.Cores < 1 {
+		return 1
+	}
+	return s.Cores
+}
+
+// runCells executes n independent experiment cells on up to workers
+// goroutines. Each cell is a self-contained seeded testbed writing only
+// to its own result slot, so the output is bit-identical to the serial
+// loop regardless of scheduling: cross-cell state is nil by construction
+// (per-engine pools, per-testbed switch RNGs), and the one package-level
+// counter cells do share — netsim's interface ID allocator — is atomic
+// and only the per-testbed *relative* order of IDs matters for event
+// tie-breaking, which single-goroutine testbed construction preserves.
+func runCells(workers, n int, cell func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	// More runnable goroutines than CPUs buys nothing for CPU-bound cells
+	// and interleaves their working sets; clamp to the scheduler's budget.
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	if workers < 2 {
+		for i := 0; i < n; i++ {
+			cell(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				cell(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// scalingCoreCounts is the per-core-count sweep reported by the scaling
+// tables (clamped to the Scale's core budget).
+var scalingCoreCounts = []int{1, 2, 4, 8}
+
+// scalingTable re-runs one figure's cell set at increasing core counts
+// and reports wall-clock time and speedup over the serial run. Results
+// are identical at every row (the determinism contract); only the
+// wall-clock changes. Host timing is deliberate here: this package is
+// not simulation-critical, and the table measures the simulator itself.
+func scalingTable(id, title string, maxCores int, run func(cores int)) *Table {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"Cores", "Wall (ms)", "Speedup"},
+		Notes:  "same seeded cells at every core count — results are bit-identical, only wall-clock changes (doc.go \"Sharding contract\")",
+	}
+	var base float64
+	for _, c := range scalingCoreCounts {
+		if c > maxCores {
+			break
+		}
+		start := time.Now()
+		run(c)
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if c == 1 {
+			base = ms
+		}
+		speedup := 0.0
+		if ms > 0 {
+			speedup = base / ms
+		}
+		t.AddRow(fmt.Sprintf("%d", c), f1(ms), f2(speedup))
+	}
+	return t
 }
 
 // Table is one regenerated result table/figure.

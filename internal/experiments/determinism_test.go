@@ -16,7 +16,8 @@ import (
 // active) and returns everything an identical re-run must reproduce
 // bit-for-bit: event count, data-path counters, and tracepoint hits.
 type determinismResult struct {
-	processed   uint64
+	processed   uint64   // events processed, summed over engines
+	perEngine   []uint64 // per-shard event counts, in shard order
 	srvCounters core.Counters
 	clCounters  core.Counters
 	received    uint64
@@ -25,10 +26,16 @@ type determinismResult struct {
 }
 
 func determinismRun(seed uint64) determinismResult {
+	return determinismRunCores(seed, 1)
+}
+
+// determinismRunCores is determinismRun on a testbed sharded over the
+// given number of cores (1 = the serial PR-3 wheel, bit for bit).
+func determinismRunCores(seed uint64, cores int) determinismResult {
 	cfg := core.AgilioCX40Config()
 	cfg.OOOIntervals = tcpseg.MaxOOOIntervals
 	cfg.EnableSACK = true
-	tb := testbed.New(netsim.SwitchConfig{LossProb: 0.002, Seed: seed},
+	tb := testbed.NewCores(cores, netsim.SwitchConfig{LossProb: 0.002, Seed: seed},
 		testbed.MachineSpec{Name: "server", Kind: testbed.FlexTOE, Cores: 4, BufSize: 1 << 17, FlexCfg: &cfg, Seed: seed + 1},
 		testbed.MachineSpec{Name: "client", Kind: testbed.FlexTOE, Cores: 4, BufSize: 1 << 17, FlexCfg: &cfg, Seed: seed + 2},
 	)
@@ -40,12 +47,12 @@ func determinismRun(seed uint64) determinismResult {
 	sink.Serve(srv.Stack, 9000)
 	for i := 0; i < 4; i++ {
 		snd := &apps.BulkSender{}
-		snd.Start(tb.Eng, cl.Stack, tb.Addr("server", 9000))
+		snd.Start(cl.Stack, tb.Addr("server", 9000))
 	}
 	rpc := &apps.RPCServer{ReqSize: 64}
 	rpc.Serve(srv.Stack, 7777)
 	echo := &apps.ClosedLoopClient{ReqSize: 64, Pipeline: 4}
-	echo.Start(tb.Eng, cl.Stack, tb.Addr("server", 7777), 8)
+	echo.Start(cl.Stack, tb.Addr("server", 7777), 8)
 
 	tb.Run(8 * sim.Millisecond)
 
@@ -53,8 +60,15 @@ func determinismRun(seed uint64) determinismResult {
 	for _, pc := range srv.TOE.Trace().Snapshot() {
 		hits[pc.Point.Name()] = pc.Count
 	}
+	var perEngine []uint64
+	var processed uint64
+	for _, e := range tb.Group.Engines() {
+		perEngine = append(perEngine, e.Processed())
+		processed += e.Processed()
+	}
 	return determinismResult{
-		processed:   tb.Eng.Processed(),
+		processed:   processed,
+		perEngine:   perEngine,
 		srvCounters: srv.TOE.Counters,
 		clCounters:  cl.TOE.Counters,
 		received:    sink.Received,

@@ -32,11 +32,16 @@ func memcachedRun(kind testbed.StackKind, serverCores int, clientConns int, d si
 	)
 	kv := &apps.KVServer{AppCycles: 890, ValueLen: 32}
 	kv.Serve(tb.M("server").Stack, 11211)
+	// Each client machine records into its own histogram (the two clients
+	// live on different shards); the merge below is the readout.
 	cl := &apps.KVClient{KeyLen: 32, ValLen: 32, SetRatio: 0.1, Pipeline: 2, Seed: seed}
-	cl.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 11211), clientConns/2)
-	cl2 := &apps.KVClient{KeyLen: 32, ValLen: 32, SetRatio: 0.1, Pipeline: 2, Seed: seed + 7, Latency: cl.Latency}
-	cl2.Start(tb.Eng, tb.M("client2").Stack, tb.Addr("server", 11211), clientConns/2)
+	cl.Start(tb.M("client").Stack, tb.Addr("server", 11211), clientConns/2)
+	cl2 := &apps.KVClient{KeyLen: 32, ValLen: 32, SetRatio: 0.1, Pipeline: 2, Seed: seed + 7}
+	cl2.Start(tb.M("client2").Stack, tb.Addr("server", 11211), clientConns/2)
 	tb.Run(d)
+	lat := stats.NewHistogram()
+	lat.Merge(cl.Latency)
+	lat.Merge(cl2.Latency)
 
 	var app, all uint64
 	srv := tb.M("server")
@@ -54,7 +59,7 @@ func memcachedRun(kind testbed.StackKind, serverCores int, clientConns int, d si
 		appCycles: app,
 		allCycles: all,
 		dur:       d,
-		latency:   cl.Latency,
+		latency:   lat,
 	}
 }
 
@@ -145,7 +150,7 @@ func Table6(s Scale) []*Table {
 	kv := &apps.KVServer{AppCycles: 890, ValueLen: 32}
 	kv.Serve(tb.M("server").Stack, 11211)
 	cl := &apps.KVClient{KeyLen: 32, ValLen: 32, SetRatio: 0.1, Pipeline: 2, Seed: 63}
-	cl.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 11211), 16)
+	cl.Start(tb.M("client").Stack, tb.Addr("server", 11211), 16)
 	tb.Run(d)
 	srv := tb.M("server").Base
 	segs := srv.RxSegs + srv.TxSegs
@@ -171,8 +176,29 @@ func Table6(s Scale) []*Table {
 	return []*Table{t}
 }
 
+// fig8Kinds is Figure 8's column order.
+var fig8Kinds = []testbed.StackKind{testbed.Linux, testbed.Chelsio, testbed.TAS, testbed.FlexTOE}
+
+// fig8Cells runs the (server cores × stack kind) sweep on up to workers
+// host cores and returns MOps per cell, indexed [row][column].
+func fig8Cells(cores []int, d sim.Time, workers int) [][]float64 {
+	out := make([][]float64, len(cores))
+	for i := range out {
+		out[i] = make([]float64, len(fig8Kinds))
+	}
+	runCells(workers, len(cores)*len(fig8Kinds), func(i int) {
+		row, col := i/len(fig8Kinds), i%len(fig8Kinds)
+		n := cores[row]
+		res := memcachedRun(fig8Kinds[col], n, 64, d, uint64(200+n))
+		out[row][col] = mops(res.ops, d)
+	})
+	return out
+}
+
 // Fig8 regenerates Figure 8: memcached throughput scaling with server
-// cores for all four stacks.
+// cores for all four stacks. With Scale.Cores > 1 the sweep cells run on
+// a worker pool and a second table reports the harness's own wall-clock
+// scaling across host core counts.
 func Fig8(s Scale) []*Table {
 	t := &Table{
 		ID:     "Figure 8",
@@ -182,15 +208,20 @@ func Fig8(s Scale) []*Table {
 	}
 	cores := s.pick([]int{2, 4, 8, 16}, []int{2, 4, 6, 8, 10, 12, 14, 16})
 	d := s.dur(15*sim.Millisecond, 100*sim.Millisecond)
-	for _, n := range cores {
-		cells := []string{fmt.Sprintf("%d", n)}
-		for _, kind := range []testbed.StackKind{testbed.Linux, testbed.Chelsio, testbed.TAS, testbed.FlexTOE} {
-			res := memcachedRun(kind, n, 64, d, uint64(200+n))
-			cells = append(cells, f2(mops(res.ops, d)))
+	for row, vals := range fig8Cells(cores, d, s.cores()) {
+		cells := []string{fmt.Sprintf("%d", cores[row])}
+		for _, v := range vals {
+			cells = append(cells, f2(v))
 		}
 		t.AddRow(cells...)
 	}
-	return []*Table{t}
+	out := []*Table{t}
+	if s.cores() > 1 {
+		out = append(out, scalingTable("Figure 8 (harness scaling)",
+			"Fig 8 sweep wall-clock vs host cores (identical results at every row)",
+			s.cores(), func(c int) { fig8Cells(cores, d, c) }))
+	}
+	return out
 }
 
 // Fig9 regenerates Figure 9: memcached operation latency for every
@@ -212,7 +243,7 @@ func Fig9(s Scale) []*Table {
 			kv := &apps.KVServer{AppCycles: 890, ValueLen: 32}
 			kv.Serve(tb.M("server").Stack, 11211)
 			cl := &apps.KVClient{KeyLen: 32, ValLen: 32, SetRatio: 0.1, Seed: 93}
-			cl.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 11211), 4)
+			cl.Start(tb.M("client").Stack, tb.Addr("server", 11211), 4)
 			tb.Run(d)
 			h := cl.Latency
 			t.AddRow(string(server), string(client),

@@ -36,8 +36,10 @@ type fig17IncastResult struct {
 // fig17IncastPoint runs one N-to-1 incast point on a three-rack fabric:
 // the aggregator alone in rack 0, sender hosts spread over racks 1-2, and
 // fan-in connections spread over the sender hosts. All machines run
-// FlexTOE with the given control-plane congestion-control policy.
-func fig17IncastPoint(fanIn int, cc ctrl.CCAlgo, d sim.Time) fig17IncastResult {
+// FlexTOE with the given control-plane congestion-control policy. cores
+// selects the engine-shard count (rack-affine placement); any value
+// produces bit-identical results to cores=1 (TestParallelMatchesSerial).
+func fig17IncastPoint(cores, fanIn int, cc ctrl.CCAlgo, d sim.Time) fig17IncastResult {
 	hosts := fanIn
 	if hosts > 8 {
 		hosts = 8
@@ -65,7 +67,7 @@ func fig17IncastPoint(fanIn int, cc ctrl.CCAlgo, d sim.Time) fig17IncastResult {
 			Rack: 1 + i%2, BufSize: 1 << 17, CC: cc, Seed: uint64(1710 + i),
 		})
 	}
-	tb := testbed.NewFabric(fc, specs...)
+	tb := testbed.NewFabricCores(cores, fc, specs...)
 
 	g := &workload.IncastGroup{BlockBytes: 32768}
 	g.Serve(tb.M("agg").Stack, 9400)
@@ -73,7 +75,7 @@ func fig17IncastPoint(fanIn int, cc ctrl.CCAlgo, d sim.Time) fig17IncastResult {
 	for i := 0; i < fanIn; i++ {
 		senders = append(senders, tb.M(fmt.Sprintf("snd%d", i%hosts)).Stack)
 	}
-	g.Start(tb.Eng, senders, tb.Addr("agg", 9400))
+	g.Start(senders, tb.Addr("agg", 9400))
 
 	// Warm up past connection setup and the initial slow-start burst,
 	// then snapshot every cumulative counter so all columns measure the
@@ -129,7 +131,7 @@ type fig17OversubResult struct {
 // bottleneck and the host-facing queue goes quiet — congestion has moved
 // from leaf egress to the uplink, and the ECN marks (what DCTCP reacts
 // to) move with it.
-func fig17OversubPoint(trunkGbps float64, d sim.Time) fig17OversubResult {
+func fig17OversubPoint(cores int, trunkGbps float64, d sim.Time) fig17OversubResult {
 	const hosts = 4
 	fc := fabric.Config{
 		Leaves: 2, Spines: 1,
@@ -155,7 +157,7 @@ func fig17OversubPoint(trunkGbps float64, d sim.Time) fig17OversubResult {
 			Rack: 1, BufSize: 1 << 17, CC: ctrl.CCDCTCP, Seed: uint64(1730 + i),
 		})
 	}
-	tb := testbed.NewFabric(fc, specs...)
+	tb := testbed.NewFabricCores(cores, fc, specs...)
 
 	g := &workload.IncastGroup{BlockBytes: 32768}
 	g.Serve(tb.M("agg").Stack, 9600)
@@ -163,7 +165,7 @@ func fig17OversubPoint(trunkGbps float64, d sim.Time) fig17OversubResult {
 	for i := 0; i < 2*hosts; i++ {
 		senders = append(senders, tb.M(fmt.Sprintf("snd%d", i%hosts)).Stack)
 	}
-	g.Start(tb.Eng, senders, tb.Addr("agg", 9600))
+	g.Start(senders, tb.Addr("agg", 9600))
 
 	warm := d / 4
 	tb.Run(warm)
@@ -187,7 +189,7 @@ func fig17OversubPoint(trunkGbps float64, d sim.Time) fig17OversubResult {
 // rack-1 hosts to rack-0 hosts over a fabric with the given spine count,
 // returning the bytes each spine carried upward out of the sender leaf
 // tier and the heaviest spine's load relative to the fair share.
-func fig17ECMPPoint(spines, flows int, d sim.Time) (spineBytes []uint64, maxOverFair float64) {
+func fig17ECMPPoint(cores, spines, flows int, d sim.Time) (spineBytes []uint64, maxOverFair float64) {
 	fc := fabric.Config{Leaves: 2, Spines: spines, Seed: 171_000 + uint64(spines)}
 	const hostsPerSide = 4
 	var specs []testbed.MachineSpec
@@ -199,7 +201,7 @@ func fig17ECMPPoint(spines, flows int, d sim.Time) (spineBytes []uint64, maxOver
 				Rack: 0, BufSize: 1 << 17, Seed: uint64(1760 + i)},
 		)
 	}
-	tb := testbed.NewFabric(fc, specs...)
+	tb := testbed.NewFabricCores(cores, fc, specs...)
 
 	g := &workload.FlowGen{
 		Rate:     1e7, // effectively simultaneous arrivals
@@ -215,7 +217,7 @@ func fig17ECMPPoint(spines, flows int, d sim.Time) (spineBytes []uint64, maxOver
 		g.Serve(tb.M(fmt.Sprintf("dst%d", i)).Stack, 9500)
 		dsts[i] = tb.Addr(fmt.Sprintf("dst%d", i), 9500)
 	}
-	g.Start(tb.Eng, srcs, dsts...)
+	g.Start(srcs, dsts...)
 	tb.Run(d)
 
 	spineBytes = tb.Fabric.SpineTxBytes()
@@ -258,7 +260,7 @@ func Fig17(s Scale) []*Table {
 	}
 	for _, fanIn := range fanIns {
 		for _, c := range ccs {
-			r := fig17IncastPoint(fanIn, c.cc, d)
+			r := fig17IncastPoint(s.cores(), fanIn, c.cc, d)
 			incast.AddRow(fmt.Sprintf("%d", fanIn), c.name,
 				f2(r.goodputGbps), f1(r.p50us), f1(r.p99us),
 				fmt.Sprintf("%d", r.rounds),
@@ -278,7 +280,7 @@ func Fig17(s Scale) []*Table {
 	dE := s.dur(20*sim.Millisecond, 60*sim.Millisecond)
 	for _, spines := range []int{2, 4} {
 		for _, flows := range flowCounts {
-			bytes, maxOverFair := fig17ECMPPoint(spines, flows, dE)
+			bytes, maxOverFair := fig17ECMPPoint(s.cores(), spines, flows, dE)
 			per := ""
 			for i, b := range bytes {
 				if i > 0 {
@@ -299,10 +301,20 @@ func Fig17(s Scale) []*Table {
 	trunks := s.pick([]int{200, 30}, []int{200, 100, 30})
 	dO := s.dur(8*sim.Millisecond, 40*sim.Millisecond)
 	for _, trunk := range trunks {
-		r := fig17OversubPoint(float64(trunk), dO)
+		r := fig17OversubPoint(s.cores(), float64(trunk), dO)
 		oversub.AddRow(fmt.Sprintf("%d", trunk), f2(r.goodputGbps), f1(r.p99us),
 			f1(float64(r.peakUplinkQ)/1024), f1(float64(r.peakHostQ)/1024),
 			fmt.Sprintf("%d", r.uplinkMarks), fmt.Sprintf("%d", r.hostMarks))
 	}
-	return []*Table{incast, ecmp, oversub}
+	out := []*Table{incast, ecmp, oversub}
+	if s.cores() > 1 {
+		out = append(out, scalingTable("Figure 17 (harness scaling)",
+			"Fig 17a incast sweep wall-clock vs engine shards (identical results at every row)",
+			s.cores(), func(c int) {
+				for _, fanIn := range fanIns {
+					fig17IncastPoint(c, fanIn, ctrl.CCDCTCP, d)
+				}
+			}))
+	}
+	return out
 }

@@ -39,9 +39,9 @@ func Table2(s Scale) []*Table {
 		srv := &apps.RPCServer{ReqSize: 64}
 		srv.Serve(tb.M("server").Stack, 7777)
 		cl := &apps.ClosedLoopClient{ReqSize: 64, Pipeline: 8}
-		cl.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 7777), 64)
+		cl.Start(tb.M("client").Stack, tb.Addr("server", 7777), 64)
 		cl2 := &apps.ClosedLoopClient{ReqSize: 64, Pipeline: 8, Latency: stats.NewHistogram()}
-		cl2.Start(tb.Eng, tb.M("client2").Stack, tb.Addr("server", 7777), 64)
+		cl2.Start(tb.M("client2").Stack, tb.Addr("server", 7777), 64)
 		tb.Run(d)
 		return mops(cl.Completed+cl2.Completed, d)
 	}
@@ -121,18 +121,78 @@ func spliceRate(s Scale) float64 {
 		if tb.Eng.Now() >= d {
 			return false
 		}
-		gen.Iface.Send(netsim.NewFrame(frame, tb.Eng.Now()))
+		gen.Iface.Send(netsim.FramesOf(tb.Eng).NewFrame(frame, tb.Eng.Now()))
 		return true
 	})
 	tb.Run(d + sim.Millisecond)
 	return float64(proxy.TOE.XDPTx) / d.Seconds() / 1e6
 }
 
+// fig15Kinds is Figure 15a/15b's column order.
+var fig15Kinds = []testbed.StackKind{testbed.Linux, testbed.Chelsio, testbed.TAS, testbed.FlexTOE}
+
+// fig15SmallPoint runs one Figure 15a cell: 100 connections of 8-deep
+// pipelined 64 B echo at the given loss rate, returning goodput (Gbps).
+func fig15SmallPoint(kind testbed.StackKind, loss float64, d sim.Time) float64 {
+	tb := testbed.New(netsim.SwitchConfig{LossProb: loss, Seed: 150},
+		serverSpec(kind, 4, true, 150),
+		testbed.MachineSpec{Name: "client", Kind: kind, Cores: 8, Seed: 151},
+	)
+	srv := &apps.RPCServer{ReqSize: 64}
+	srv.Serve(tb.M("server").Stack, 7777)
+	cl := &apps.ClosedLoopClient{ReqSize: 64, Pipeline: 8}
+	cl.Start(tb.M("client").Stack, tb.Addr("server", 7777), 100)
+	tb.Run(d)
+	return gbps(cl.Completed*128, d)
+}
+
+// fig15LargePoint runs one Figure 15b cell: 8 unidirectional bulk
+// connections at the given loss rate, returning goodput (Gbps).
+func fig15LargePoint(kind testbed.StackKind, loss float64, d sim.Time) float64 {
+	tb := testbed.New(netsim.SwitchConfig{LossProb: loss, Seed: 152},
+		testbed.MachineSpec{Name: "server", Kind: kind, Cores: 4, BufSize: 1 << 19, Seed: 152},
+		testbed.MachineSpec{Name: "client", Kind: kind, Cores: 4, BufSize: 1 << 19, Seed: 153},
+	)
+	sink := &apps.BulkSink{}
+	sink.Serve(tb.M("server").Stack, 9000)
+	for i := 0; i < 8; i++ {
+		snd := &apps.BulkSender{}
+		snd.Start(tb.M("client").Stack, tb.Addr("server", 9000))
+	}
+	tb.Run(d)
+	return gbps(sink.Received, d)
+}
+
+// fig15Cells runs the 15a and 15b sweeps (loss rate × stack kind, both
+// tables) on up to workers host cores, returning goodput matrices
+// indexed [rate][kind].
+func fig15Cells(rates []float64, dS, dL sim.Time, workers int) (small, large [][]float64) {
+	small = make([][]float64, len(rates))
+	large = make([][]float64, len(rates))
+	for i := range rates {
+		small[i] = make([]float64, len(fig15Kinds))
+		large[i] = make([]float64, len(fig15Kinds))
+	}
+	per := len(fig15Kinds)
+	runCells(workers, 2*len(rates)*per, func(i int) {
+		table, cell := i%2, i/2
+		row, col := cell/per, cell%per
+		if table == 0 {
+			small[row][col] = fig15SmallPoint(fig15Kinds[col], rates[row], dS)
+		} else {
+			large[row][col] = fig15LargePoint(fig15Kinds[col], rates[row], dL)
+		}
+	})
+	return small, large
+}
+
 // Fig15 regenerates Figure 15: throughput under injected packet loss for
-// (a) small pipelined RPCs and (b) large unidirectional flows.
+// (a) small pipelined RPCs and (b) large unidirectional flows. With
+// Scale.Cores > 1 the sweep cells run on a worker pool (results
+// unchanged) and a final table reports the harness's wall-clock scaling.
 func Fig15(s Scale) []*Table {
 	rates := []float64{0, 1e-6, 1e-5, 1e-4, 1e-3, 0.02}
-	if s == Quick {
+	if !s.Full {
 		rates = []float64{0, 1e-4, 0.02}
 	}
 
@@ -142,48 +202,24 @@ func Fig15(s Scale) []*Table {
 		Header: []string{"Loss", "Linux", "Chelsio", "TAS", "FlexTOE"},
 		Notes:  "FlexTOE processes ACKs on the NIC and recovers fastest (§5.3)",
 	}
-	dS := s.dur(15*sim.Millisecond, 150*sim.Millisecond)
-	for _, loss := range rates {
-		cells := []string{fmt.Sprintf("%g%%", loss*100)}
-		for _, kind := range []testbed.StackKind{testbed.Linux, testbed.Chelsio, testbed.TAS, testbed.FlexTOE} {
-			tb := testbed.New(netsim.SwitchConfig{LossProb: loss, Seed: 150},
-				serverSpec(kind, 4, true, 150),
-				testbed.MachineSpec{Name: "client", Kind: kind, Cores: 8, Seed: 151},
-			)
-			srv := &apps.RPCServer{ReqSize: 64}
-			srv.Serve(tb.M("server").Stack, 7777)
-			cl := &apps.ClosedLoopClient{ReqSize: 64, Pipeline: 8}
-			cl.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 7777), 100)
-			tb.Run(dS)
-			cells = append(cells, f3(gbps(cl.Completed*128, dS)))
-		}
-		small.AddRow(cells...)
-	}
-
 	large := &Table{
 		ID:     "Figure 15b",
 		Title:  "Large flow goodput vs loss rate (Gbps, 8 connections unidirectional)",
 		Header: []string{"Loss", "Linux", "Chelsio", "TAS", "FlexTOE"},
 		Notes:  "Chelsio collapses at trace loss rates (OOO discard + timeout recovery); Linux's SACK survives best among host stacks (§5.3)",
 	}
-	dL := s.dur(15*sim.Millisecond, 150*sim.Millisecond)
-	for _, loss := range rates {
-		cells := []string{fmt.Sprintf("%g%%", loss*100)}
-		for _, kind := range []testbed.StackKind{testbed.Linux, testbed.Chelsio, testbed.TAS, testbed.FlexTOE} {
-			tb := testbed.New(netsim.SwitchConfig{LossProb: loss, Seed: 152},
-				testbed.MachineSpec{Name: "server", Kind: kind, Cores: 4, BufSize: 1 << 19, Seed: 152},
-				testbed.MachineSpec{Name: "client", Kind: kind, Cores: 4, BufSize: 1 << 19, Seed: 153},
-			)
-			sink := &apps.BulkSink{}
-			sink.Serve(tb.M("server").Stack, 9000)
-			for i := 0; i < 8; i++ {
-				snd := &apps.BulkSender{}
-				snd.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 9000))
-			}
-			tb.Run(dL)
-			cells = append(cells, f2(gbps(sink.Received, dL)))
+	dS := s.dur(15*sim.Millisecond, 150*sim.Millisecond)
+	dL := dS
+	smallCells, largeCells := fig15Cells(rates, dS, dL, s.cores())
+	for row, loss := range rates {
+		sc := []string{fmt.Sprintf("%g%%", loss*100)}
+		lc := []string{fmt.Sprintf("%g%%", loss*100)}
+		for col := range fig15Kinds {
+			sc = append(sc, f3(smallCells[row][col]))
+			lc = append(lc, f2(largeCells[row][col]))
 		}
-		large.AddRow(cells...)
+		small.AddRow(sc...)
+		large.AddRow(lc...)
 	}
 
 	// Figure 15c (reproduction extension): the FlexTOE data-path's own
@@ -198,12 +234,19 @@ func Fig15(s Scale) []*Table {
 	}
 	recRates := s.pick([]int{0, 10, 100}, []int{0, 1, 10, 100, 200})
 	dR := s.dur(15*sim.Millisecond, 150*sim.Millisecond)
-	for _, lossE4 := range recRates {
+	type recCell struct{ g, retxKB float64 }
+	recRes := make([]recCell, 2*len(recRates))
+	runCells(s.cores(), len(recRes), func(i int) {
+		loss := float64(recRates[i/2]) / 1e4
+		g, retxKB := fig15RecoveryPoint(loss, i%2 == 1, dR)
+		recRes[i] = recCell{g, retxKB}
+	})
+	for ri, lossE4 := range recRates {
 		loss := float64(lossE4) / 1e4
 		cells := []string{fmt.Sprintf("%g%%", loss*100)}
-		for _, sack := range []bool{false, true} {
-			g, retxKB := fig15RecoveryPoint(loss, sack, dR)
-			cells = append(cells, f2(g), f1(retxKB))
+		for v := 0; v < 2; v++ {
+			r := recRes[2*ri+v]
+			cells = append(cells, f2(r.g), f1(r.retxKB))
 		}
 		recovery.AddRow(cells...)
 	}
@@ -220,12 +263,24 @@ func Fig15(s Scale) []*Table {
 		Header: []string{"Loss", "N", "Gbps", "OOO acc", "OOO drop", "Merges", "Drops avoided", "Occ mean", "Occ max"},
 		Notes:  "a single interval (Table 5 budget) discards any second hole; drops-avoided counts segments N=1 would have thrown away, forcing retransmissions (ROADMAP: N=1 vs N=4 delta under loss)",
 	}
-	for _, lossE4 := range recRates {
+	ivCaps := []int{1, tcpseg.MaxOOOIntervals}
+	type reasmCell struct {
+		g   float64
+		toe *core.TOE
+	}
+	reasmRes := make([]reasmCell, len(recRates)*len(ivCaps))
+	runCells(s.cores(), len(reasmRes), func(i int) {
+		loss := float64(recRates[i/len(ivCaps)]) / 1e4
+		g, toe := fig15ReassemblyPoint(loss, ivCaps[i%len(ivCaps)], dR)
+		reasmRes[i] = reasmCell{g, toe}
+	})
+	for ri, lossE4 := range recRates {
 		loss := float64(lossE4) / 1e4
-		for _, ivs := range []int{1, tcpseg.MaxOOOIntervals} {
-			g, toe := fig15ReassemblyPoint(loss, ivs, dR)
+		for vi, ivs := range ivCaps {
+			r := reasmRes[ri*len(ivCaps)+vi]
+			toe := r.toe
 			reasm.AddRow(fmt.Sprintf("%g%%", loss*100), fmt.Sprintf("%d", ivs),
-				f2(g),
+				f2(r.g),
 				fmt.Sprintf("%d", toe.OOOAccepted), fmt.Sprintf("%d", toe.OOODropped),
 				fmt.Sprintf("%d", toe.OOOMerges), fmt.Sprintf("%d", toe.OOODropsAvoided),
 				f2(toe.OOOOccupancy.Mean()), fmt.Sprintf("%d", toe.OOOOccupancy.MaxSeen()))
@@ -246,13 +301,29 @@ func Fig15(s Scale) []*Table {
 		Header: []string{"Loss", "Gbps", "Retx KB", "SACK retx", "Reneges"},
 		Notes:  "Reneges counts scoreboard overflows on the FlexTOE sender (receiver tracks 32 intervals, scoreboard holds 4); each renege discards the blocks and go-back-Ns conservatively. The receiver advertises blocks most-recent-first with RFC 2018 rotation of older holes (baseline.appendSACK); measured effect on this table is nil — the retransmit volume is RTO-epoch-dominated (TestFig15CrossStackRetxGap)",
 	}
-	for _, lossE4 := range recRates {
-		loss := float64(lossE4) / 1e4
-		g, retxKB, sackRetx, reneges := fig15CrossStackPoint(loss, dR)
-		cross.AddRow(fmt.Sprintf("%g%%", loss*100), f2(g), f1(retxKB),
-			fmt.Sprintf("%d", sackRetx), fmt.Sprintf("%d", reneges))
+	type crossCell struct {
+		g, retxKB         float64
+		sackRetx, reneges uint64
 	}
-	return []*Table{small, large, recovery, reasm, cross}
+	crossRes := make([]crossCell, len(recRates))
+	runCells(s.cores(), len(crossRes), func(i int) {
+		loss := float64(recRates[i]) / 1e4
+		g, retxKB, sackRetx, reneges := fig15CrossStackPoint(loss, dR)
+		crossRes[i] = crossCell{g, retxKB, sackRetx, reneges}
+	})
+	for ri, lossE4 := range recRates {
+		loss := float64(lossE4) / 1e4
+		r := crossRes[ri]
+		cross.AddRow(fmt.Sprintf("%g%%", loss*100), f2(r.g), f1(r.retxKB),
+			fmt.Sprintf("%d", r.sackRetx), fmt.Sprintf("%d", r.reneges))
+	}
+	out := []*Table{small, large, recovery, reasm, cross}
+	if s.cores() > 1 {
+		out = append(out, scalingTable("Figure 15 (harness scaling)",
+			"Fig 15a+15b sweep wall-clock vs host cores (identical results at every row)",
+			s.cores(), func(c int) { fig15Cells(rates, dS, dL, c) }))
+	}
+	return out
 }
 
 // fig15CrossStackPoint runs 8 bulk FlexTOE→Linux flows at the given loss
@@ -270,7 +341,7 @@ func fig15CrossStackPoint(loss float64, d sim.Time) (goodputGbps, retxKB float64
 	sink.Serve(tb.M("server").Stack, 9000)
 	for i := 0; i < 8; i++ {
 		snd := &apps.BulkSender{}
-		snd.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 9000))
+		snd.Start(tb.M("client").Stack, tb.Addr("server", 9000))
 	}
 	tb.Run(d)
 	toe := tb.M("client").TOE
@@ -292,7 +363,7 @@ func fig15ReassemblyPoint(loss float64, intervals int, d sim.Time) (goodputGbps 
 	sink.Serve(tb.M("server").Stack, 9000)
 	for i := 0; i < 8; i++ {
 		snd := &apps.BulkSender{}
-		snd.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 9000))
+		snd.Start(tb.M("client").Stack, tb.Addr("server", 9000))
 	}
 	tb.Run(d)
 	return gbps(sink.Received, d), tb.M("server").TOE
@@ -315,7 +386,7 @@ func fig15RecoveryPoint(loss float64, sack bool, d sim.Time) (goodputGbps, retxK
 	sink.Serve(tb.M("server").Stack, 9000)
 	for i := 0; i < 8; i++ {
 		snd := &apps.BulkSender{}
-		snd.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 9000))
+		snd.Start(tb.M("client").Stack, tb.Addr("server", 9000))
 	}
 	tb.Run(d)
 	return gbps(sink.Received, d), float64(tb.M("client").TOE.RetxBytes) / 1024
@@ -358,7 +429,7 @@ func fig16Point(kind testbed.StackKind, conns int, d sim.Time) (med, p1, jfi flo
 	sink.Serve(tb.M("server").Stack, 9000)
 	for i := 0; i < conns; i++ {
 		snd := &apps.BulkSender{}
-		snd.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 9000))
+		snd.Start(tb.M("client").Stack, tb.Addr("server", 9000))
 	}
 	// Warm up, then measure.
 	warm := d / 4
@@ -389,7 +460,7 @@ func Table4(s Scale) []*Table {
 		Notes:  "shaped egress port + WRED tail drops; disabling the control plane's DCTCP inflates the tail and skews fairness (§5.3)",
 	}
 	cases := []struct{ degree, conns int }{{4, 16}, {4, 64}, {10, 10}}
-	if s == Full {
+	if s.Full {
 		cases = []struct{ degree, conns int }{{4, 16}, {4, 64}, {4, 128}, {10, 10}, {20, 20}}
 	}
 	d := s.dur(30*sim.Millisecond, 250*sim.Millisecond)
@@ -433,7 +504,7 @@ func incastPoint(degree, conns int, ccOn bool, d sim.Time) incastResult {
 	srv := &apps.RPCServer{ReqSize: 32, RespSize: 65536}
 	srv.Serve(tb.M("server").Stack, 7777)
 	cl := &apps.ClosedLoopClient{ReqSize: 32, RespSize: 65536, WarmupOps: uint64(conns)}
-	cl.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 7777), conns)
+	cl.Start(tb.M("client").Stack, tb.Addr("server", 7777), conns)
 	tb.Run(d)
 
 	// Per-connection fairness from completed ops spread: approximate via

@@ -47,7 +47,7 @@ func fig10Point(kind testbed.StackKind, dir string, cycles int64, size int, d si
 	srv := &apps.RPCServer{ReqSize: req, RespSize: resp, AppCycles: cycles}
 	srv.Serve(tb.M("server").Stack, 7777)
 	cl := &apps.ClosedLoopClient{ReqSize: req, RespSize: resp, Pipeline: 8}
-	cl.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 7777), 128)
+	cl.Start(tb.M("client").Stack, tb.Addr("server", 7777), 128)
 	tb.Run(d)
 	return gbps(cl.Completed*uint64(size), d)
 }
@@ -72,7 +72,7 @@ func Fig11(s Scale) []*Table {
 			srv := &apps.RPCServer{ReqSize: size}
 			srv.Serve(tb.M("server").Stack, 7777)
 			cl := &apps.ClosedLoopClient{ReqSize: size, WarmupOps: 10}
-			cl.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 7777), 1)
+			cl.Start(tb.M("client").Stack, tb.Addr("server", 7777), 1)
 			tb.Run(d)
 			h := cl.Latency
 			t.AddRow(fmt.Sprintf("%d", size), string(kind),
@@ -118,7 +118,7 @@ func fig12Point(kind testbed.StackKind, mode string, size int, d sim.Time) float
 	sink := &apps.BulkSink{ChunkBytes: size, RespBytes: resp}
 	sink.Serve(tb.M("server").Stack, 9000)
 	snd := &apps.BulkSender{}
-	snd.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 9000))
+	snd.Start(tb.M("client").Stack, tb.Addr("server", 9000))
 	tb.Run(d)
 	return gbps(sink.Received, d)
 }
@@ -146,9 +146,9 @@ func Fig13(s Scale) []*Table {
 			srv := &apps.RPCServer{ReqSize: 64}
 			srv.Serve(tb.M("server").Stack, 7777)
 			cl := &apps.ClosedLoopClient{ReqSize: 64}
-			cl.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 7777), n/2)
-			cl2 := &apps.ClosedLoopClient{ReqSize: 64, Latency: cl.Latency}
-			cl2.Start(tb.Eng, tb.M("client2").Stack, tb.Addr("server", 7777), n/2)
+			cl.Start(tb.M("client").Stack, tb.Addr("server", 7777), n/2)
+			cl2 := &apps.ClosedLoopClient{ReqSize: 64}
+			cl2.Start(tb.M("client2").Stack, tb.Addr("server", 7777), n/2)
 			tb.Run(d)
 			cells = append(cells, f2(mops(cl.Completed+cl2.Completed, d)))
 		}
@@ -213,7 +213,7 @@ func Table3(s Scale) []*Table {
 		srv := &apps.RPCServer{ReqSize: 2048}
 		srv.Serve(tb.M("server").Stack, 7777)
 		cl := &apps.ClosedLoopClient{ReqSize: 2048}
-		cl.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 7777), 64)
+		cl.Start(tb.M("client").Stack, tb.Addr("server", 7777), 64)
 		tb.Run(d)
 		mbps := gbps(cl.Completed*2048*2, d) * 1000
 		if i == 0 {
@@ -294,7 +294,7 @@ func fig14Point(platform, variant string, mss uint32, d sim.Time) float64 {
 	sink := &apps.BulkSink{}
 	sink.Serve(tb.M("server").Stack, 9000)
 	snd := &apps.BulkSender{}
-	snd.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 9000))
+	snd.Start(tb.M("client").Stack, tb.Addr("server", 9000))
 	tb.Run(d)
 	return gbps(sink.Received, d)
 }

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"flextoe/internal/ctrl"
+	"flextoe/internal/sim"
+)
+
+// equalModeIndependent asserts the parts of a determinism run that must
+// be bit-identical regardless of how many shards executed it: data-path
+// counters, tracepoint hits, and application-level results. Total event
+// counts are deliberately excluded — a cross-shard frame delivery is two
+// events (sender-side wire egress + receiver-side arrival) where the
+// serial wheel runs one, so event totals are shard-count-dependent even
+// though every observable outcome is not.
+func equalModeIndependent(t *testing.T, label string, serial, par determinismResult) {
+	t.Helper()
+	if serial.srvCounters != par.srvCounters {
+		t.Fatalf("%s: server counters diverge from serial:\n%+v\n%+v", label, serial.srvCounters, par.srvCounters)
+	}
+	if serial.clCounters != par.clCounters {
+		t.Fatalf("%s: client counters diverge from serial:\n%+v\n%+v", label, serial.clCounters, par.clCounters)
+	}
+	if serial.received != par.received || serial.completed != par.completed {
+		t.Fatalf("%s: app results diverge from serial: %d/%d vs %d/%d",
+			label, serial.received, serial.completed, par.received, par.completed)
+	}
+	if len(serial.srvTrace) != len(par.srvTrace) {
+		t.Fatalf("%s: trace snapshot sizes %d vs %d", label, len(serial.srvTrace), len(par.srvTrace))
+	}
+	for name, n := range serial.srvTrace {
+		if par.srvTrace[name] != n {
+			t.Fatalf("%s: trace %s: %d vs %d", label, name, n, par.srvTrace[name])
+		}
+	}
+}
+
+// TestParallelMatchesSerial is the sharding conformance gate (PR 7): for
+// the same seed, a sharded run must reproduce the serial PR-3 wheel's
+// counters, tracepoint hits, and application results bit for bit, and a
+// sharded run must reproduce itself bit for bit — including per-shard
+// event counts — across repeated executions.
+//
+// Two scenarios: the lossy SACK-recovery workload from the determinism
+// suite (two FlexTOE machines through one switch), and the Figure 17a
+// DCTCP incast on the leaf-spine fabric.
+func TestParallelMatchesSerial(t *testing.T) {
+	seeds := []uint64{1, 42}
+	coreCounts := []int{2, 4}
+	if testing.Short() {
+		// The race-detector CI job runs with -short: one seed, one shard
+		// count, no fabric scenario — the sharing structure under test is
+		// identical, only the repetition is trimmed.
+		seeds = seeds[:1]
+		coreCounts = coreCounts[:1]
+	}
+	for _, seed := range seeds {
+		serial := determinismRunCores(seed, 1)
+		for _, cores := range coreCounts {
+			par := determinismRunCores(seed, cores)
+			label := fmt.Sprintf("seed %d cores %d", seed, cores)
+			equalModeIndependent(t, label, serial, par)
+
+			// Re-running the sharded configuration must be bit-identical in
+			// every respect, including how many events each shard processed.
+			again := determinismRunCores(seed, cores)
+			equalModeIndependent(t, label+" (rerun)", par, again)
+			if par.processed != again.processed {
+				t.Fatalf("%s: sharded rerun processed %d vs %d events", label, par.processed, again.processed)
+			}
+			if len(par.perEngine) != len(again.perEngine) {
+				t.Fatalf("%s: sharded rerun engine counts %d vs %d", label, len(par.perEngine), len(again.perEngine))
+			}
+			for i := range par.perEngine {
+				if par.perEngine[i] != again.perEngine[i] {
+					t.Fatalf("%s: shard %d processed %d vs %d events on rerun",
+						label, i, par.perEngine[i], again.perEngine[i])
+				}
+			}
+		}
+	}
+
+	// Figure 17a incast on the fabric: rack-affine shard placement must not
+	// change a single measured number.
+	if testing.Short() {
+		return
+	}
+	d := 4 * sim.Millisecond
+	serial := fig17IncastPoint(1, 16, ctrl.CCDCTCP, d)
+	for _, cores := range []int{2, 4} {
+		if par := fig17IncastPoint(cores, 16, ctrl.CCDCTCP, d); par != serial {
+			t.Fatalf("fig17 incast cores %d diverges from serial:\n%+v\n%+v", cores, serial, par)
+		}
+	}
+}

@@ -29,7 +29,7 @@ func TestFabricCrossRackDelivery(t *testing.T) {
 	sink := &apps.BulkSink{}
 	sink.Serve(tb.M("a").Stack, 9000)
 	snd := &apps.BulkSender{}
-	snd.Start(tb.Eng, tb.M("b").Stack, tb.Addr("a", 9000))
+	snd.Start(tb.M("b").Stack, tb.Addr("a", 9000))
 	tb.Run(4 * sim.Millisecond)
 
 	if sink.Received == 0 {
@@ -69,7 +69,7 @@ func TestFabricECMPSpreadsFlows(t *testing.T) {
 	sink.Serve(tb.M("a").Stack, 9000)
 	for i := 0; i < 16; i++ {
 		snd := &apps.BulkSender{}
-		snd.Start(tb.Eng, tb.M("b").Stack, tb.Addr("a", 9000))
+		snd.Start(tb.M("b").Stack, tb.Addr("a", 9000))
 	}
 	tb.Run(3 * sim.Millisecond)
 	for s, b := range tb.Fabric.SpineTxBytes() {
@@ -89,7 +89,7 @@ func TestFabricBaselineStackUnmodified(t *testing.T) {
 	srv := &apps.RPCServer{ReqSize: 64}
 	srv.Serve(tb.M("a").Stack, 7777)
 	cl := &apps.ClosedLoopClient{ReqSize: 64, Pipeline: 4}
-	cl.Start(tb.Eng, tb.M("b").Stack, tb.Addr("a", 7777), 4)
+	cl.Start(tb.M("b").Stack, tb.Addr("a", 7777), 4)
 	tb.Run(4 * sim.Millisecond)
 	if cl.Completed == 0 {
 		t.Fatal("Linux personality completed no RPCs over the fabric")
@@ -115,7 +115,7 @@ func TestFabricQueueStats(t *testing.T) {
 	for _, name := range []string{"s1", "s2"} {
 		for i := 0; i < 4; i++ {
 			snd := &apps.BulkSender{}
-			snd.Start(tb.Eng, tb.M(name).Stack, tb.Addr("agg", 9000))
+			snd.Start(tb.M(name).Stack, tb.Addr("agg", 9000))
 		}
 	}
 	tb.Run(4 * sim.Millisecond)

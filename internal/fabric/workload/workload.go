@@ -6,11 +6,18 @@
 // FlexTOE, Linux-, TAS- and Chelsio-personality machines run them
 // unmodified over the single-switch testbed or the leaf–spine fabric.
 //
+// Sharding (PR 7): every piece of mutable workload state lives on exactly
+// one machine's shard. The generator keeps per-connection arrival streams
+// on each sender's engine, flow metadata travels inside the flow header
+// (12 bytes: [arrival:8][size:4]) so the sink computes FCT from its own
+// clock, and measurement accumulates per sink/per connection, merged
+// deterministically at readout (the accessor methods). The incast
+// aggregator owns all round state and triggers each round by writing one
+// byte down every sender connection — the reply blocks are what incasts.
+//
 // Flows are multiplexed over a pool of persistent connections (datacenter
-// RPC style, and the regime FlexTOE's Table 5 state budget targets): each
-// flow is an 8-byte header [id:4][size:4] followed by size payload bytes;
-// the sink parses the stream per connection and records flow completion
-// time from the flow's *arrival* at the generator — queueing for a busy
+// RPC style, and the regime FlexTOE's Table 5 state budget targets); FCT
+// runs from the flow's *arrival* at the generator — queueing for a busy
 // connection counts against FCT, as in slowdown-style evaluations.
 package workload
 
@@ -28,7 +35,8 @@ import (
 // Flow-size distributions.
 // ---------------------------------------------------------------------
 
-// SizeDist samples flow sizes in bytes.
+// SizeDist samples flow sizes in bytes. Implementations are immutable, so
+// one distribution may be shared by per-connection samplers across shards.
 type SizeDist interface {
 	Name() string
 	Sample(r *stats.RNG) int
@@ -93,121 +101,151 @@ func DataMining() SizeDist {
 	}}
 }
 
+// flowHdrLen is the per-flow wire header: the flow's arrival instant (8)
+// and its payload size (4). Carrying the arrival timestamp on the wire is
+// what lets the sink — possibly on another shard — compute FCT without
+// reaching into generator state (simulated clocks agree across shards).
+const flowHdrLen = 12
+
 // ---------------------------------------------------------------------
 // Open-loop flow generator.
 // ---------------------------------------------------------------------
 
-// FlowGen issues flows open-loop: Poisson arrivals at Rate flows/second,
-// each flow Size.Sample bytes, assigned round-robin to a pool of
-// persistent connections. Serve installs the sink side (callable on
-// several machines); Start opens the connections and begins arrivals.
+// FlowGen issues flows open-loop: Poisson arrivals at Rate flows/second
+// in aggregate, each flow Size.Sample bytes, over a pool of persistent
+// connections. Serve installs the sink side (callable on several
+// machines); Start opens the connections and begins arrivals.
+//
+// Each connection runs an independent Poisson stream at Rate/Conns with
+// its own RNG — a superposition distributionally identical to one
+// round-robin Poisson process, but with every arrival event confined to
+// the sending machine's shard. Measurement state is per connection and
+// per sink; the accessor methods (Started, Completed, FCT, ...) merge it
+// in deterministic construction order, so call them only between runs.
 type FlowGen struct {
-	Rate     float64  // flow arrivals per second
+	Rate     float64  // aggregate flow arrivals per second
 	Size     SizeDist // flow size distribution
 	Conns    int      // connection pool size (default: one per sender)
 	MaxFlows int      // stop generating after this many arrivals (0 = never)
 	Seed     uint64
 
-	// Measurement.
-	Started        uint64
-	Completed      uint64
-	BytesCompleted uint64
-	BytesReceived  uint64
-	FCT            *stats.Histogram // picoseconds, arrival → last byte at sink
-	LastDone       sim.Time         // completion instant of the latest flow
-
-	eng   *sim.Engine
-	rng   *stats.RNG
 	conns []*genConn
-	next  int
-	start []sim.Time
-	size  []int
+	sinks []*flowSink
 }
 
 type pendingFlow struct {
-	id        uint32
+	start     sim.Time
 	remaining int
 	hdrLeft   int
 }
 
+// genConn is one sender connection: its own shard engine, RNG, arrival
+// stream, and flow queue. All fields are touched only by events on eng.
 type genConn struct {
-	g       *FlowGen
-	sock    api.Socket
-	pending []pendingFlow
-	head    int
-	hdr     [8]byte
+	g        *FlowGen
+	eng      *sim.Engine
+	rng      *stats.RNG
+	rate     float64 // this connection's arrival rate
+	maxFlows int     // this connection's share of MaxFlows (0 = unlimited)
+	started  uint64
+	sock     api.Socket
+	pending  []pendingFlow
+	head     int
+	hdr      [flowHdrLen]byte
+	size     int // scratch: size of the flow being headered
+}
+
+// flowSink accumulates one Serve call's measurement on that machine's
+// shard.
+type flowSink struct {
+	eng            *sim.Engine
+	fct            *stats.Histogram
+	completed      uint64
+	bytesCompleted uint64
+	bytesReceived  uint64
+	lastDone       sim.Time
 }
 
 // Serve installs the flow sink on a stack port. Call before Start; may be
 // called on multiple machines (the generator spreads connections over all
 // targets passed to Start).
 func (g *FlowGen) Serve(stack api.Stack, port uint16) {
+	sk := &flowSink{eng: stack.Engine(), fct: stats.NewHistogram()}
+	g.sinks = append(g.sinks, sk)
 	stack.Listen(port, func(sock api.Socket) {
-		sc := &sinkConn{g: g, sock: sock}
+		sc := &sinkConn{sk: sk, sock: sock}
 		sock.OnReadable(sc.drain)
 	})
 }
 
 // Start opens the connection pool (connection i: senders[i%len] →
-// targets[i%len]) and schedules the Poisson arrival process.
-func (g *FlowGen) Start(eng *sim.Engine, senders []api.Stack, targets ...api.Addr) {
-	g.eng = eng
-	g.rng = stats.NewRNG(g.Seed ^ 0xf10a6e)
-	if g.FCT == nil {
-		g.FCT = stats.NewHistogram()
-	}
+// targets[i%len]) and starts each connection's arrival stream.
+func (g *FlowGen) Start(senders []api.Stack, targets ...api.Addr) {
 	if g.Conns <= 0 {
 		g.Conns = len(senders)
 	}
 	for i := 0; i < g.Conns; i++ {
-		gc := &genConn{g: g}
-		g.conns = append(g.conns, gc)
 		stack := senders[i%len(senders)]
+		gc := &genConn{
+			g:    g,
+			eng:  stack.Engine(),
+			rng:  stats.NewRNG(g.Seed ^ 0xf10a6e ^ uint64(i+1)*0x9e3779b97f4a7c15),
+			rate: g.Rate / float64(g.Conns),
+		}
+		if g.MaxFlows > 0 {
+			// Split MaxFlows evenly, remainder to the first connections.
+			gc.maxFlows = g.MaxFlows / g.Conns
+			if i < g.MaxFlows%g.Conns {
+				gc.maxFlows++
+			}
+		}
+		g.conns = append(g.conns, gc)
 		target := targets[i%len(targets)]
 		stack.Dial(target, func(sock api.Socket) {
 			gc.sock = sock
 			sock.OnWritable(gc.pump)
 			gc.pump()
 		})
+		gc.scheduleArrival()
 	}
-	g.scheduleArrival()
 }
 
-func (g *FlowGen) scheduleArrival() {
-	if g.MaxFlows > 0 && int(g.Started) >= g.MaxFlows {
+func (gc *genConn) scheduleArrival() {
+	if gc.maxFlows > 0 && int(gc.started) >= gc.maxFlows {
 		return
 	}
-	gap := sim.Time(g.rng.Exp(1e12 / g.Rate))
-	g.eng.AfterCall(gap, flowGenArrive, g)
+	if gc.g.MaxFlows > 0 && gc.maxFlows == 0 {
+		return // this connection has no share of the bounded flow budget
+	}
+	gap := sim.Time(gc.rng.Exp(1e12 / gc.rate))
+	gc.eng.AfterCall(gap, genConnArrive, gc)
 }
 
-// flowGenArrive fires one Poisson arrival and rearms (allocation-free
-// per arrival; see sim.Engine.AfterCall).
-func flowGenArrive(a any) {
-	g := a.(*FlowGen)
-	g.arrive()
-	g.scheduleArrival()
+// genConnArrive fires one Poisson arrival on this connection and rearms
+// (allocation-free per arrival; see sim.Engine.AfterCall).
+func genConnArrive(a any) {
+	gc := a.(*genConn)
+	gc.arrive()
+	gc.scheduleArrival()
 }
 
-// arrive admits one flow: sample a size, stamp the arrival, enqueue it on
-// the next connection round-robin.
-func (g *FlowGen) arrive() {
-	id := uint32(len(g.start))
-	size := g.Size.Sample(g.rng)
+// arrive admits one flow: sample a size, stamp the arrival, enqueue.
+func (gc *genConn) arrive() {
+	size := gc.g.Size.Sample(gc.rng)
 	if size < 1 {
 		size = 1
 	}
-	g.start = append(g.start, g.eng.Now())
-	g.size = append(g.size, size)
-	g.Started++
-	gc := g.conns[g.next%len(g.conns)]
-	g.next++
-	gc.pending = append(gc.pending, pendingFlow{id: id, remaining: size, hdrLeft: 8})
+	gc.started++
+	gc.pending = append(gc.pending, pendingFlow{
+		start:     gc.eng.Now(),
+		remaining: size,
+		hdrLeft:   flowHdrLen,
+	})
 	gc.pump()
 }
 
 // pump pushes the head flow's header and payload into the socket until
-// the buffer fills or the queue drains. The 8-byte header is staged
+// the buffer fills or the queue drains. The 12-byte header is staged
 // directly in the transmit ring via Reserve/Commit; the payload is
 // content-ignored padding, committed without staging.
 func (gc *genConn) pump() {
@@ -217,14 +255,14 @@ func (gc *genConn) pump() {
 	for gc.head < len(gc.pending) {
 		f := &gc.pending[gc.head]
 		if f.hdrLeft > 0 {
-			binary.BigEndian.PutUint32(gc.hdr[0:4], f.id)
-			binary.BigEndian.PutUint32(gc.hdr[4:8], uint32(f.remaining))
+			binary.BigEndian.PutUint64(gc.hdr[0:8], uint64(f.start))
+			binary.BigEndian.PutUint32(gc.hdr[8:12], uint32(f.remaining))
 			a, b := gc.sock.Reserve(f.hdrLeft)
 			w := api.ViewLen(a, b)
 			if w == 0 {
 				return
 			}
-			api.ViewCopyIn(a, b, 0, gc.hdr[8-f.hdrLeft:8-f.hdrLeft+w])
+			api.ViewCopyIn(a, b, 0, gc.hdr[flowHdrLen-f.hdrLeft:flowHdrLen-f.hdrLeft+w])
 			gc.sock.Commit(w)
 			f.hdrLeft -= w
 			if f.hdrLeft > 0 {
@@ -253,29 +291,31 @@ func (gc *genConn) pump() {
 
 // sinkConn parses one connection's flow stream in place.
 type sinkConn struct {
-	g         *FlowGen
+	sk        *flowSink
 	sock      api.Socket
-	hdr       [8]byte
-	id        uint32
+	hdr       [flowHdrLen]byte
+	start     sim.Time
+	size      int
 	remaining int
 }
 
 func (sc *sinkConn) drain() {
-	g := sc.g
+	sk := sc.sk
 	a, b := sc.sock.Peek()
 	total := api.ViewLen(a, b)
 	pos := 0
 	for pos < total {
 		if sc.remaining == 0 {
-			if total-pos < 8 {
+			if total-pos < flowHdrLen {
 				// A split header stays unconsumed in the ring until the
 				// rest arrives.
 				break
 			}
 			api.ViewCopyOut(sc.hdr[:], a, b, pos)
-			sc.id = binary.BigEndian.Uint32(sc.hdr[0:4])
-			sc.remaining = int(binary.BigEndian.Uint32(sc.hdr[4:8]))
-			pos += 8
+			sc.start = sim.Time(binary.BigEndian.Uint64(sc.hdr[0:8]))
+			sc.size = int(binary.BigEndian.Uint32(sc.hdr[8:12]))
+			sc.remaining = sc.size
+			pos += flowHdrLen
 			continue
 		}
 		k := total - pos
@@ -285,60 +325,129 @@ func (sc *sinkConn) drain() {
 		sc.remaining -= k
 		pos += k
 		if sc.remaining == 0 {
-			g.complete(sc.id)
+			now := sk.eng.Now()
+			sk.completed++
+			sk.bytesCompleted += uint64(sc.size)
+			sk.fct.Record(int64(now - sc.start))
+			sk.lastDone = now
 		}
 	}
 	if pos > 0 {
-		g.BytesReceived += uint64(pos)
+		sk.bytesReceived += uint64(pos)
 		sc.sock.Consume(pos)
 	}
 }
 
-func (g *FlowGen) complete(id uint32) {
-	if int(id) >= len(g.start) {
-		return
+// Started returns the number of flows admitted, merged across
+// connections. Readout methods merge per-shard state in construction
+// order; call them only while the simulation is quiescent.
+func (g *FlowGen) Started() uint64 {
+	var n uint64
+	for _, gc := range g.conns {
+		n += gc.started
 	}
-	now := g.eng.Now()
-	g.Completed++
-	g.BytesCompleted += uint64(g.size[id])
-	g.FCT.Record(int64(now - g.start[id]))
-	g.LastDone = now
+	return n
+}
+
+// Completed returns the number of flows fully received, merged across
+// sinks.
+func (g *FlowGen) Completed() uint64 {
+	var n uint64
+	for _, sk := range g.sinks {
+		n += sk.completed
+	}
+	return n
+}
+
+// BytesCompleted returns the payload bytes of completed flows.
+func (g *FlowGen) BytesCompleted() uint64 {
+	var n uint64
+	for _, sk := range g.sinks {
+		n += sk.bytesCompleted
+	}
+	return n
+}
+
+// BytesReceived returns all flow-stream bytes consumed by the sinks
+// (headers included).
+func (g *FlowGen) BytesReceived() uint64 {
+	var n uint64
+	for _, sk := range g.sinks {
+		n += sk.bytesReceived
+	}
+	return n
+}
+
+// FCT returns the flow-completion-time histogram (picoseconds, arrival →
+// last byte at sink), merged across sinks in construction order.
+func (g *FlowGen) FCT() *stats.Histogram {
+	h := stats.NewHistogram()
+	for _, sk := range g.sinks {
+		h.Merge(sk.fct)
+	}
+	return h
+}
+
+// LastDone returns the completion instant of the latest flow.
+func (g *FlowGen) LastDone() sim.Time {
+	var t sim.Time
+	for _, sk := range g.sinks {
+		if sk.lastDone > t {
+			t = sk.lastDone
+		}
+	}
+	return t
 }
 
 // Done reports whether every generated flow has completed (meaningful
 // once MaxFlows bounded the arrival process).
 func (g *FlowGen) Done() bool {
-	return g.MaxFlows > 0 && int(g.Completed) >= g.MaxFlows
+	return g.MaxFlows > 0 && int(g.Completed()) >= g.MaxFlows
 }
 
 // ---------------------------------------------------------------------
 // N-to-1 incast.
 // ---------------------------------------------------------------------
 
-// IncastGroup drives barrier-synchronized incast: every sender blasts
-// BlockBytes at the aggregator simultaneously; the round completes when
-// the aggregator holds all N×BlockBytes, and the next round starts
-// immediately (the classic partition/aggregate pattern). Round FCT is the
-// barrier-to-last-byte time.
+// IncastGroup drives barrier-synchronized incast: each round the
+// aggregator writes one trigger byte down every sender connection (in
+// accept order); each sender answers with BlockBytes; the round completes
+// when the aggregator holds all N×BlockBytes, and the next round starts
+// immediately (the classic partition/aggregate request → responses
+// pattern). Round FCT is the trigger-to-last-byte time, so it includes
+// the request's one-way latency.
+//
+// All round and measurement state lives on the aggregator's shard; the
+// only sender-side state is each connection's outstanding byte count, fed
+// by the trigger bytes. BlockBytes and Rounds are immutable once Start is
+// called.
 type IncastGroup struct {
 	BlockBytes int // per-sender bytes per round
 	Rounds     int // stop after this many rounds (0 = run until sim end)
 
-	// Measurement.
+	// Measurement — owned by the aggregator's shard; read between runs.
 	RoundsDone    uint64
 	BytesReceived uint64
 	RoundFCT      *stats.Histogram // picoseconds
 	LastDone      sim.Time
 
-	eng        *sim.Engine
-	senders    []*incastSender
+	eng        *sim.Engine // aggregator's shard engine (set by Serve)
+	conns      []*incastConn
 	want       int
-	connected  int
 	pending    int
 	roundStart sim.Time
 	running    bool
 }
 
+// incastConn is one accepted sender connection at the aggregator.
+type incastConn struct {
+	g    *IncastGroup
+	sock api.Socket
+	owed int // trigger bytes not yet committed
+}
+
+// incastSender is the sender half: it answers each trigger byte with a
+// BlockBytes blast. It reads only immutable group config (BlockBytes).
 type incastSender struct {
 	g         *IncastGroup
 	sock      api.Socket
@@ -347,53 +456,76 @@ type incastSender struct {
 
 // Serve installs the aggregator on a stack port.
 func (g *IncastGroup) Serve(stack api.Stack, port uint16) {
+	g.eng = stack.Engine()
 	if g.RoundFCT == nil {
 		g.RoundFCT = stats.NewHistogram()
 	}
 	stack.Listen(port, func(sock api.Socket) {
-		sock.OnReadable(func() {
-			a, b := sock.Peek()
-			n := api.ViewLen(a, b)
-			if n == 0 {
-				return
-			}
-			sock.Consume(n)
-			g.BytesReceived += uint64(n)
-			g.pending -= n
-			if g.running && g.pending <= 0 {
-				g.roundDone()
-			}
-		})
+		ic := &incastConn{g: g, sock: sock}
+		g.conns = append(g.conns, ic)
+		sock.OnReadable(ic.drain)
+		sock.OnWritable(ic.push)
+		if len(g.conns) == g.want && !g.running && g.RoundsDone == 0 {
+			g.startRound()
+		}
 	})
 }
 
 // Start opens one connection per sender entry (pass a stack several times
-// for several connections from one host) and begins round 1 once every
-// sender is connected.
-func (g *IncastGroup) Start(eng *sim.Engine, senders []api.Stack, agg api.Addr) {
-	g.eng = eng
+// for several connections from one host). Round 1 begins once the
+// aggregator has accepted every connection.
+func (g *IncastGroup) Start(senders []api.Stack, agg api.Addr) {
 	g.want = len(senders)
 	for _, stack := range senders {
 		is := &incastSender{g: g}
-		g.senders = append(g.senders, is)
 		stack.Dial(agg, func(sock api.Socket) {
 			is.sock = sock
 			sock.OnWritable(is.pump)
-			g.connected++
-			if g.connected == g.want {
-				g.startRound()
-			}
+			sock.OnReadable(is.trigger)
 		})
 	}
+}
+
+// drain consumes arrived block bytes and completes the round when all
+// N×BlockBytes are in.
+func (ic *incastConn) drain() {
+	g := ic.g
+	a, b := ic.sock.Peek()
+	n := api.ViewLen(a, b)
+	if n == 0 {
+		return
+	}
+	ic.sock.Consume(n)
+	g.BytesReceived += uint64(n)
+	g.pending -= n
+	if g.running && g.pending <= 0 {
+		g.roundDone()
+	}
+}
+
+// push commits any trigger bytes that didn't fit earlier.
+func (ic *incastConn) push() {
+	if ic.owed == 0 {
+		return
+	}
+	w := ic.sock.TxSpace()
+	if w > ic.owed {
+		w = ic.owed
+	}
+	if w == 0 {
+		return
+	}
+	ic.sock.Commit(w)
+	ic.owed -= w
 }
 
 func (g *IncastGroup) startRound() {
 	g.running = true
 	g.roundStart = g.eng.Now()
 	g.pending = g.want * g.BlockBytes
-	for _, is := range g.senders {
-		is.remaining = g.BlockBytes
-		is.pump()
+	for _, ic := range g.conns {
+		ic.owed++
+		ic.push()
 	}
 }
 
@@ -410,6 +542,19 @@ func (g *IncastGroup) roundDone() {
 
 // incastStartRound launches the next barrier round (see Engine.AtCall).
 func incastStartRound(a any) { a.(*IncastGroup).startRound() }
+
+// trigger consumes arrived trigger bytes — one per round — and owes the
+// sender one block per byte (coalesced triggers queue further blocks).
+func (is *incastSender) trigger() {
+	a, b := is.sock.Peek()
+	n := api.ViewLen(a, b)
+	if n == 0 {
+		return
+	}
+	is.sock.Consume(n)
+	is.remaining += n * is.g.BlockBytes
+	is.pump()
+}
 
 // pump commits the round's remaining block bytes as padding — incast
 // blocks carry no examined content, so nothing is staged or copied.
@@ -443,11 +588,11 @@ type Background struct {
 
 // StartBackground installs a bulk sink on sinkStack:port and saturates it
 // with conns connections from srcs.
-func StartBackground(eng *sim.Engine, srcs []api.Stack, sinkStack api.Stack, port uint16, conns int) *Background {
+func StartBackground(srcs []api.Stack, sinkStack api.Stack, port uint16, conns int) *Background {
 	b := &Background{Sink: &apps.BulkSink{}}
 	b.Sink.Serve(sinkStack, port)
 	for i := 0; i < conns; i++ {
-		(&apps.BulkSender{}).Start(eng, srcs[i%len(srcs)], api.Addr{IP: sinkStack.LocalIP(), Port: port})
+		(&apps.BulkSender{}).Start(srcs[i%len(srcs)], api.Addr{IP: sinkStack.LocalIP(), Port: port})
 	}
 	return b
 }

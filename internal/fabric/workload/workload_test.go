@@ -67,19 +67,19 @@ func TestFlowGenCompletesAllFlows(t *testing.T) {
 		Seed:     5,
 	}
 	g.Serve(tb.M("rcv").Stack, 9100)
-	g.Start(tb.Eng, []api.Stack{tb.M("snd").Stack}, tb.Addr("rcv", 9100))
+	g.Start([]api.Stack{tb.M("snd").Stack}, tb.Addr("rcv", 9100))
 	tb.Run(20 * sim.Millisecond)
 
 	if !g.Done() {
-		t.Fatalf("only %d/%d flows completed", g.Completed, g.MaxFlows)
+		t.Fatalf("only %d/%d flows completed", g.Completed(), g.MaxFlows)
 	}
-	if g.BytesCompleted != 50*8192 {
-		t.Fatalf("BytesCompleted = %d, want %d", g.BytesCompleted, 50*8192)
+	if g.BytesCompleted() != 50*8192 {
+		t.Fatalf("BytesCompleted = %d, want %d", g.BytesCompleted(), 50*8192)
 	}
-	if g.FCT.Count() != 50 {
-		t.Fatalf("FCT samples = %d, want 50", g.FCT.Count())
+	if g.FCT().Count() != 50 {
+		t.Fatalf("FCT samples = %d, want 50", g.FCT().Count())
 	}
-	if g.FCT.Percentile(50) <= 0 {
+	if g.FCT().Percentile(50) <= 0 {
 		t.Fatal("non-positive median FCT")
 	}
 }
@@ -96,9 +96,9 @@ func TestFlowGenHeavyTailOverLinux(t *testing.T) {
 		Seed:     9,
 	}
 	g.Serve(tb.M("rcv").Stack, 9100)
-	g.Start(tb.Eng, []api.Stack{tb.M("snd").Stack}, tb.Addr("rcv", 9100))
+	g.Start([]api.Stack{tb.M("snd").Stack}, tb.Addr("rcv", 9100))
 	tb.Run(120 * sim.Millisecond)
-	if g.Completed == 0 {
+	if g.Completed() == 0 {
 		t.Fatal("no heavy-tail flows completed over the Linux personality")
 	}
 }
@@ -123,7 +123,7 @@ func TestIncastRoundsComplete(t *testing.T) {
 	for i := 0; i < 8; i++ { // 2 connections per sender host
 		senders = append(senders, tb.M("s"+string(rune('0'+i%4))).Stack)
 	}
-	g.Start(tb.Eng, senders, tb.Addr("agg", 9200))
+	g.Start(senders, tb.Addr("agg", 9200))
 	tb.Run(40 * sim.Millisecond)
 
 	if g.RoundsDone != 5 {
@@ -141,7 +141,7 @@ func TestIncastRoundsComplete(t *testing.T) {
 // moves bytes.
 func TestBackgroundTraffic(t *testing.T) {
 	tb := twoRack(testbed.FlexTOE, 77)
-	bg := workload.StartBackground(tb.Eng, []api.Stack{tb.M("snd").Stack}, tb.M("rcv").Stack, 9300, 2)
+	bg := workload.StartBackground([]api.Stack{tb.M("snd").Stack}, tb.M("rcv").Stack, 9300, 2)
 	tb.Run(3 * sim.Millisecond)
 	if bg.Sink.Received == 0 {
 		t.Fatal("background traffic delivered nothing")

@@ -78,6 +78,9 @@ func (s *Stack) Name() string { return "FlexTOE" }
 // Machine returns the host CPU model.
 func (s *Stack) Machine() *host.Machine { return s.machine }
 
+// Engine returns the shard engine this stack runs on.
+func (s *Stack) Engine() *sim.Engine { return s.eng }
+
 // LocalIP returns the machine's address.
 func (s *Stack) LocalIP() packet.IPv4Addr { return s.localIP }
 

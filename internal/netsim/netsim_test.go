@@ -390,7 +390,7 @@ func TestDropPointsReleaseFrameAndPacket(t *testing.T) {
 			if got := packet.Get(); got != victim {
 				t.Fatalf("dropped packet not recycled: pool returned %p, want %p", got, victim)
 			}
-			if f := frameFree.Get(); f == nil {
+			if f := defaultFrames.free.Get(); f == nil {
 				t.Fatal("dropped frame not returned to the freelist")
 			}
 		})

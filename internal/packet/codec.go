@@ -21,10 +21,13 @@ type Packet struct {
 	Payload []byte
 
 	// buf is the retained payload backing of a pooled packet (GrowPayload
-	// carves Payload from it); pooled marks packets obtained from Get so
-	// Release is a safe no-op on ordinary &Packet{} literals.
+	// carves Payload from it); pooled marks packets obtained from a Pool
+	// so Release is a safe no-op on ordinary &Packet{} literals; pool is
+	// the shard pool that currently owns the packet (re-pointed by
+	// Pool.Adopt when a frame crosses a shard boundary).
 	buf    []byte
 	pooled bool
+	pool   *Pool
 }
 
 // Decode errors.

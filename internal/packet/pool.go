@@ -1,9 +1,12 @@
 package packet
 
-import "flextoe/internal/shm"
+import (
+	"flextoe/internal/shm"
+	"flextoe/internal/sim"
+)
 
 // The data path builds every ACK and data segment into a recycled Packet
-// whose payload bytes are carved from a shared slab (shm.Slab), so the
+// whose payload bytes are carved from a slab (shm.Slab), so the
 // steady-state wire path performs no heap allocation.
 //
 // Ownership rule (the single rule everything follows): a Packet has
@@ -16,59 +19,112 @@ import "flextoe/internal/shm"
 // (retransmissions rebuild from the payload buffer). Release on a packet
 // built with a plain &Packet{} literal (control plane, applications,
 // tests) is a no-op, so consumers can release unconditionally.
+//
+// Sharding (PR 7): freelists and slabs are single-threaded by design, so
+// each shard engine owns a private Pool (PoolOf). A packet remembers the
+// pool it came from; when a frame crosses a shard boundary the receiving
+// interface adopts the packet into its own shard's pool (Pool.Adopt), so
+// Release — wherever the journey ends — always recycles into the pool of
+// the shard that currently owns the packet. Payload backings migrate with
+// the packet and are never returned to any slab, so adoption is safe.
 
-// payloadSlab backs pooled packets' payload bytes. The 2 KB class covers
-// the MTU-sized segments of every experiment; oversized payloads fall
-// back to a dedicated make that the packet then retains.
-var payloadSlab = shm.NewSlab(2048, 256)
+// Pool is one shard's packet pool: a freelist of Packet shells plus the
+// slab backing their payload bytes. A Pool is single-threaded; use one
+// per shard engine (PoolOf) or per test.
+type Pool struct {
+	slab *shm.Slab
+	free shm.Freelist[Packet]
 
-// pktFree is the global packet freelist. The simulation is single-
-// threaded, so a plain stack suffices; packets never released (e.g.
-// retained by a test) simply fall to the garbage collector.
-var pktFree shm.Freelist[Packet]
-
-// PoolStats reports pooled-packet traffic for tests and diagnostics.
-var PoolStats struct {
-	Gets     uint64
-	Releases uint64
+	// Stats counts pooled-packet traffic for tests and diagnostics,
+	// merged across shards at readout (see testbed.PoolStats).
+	Stats struct {
+		Gets     uint64
+		Releases uint64
+	}
 }
 
-// Get returns a zeroed pooled Packet. The caller owns it until it calls
-// Release or transmits it (transferring ownership to the receiver).
-func Get() *Packet {
-	PoolStats.Gets++
-	if p := pktFree.Get(); p != nil {
+// NewPool returns an empty pool. The 2 KB payload class covers the
+// MTU-sized segments of every experiment; oversized payloads fall back to
+// a dedicated make that the packet then retains.
+func NewPool() *Pool {
+	return &Pool{slab: shm.NewSlab(2048, 256)}
+}
+
+// defaultPool serves the package-level Get for single-threaded tests,
+// examples, and the control plane's standalone uses. Hot paths obtain the
+// per-shard pool via PoolOf instead.
+//
+//flexvet:sharedstate shard-confined — reached only from single-threaded entry points; every sharded hot path uses PoolOf(engine)
+var defaultPool = NewPool()
+
+// poolKey keys the per-engine Pool in Engine.Local.
+type poolKey struct{}
+
+func newPool() any { return NewPool() }
+
+// PoolOf returns eng's shard-local packet pool, creating it on first use.
+func PoolOf(eng *sim.Engine) *Pool {
+	return eng.Local(poolKey{}, newPool).(*Pool)
+}
+
+// Get returns a zeroed pooled Packet owned by this pool. The caller owns
+// it until it calls Release or transmits it (transferring ownership to
+// the receiver).
+func (pl *Pool) Get() *Packet {
+	pl.Stats.Gets++
+	if p := pl.free.Get(); p != nil {
 		checkPoison(p)
+		p.pool = pl
 		return p
 	}
-	return &Packet{pooled: true}
+	return &Packet{pooled: true, pool: pl}
 }
 
-// Release recycles a pooled packet. It is a no-op for packets not obtained
-// from Get, so consumers may call it unconditionally on any packet they
-// terminally own. Releasing the same packet twice is a caller bug (the
-// pool would hand one object to two owners); the pipeline's refcounted
-// segment items make that structurally impossible on the data path.
+// Adopt transfers a pooled packet into this pool. Called by the receiving
+// interface when a frame crosses a shard boundary, so the packet's
+// eventual Release recycles into the owning shard's freelist. A no-op for
+// unpooled packets.
+func (pl *Pool) Adopt(p *Packet) {
+	if p != nil && p.pooled {
+		p.pool = pl
+	}
+}
+
+// Get returns a zeroed pooled Packet from the default pool. Single-
+// threaded callers only; sharded hot paths use PoolOf(engine).Get.
+func Get() *Packet {
+	return defaultPool.Get()
+}
+
+// Release recycles a pooled packet into the pool that currently owns it.
+// It is a no-op for packets not obtained from a Pool, so consumers may
+// call it unconditionally on any packet they terminally own. Releasing
+// the same packet twice is a caller bug (the pool would hand one object
+// to two owners); the pipeline's refcounted segment items make that
+// structurally impossible on the data path.
 func Release(p *Packet) {
 	if p == nil || !p.pooled {
 		return
 	}
-	PoolStats.Releases++
+	pl := p.pool
+	pl.Stats.Releases++
 	buf := p.buf
 	*p = Packet{}
 	p.buf = buf[:0]
 	p.pooled = true
+	p.pool = pl
 	poisonPayload(p)
-	pktFree.Put(p)
+	pl.free.Put(p)
 }
 
 // GrowPayload sets p.Payload to an n-byte buffer carved from the packet's
-// retained backing (growing it from the payload slab on first use) and
-// returns it. The contents are unspecified; callers overwrite them fully.
+// retained backing (growing it from the owning pool's slab on first use)
+// and returns it. The contents are unspecified; callers overwrite them
+// fully.
 func (p *Packet) GrowPayload(n int) []byte {
 	if cap(p.buf) < n {
-		if p.pooled && n <= payloadSlab.Class() {
-			p.buf = payloadSlab.Get()
+		if p.pooled && n <= p.pool.slab.Class() {
+			p.buf = p.pool.slab.Get()
 		} else {
 			p.buf = make([]byte, 0, n)
 		}

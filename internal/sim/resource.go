@@ -39,6 +39,17 @@ func (r *Resource) AcquireCall(n int64, extra Time, cb func(any), arg any) Time 
 	return end
 }
 
+// Reserve books the facility for n units without scheduling anything and
+// returns the completion time (transfer end plus extra). Callers that
+// need delivery-ordered scheduling (netsim's link egress) reserve first,
+// then schedule through Engine.AtLinkCall/Inject with the completion
+// time. The transfer occupies at least one picosecond when n > 0, so the
+// returned time is always strictly after now plus extra — the property
+// the sharding lookahead proof relies on.
+func (r *Resource) Reserve(n int64, extra Time) Time {
+	return r.reserve(n, extra)
+}
+
 // reserve books the facility for n units and returns the completion time.
 func (r *Resource) reserve(n int64, extra Time) Time {
 	now := r.eng.Now()

@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// xev is one cross-shard injected event, parked in a per-pair queue until
+// the destination shard applies it at the next window barrier.
+type xev struct {
+	at   Time
+	dkey uint64
+	cb   func(any)
+	arg  any
+}
+
+// Group runs N engines (shards) in lockstep windows under conservative
+// lookahead synchronization. Frames in flight are the only cross-shard
+// edges; every boundary link registers its minimum latency (NoteBoundary)
+// and the smallest such latency is the lookahead quantum L. Each window
+// executes events in [m, min(m+L, t+1)) where m is the global minimum
+// next-event time: any frame transmitted during the window arrives at or
+// after the window end (serialization takes ≥ 1 ps, then the full
+// propagation delay), so no shard can receive an event inside the window
+// it is currently executing — shards run the window without any
+// coordination, then exchange injected events at a barrier.
+//
+// Determinism does not depend on the window placement: injected events
+// carry the same (timestamp, delivery-key) pair the serial engine would
+// have used, and the event comparator orders same-instant events
+// identically in both modes (see event.before). N=1 bypasses all of this
+// and is byte-for-byte the serial RunUntil path.
+type Group struct {
+	engines []*Engine
+
+	// queues[src*n+dst] is the SPSC ingress queue from shard src to
+	// shard dst: written only by src's worker during the run phase, read
+	// only by dst's worker during the drain phase, with a barrier (and
+	// its happens-before edge) in between.
+	queues [][]xev
+
+	// look is the lookahead quantum: the minimum over boundary links of
+	// (propagation delay + 1 ps). Zero means no boundary links exist and
+	// the shards are fully independent up to the horizon.
+	look Time
+
+	// next/has cache each shard's next-event time between windows.
+	next []Time
+	has  []bool
+
+	wend Time // current window end, read by workers during the run phase
+}
+
+// NewGroup creates n engines sharing one barrier-synchronized group.
+// Engine(0) is the coordinator shard and doubles as the "main" engine for
+// global facilities (switch fabric, background timers).
+func NewGroup(n int) *Group {
+	if n < 1 {
+		panic("sim: group needs at least one engine")
+	}
+	g := &Group{
+		engines: make([]*Engine, n),
+		queues:  make([][]xev, n*n),
+		next:    make([]Time, n),
+		has:     make([]bool, n),
+	}
+	for i := range g.engines {
+		e := New()
+		e.group = g
+		e.id = i
+		g.engines[i] = e
+	}
+	return g
+}
+
+// N returns the number of shards.
+func (g *Group) N() int { return len(g.engines) }
+
+// Engine returns shard i's engine.
+func (g *Group) Engine(i int) *Engine { return g.engines[i] }
+
+// Engines returns all shard engines, coordinator first.
+func (g *Group) Engines() []*Engine { return g.engines }
+
+// NoteBoundary records a cross-shard link whose earliest possible
+// delivery is d after transmission start (propagation delay + minimum
+// serialization). The group lookahead is the minimum over all boundaries.
+func (g *Group) NoteBoundary(d Time) {
+	if d <= 0 {
+		panic(fmt.Sprintf("sim: non-positive boundary lookahead %v", d))
+	}
+	if g.look == 0 || d < g.look {
+		g.look = d
+	}
+}
+
+// Lookahead returns the current lookahead quantum (0 = no boundaries).
+func (g *Group) Lookahead() Time { return g.look }
+
+// enqueue parks an injected event in the src→dst queue. Called only from
+// src's worker during the run phase (single producer).
+func (g *Group) enqueue(src, dst int, ev xev) {
+	i := src*len(g.engines) + dst
+	g.queues[i] = append(g.queues[i], ev)
+}
+
+// drainInto applies every queued injection destined for shard dst, in
+// source-shard order. Ordering across sources does not matter: the
+// events land in dst's wheel and execute in (at, dkey) order, and
+// distinct links never share (at, dkey).
+func (g *Group) drainInto(dst int) {
+	n := len(g.engines)
+	e := g.engines[dst]
+	for src := 0; src < n; src++ {
+		q := g.queues[src*n+dst]
+		if len(q) == 0 {
+			continue
+		}
+		for i := range q {
+			ev := &q[i]
+			e.AtLinkCall(ev.at, ev.dkey, ev.cb, ev.arg)
+			*ev = xev{}
+		}
+		g.queues[src*n+dst] = q[:0]
+	}
+}
+
+// minNext returns the earliest next-event time across shards, or false
+// when every shard is idle or past the horizon t.
+func (g *Group) minNext(t Time) (Time, bool) {
+	var m Time
+	ok := false
+	for i := range g.engines {
+		if g.has[i] && (!ok || g.next[i] < m) {
+			m = g.next[i]
+			ok = true
+		}
+	}
+	if !ok || m > t {
+		return 0, false
+	}
+	return m, true
+}
+
+// groupRun is the per-RunUntil barrier state. Workers are spawned fresh
+// for each RunUntil call and exit at its end, so a Group never pins
+// goroutines between runs and needs no Close. The barrier is a hybrid
+// spin/yield on two atomics: phase (released by the coordinator) and
+// done (arrival count). Atomic operations give the necessary
+// happens-before edges, so a shard's queue writes during the run phase
+// are visible to the reader during the drain phase.
+//
+// Worker count is capped at GOMAXPROCS-1 (coordinator included that is
+// GOMAXPROCS runnable threads) and shards are multiplexed over the
+// workers round-robin: spin barriers are only sound when every
+// participant owns a CPU — oversubscribing turns each barrier handoff
+// into kernel timeslice churn. Window placement and event order are
+// worker-count-independent, so the shard→worker mapping cannot affect
+// results (TestParallelMatchesSerial).
+type groupRun struct {
+	g       *Group
+	workers int // goroutines in addition to the coordinator
+	phase   atomic.Uint64
+	done    atomic.Int64
+	stop    atomic.Bool
+}
+
+// await spins until the coordinator releases phase p.
+func (st *groupRun) await(p uint64) {
+	for spins := 0; st.phase.Load() < p; spins++ {
+		if spins > 512 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// waitAll blocks the coordinator until all workers arrive, then resets
+// the arrival count for the next phase.
+func (st *groupRun) waitAll() {
+	for spins := 0; st.done.Load() < int64(st.workers); spins++ {
+		if spins > 512 {
+			runtime.Gosched()
+		}
+	}
+	st.done.Store(0)
+}
+
+// worker is the loop for one barrier participant: run every owned
+// shard's window, barrier, drain their injections, barrier, repeat —
+// until the coordinator raises stop. Worker w owns shards w+1, w+1+W,
+// w+1+2W, ... (the coordinator owns shard 0 itself).
+func (st *groupRun) worker(w int) {
+	g := st.g
+	n := len(g.engines)
+	local := uint64(0)
+	for {
+		local++
+		st.await(local) // run phase released
+		if st.stop.Load() {
+			st.done.Add(1)
+			return
+		}
+		for i := w + 1; i < n; i += st.workers {
+			g.engines[i].runWindow(g.wend)
+		}
+		st.done.Add(1)
+		local++
+		st.await(local) // drain phase released
+		for i := w + 1; i < n; i += st.workers {
+			g.drainInto(i)
+			g.next[i], g.has[i] = g.engines[i].pendingNext()
+		}
+		st.done.Add(1)
+	}
+}
+
+// runSequential is the windowed loop on the caller goroutine alone, used
+// when GOMAXPROCS leaves no room for workers. Window placement and event
+// order are identical to the parallel path, so the results are too.
+func (g *Group) runSequential(t Time) {
+	for {
+		m, ok := g.minNext(t)
+		if !ok {
+			break
+		}
+		wend := t + 1 // horizon: run events at <= t
+		if g.look > 0 && m+g.look < wend {
+			wend = m + g.look
+		}
+		for _, e := range g.engines {
+			e.runWindow(wend)
+		}
+		for i, e := range g.engines {
+			g.drainInto(i)
+			g.next[i], g.has[i] = e.pendingNext()
+		}
+	}
+}
+
+// RunUntil executes all shards up to and including time t, then advances
+// every shard clock to t. With one shard it is exactly Engine.RunUntil.
+func (g *Group) RunUntil(t Time) {
+	n := len(g.engines)
+	if n == 1 {
+		g.engines[0].RunUntil(t)
+		return
+	}
+	for i, e := range g.engines {
+		g.next[i], g.has[i] = e.pendingNext()
+	}
+	workers := runtime.GOMAXPROCS(0) - 1
+	if workers > n-1 {
+		workers = n - 1
+	}
+	if workers < 1 {
+		g.runSequential(t)
+		for _, e := range g.engines {
+			e.advanceTo(t)
+		}
+		return
+	}
+	st := &groupRun{g: g, workers: workers}
+	for w := 0; w < workers; w++ {
+		go st.worker(w)
+	}
+	phase := uint64(0)
+	for {
+		m, ok := g.minNext(t)
+		if !ok {
+			break
+		}
+		wend := t + 1 // horizon: run events at <= t
+		if g.look > 0 && m+g.look < wend {
+			wend = m + g.look
+		}
+		g.wend = wend
+		phase++
+		st.phase.Store(phase) // release run phase
+		g.engines[0].runWindow(wend)
+		st.waitAll()
+		phase++
+		st.phase.Store(phase) // release drain phase
+		g.drainInto(0)
+		g.next[0], g.has[0] = g.engines[0].pendingNext()
+		st.waitAll()
+	}
+	st.stop.Store(true)
+	phase++
+	st.phase.Store(phase) // release workers into the stop check
+	st.waitAll()
+	for _, e := range g.engines {
+		e.advanceTo(t)
+	}
+}

@@ -18,7 +18,7 @@ func runEcho(t *testing.T, kind StackKind, conns, pipeline int, msgSize int, dur
 	srv := &apps.RPCServer{ReqSize: msgSize}
 	srv.Serve(tb.M("server").Stack, 7777)
 	cl := &apps.ClosedLoopClient{ReqSize: msgSize, Pipeline: pipeline}
-	cl.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 7777), conns)
+	cl.Start(tb.M("client").Stack, tb.Addr("server", 7777), conns)
 	tb.Run(dur)
 	return cl
 }
@@ -76,7 +76,7 @@ func TestCrossStackInterop(t *testing.T) {
 				srv := &apps.RPCServer{ReqSize: 64}
 				srv.Serve(tb.M("server").Stack, 7777)
 				cl := &apps.ClosedLoopClient{ReqSize: 64}
-				cl.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 7777), 2)
+				cl.Start(tb.M("client").Stack, tb.Addr("server", 7777), 2)
 				tb.Run(20 * sim.Millisecond)
 				if cl.Completed < 20 {
 					t.Fatalf("%s client to %s server: %d RPCs", client, server, cl.Completed)
@@ -97,7 +97,7 @@ func TestBulkTransferAllStacks(t *testing.T) {
 			sink := &apps.BulkSink{}
 			sink.Serve(tb.M("server").Stack, 9000)
 			snd := &apps.BulkSender{}
-			snd.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 9000))
+			snd.Start(tb.M("client").Stack, tb.Addr("server", 9000))
 			tb.Run(10 * sim.Millisecond)
 			// At least a few MB in 10 ms on any stack.
 			if sink.Received < 1<<20 {
@@ -120,7 +120,7 @@ func TestBulkUnderLossAllStacks(t *testing.T) {
 			sink := &apps.BulkSink{}
 			sink.Serve(tb.M("server").Stack, 9000)
 			snd := &apps.BulkSender{}
-			snd.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 9000))
+			snd.Start(tb.M("client").Stack, tb.Addr("server", 9000))
 			tb.Run(50 * sim.Millisecond)
 			if sink.Received < 100_000 {
 				t.Fatalf("%s under loss: %d bytes in 50ms", kind, sink.Received)
@@ -137,7 +137,7 @@ func TestKVWorkload(t *testing.T) {
 	kv := &apps.KVServer{AppCycles: 890, ValueLen: 32}
 	kv.Serve(tb.M("server").Stack, 11211)
 	cl := &apps.KVClient{KeyLen: 32, ValLen: 32, SetRatio: 0.1, Seed: 12}
-	cl.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 11211), 8)
+	cl.Start(tb.M("client").Stack, tb.Addr("server", 11211), 8)
 	tb.Run(20 * sim.Millisecond)
 	if cl.Completed < 100 {
 		t.Fatalf("KV completed %d ops", cl.Completed)
@@ -157,7 +157,7 @@ func TestOpenLoopClient(t *testing.T) {
 	srv := &apps.RPCServer{ReqSize: 128}
 	srv.Serve(tb.M("server").Stack, 7777)
 	ol := &apps.OpenLoopClient{ReqSize: 128, Rate: 50_000, Seed: 15}
-	ol.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 7777), 4)
+	ol.Start(tb.M("client").Stack, tb.Addr("server", 7777), 4)
 	tb.Run(20 * sim.Millisecond)
 	// ~1000 requests at 50k/s over 20ms.
 	if ol.Completed < 500 || ol.Completed > 1500 {
@@ -178,7 +178,7 @@ func TestFlexTOEFasterThanLinuxThroughput(t *testing.T) {
 		srv := &apps.RPCServer{ReqSize: 64, AppCycles: 890}
 		srv.Serve(tb.M("server").Stack, 7777)
 		cl := &apps.ClosedLoopClient{ReqSize: 64, Pipeline: 4}
-		cl.Start(tb.Eng, tb.M("client").Stack, tb.Addr("server", 7777), 16)
+		cl.Start(tb.M("client").Stack, tb.Addr("server", 7777), 16)
 		tb.Run(30 * sim.Millisecond)
 		tput[kind] = cl.Completed
 	}
