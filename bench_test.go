@@ -96,6 +96,12 @@ func BenchmarkFig16Fairness(b *testing.B) { runExperiment(b, "fig16") }
 // ECMP spine-balance table.
 func BenchmarkFig17Fabric(b *testing.B) { runExperiment(b, "fig17") }
 
+// BenchmarkFig9ConnScale regenerates the Figure 9-style connection-scale
+// sweep (reproduction extension): B/conn, idle timer cost, and active
+// goodput vs idle fleet size, the Zipf-activity fleet, and the
+// setup/teardown storm.
+func BenchmarkFig9ConnScale(b *testing.B) { runExperiment(b, "fig9conn") }
+
 // ---------------------------------------------------------------------
 // Reassembly microbenchmarks: the protocol stage's RX hot path under
 // in-order delivery, a single hole (the paper's N=1 sweet spot), and

@@ -58,6 +58,71 @@
 // double-release panics and payload poisoning on top (see the flexvet
 // section below).
 //
+// # Connection state budget: million-connection tables and timers
+//
+// FlexTOE's scalability argument (§4.3, Table 5, Fig. 9) is that
+// per-connection state is small and per-connection cost is paid only by
+// active connections. The reproduction pins both halves as contracts
+// (PR 8):
+//
+//   - Slab connection tables. Connections live in fixed 256-entry value
+//     blocks ([]Conn in core, slot pointers in baseline), addressed by
+//     slot id — pointers into a block stay valid forever, and there is no
+//     per-connection heap object or map entry. Flows resolve through
+//     internal/conntab: an open-addressed, linear-probed uint32 index
+//     over packet.Flow.Hash() (the same CRC-32 the pre-processor
+//     computes) with backward-shift deletion, so lookups are 0
+//     allocations and deletions leave no tombstones. Freed slots are
+//     reused FIFO, oldest-freed first: a just-torn-down id stays
+//     quarantined behind the whole free ring while straggling in-flight
+//     work drains. Establishment order, not hash order, drives every
+//     fleet scan (CC polls, adaptive-OOO sweeps), which keeps churn from
+//     perturbing event order — the same workload is bit-identical however
+//     many connections lived and died before it (TestChurnDeterminism).
+//
+//   - Wheel-armed timers. Per-connection deadlines (RTO, persist probes,
+//     FIN teardown, CC polls) are individual sim.Engine events armed only
+//     while the connection can make progress: the data path raises a
+//     timer kick on the transition into "needs service" (bytes in
+//     flight, FIN unacked, zero window with staged data), deduped by a
+//     per-connection hint, and the control plane arms a pooled timer
+//     carrier (getTimer/putTimer, a poolown-enforced pool). A fired
+//     carrier re-arms while service is still needed and is recycled the
+//     moment it is not; the engine has no cancellation, so disarm is
+//     lazy — an epoch check (liveness check in the baselines) kills stale
+//     events. Consequence, and the Fig. 9 gate: idle connections schedule
+//     nothing, and timer cost scales with activations, not with fleet
+//     size (TestTimerCostIdleIndependence: the same active workload costs
+//     the same events over 10^3 and 10^5 idle neighbours).
+//
+//   - Accounting and the budget. Table 5 totals 109 B of wire-protocol
+//     state per connection, +32 B OOO extension, +32 B SACK scoreboard =
+//     173 B. The Go Conn struct carries the same fields plus simulation
+//     bookkeeping in 320 B; ConnStateBytes() charges slot blocks, the
+//     flow index, and the free ring — NIC connection state — and
+//     excludes host payload buffers, which are an application sizing
+//     choice (ctrl.Plane.InstallEstablished therefore accepts shared
+//     buffers for idle fleets). The CI gate (TestMillionConnStateBudget)
+//     bounds the whole thing at 2x Table 5 — 346 B/conn at 10^6
+//     established connections (~330 B measured). Teardown returns a slot
+//     after a 4xMinRTO linger; churned fleets plateau
+//     (TestChurnSteadyStateMemory) instead of growing.
+//
+//   - Listen-path hardening. Half-open connections per listener are
+//     bounded (ListenBacklog; control-plane default 128, baseline default
+//     unbounded for storm experiments, both overridable per
+//     testbed.MachineSpec), with an optional accepted-SYN rate limit on
+//     the FlexTOE control plane. Overflow drops are silent — no RST, the
+//     peer sees SYN loss — and counted (SYNDrops, BacklogOverflows,
+//     AcceptRateDrops), and every dial is either fully established or
+//     counted dropped, uniformly across personalities (apitest
+//     AcceptStormBacklog).
+//
+// The allocation half is enforced by TestConnTableAllocBudget
+// (internal/core): 0 allocations per flow lookup, 0 per warm
+// establish/teardown cycle, amortized < 0.02 per cold establish. The
+// scaling sweep itself is cmd/flexbench fig9conn.
+//
 // # Datacenter fabric: topology model and ECMP hashing contract
 //
 // internal/fabric composes netsim switches into a two-tier leaf–spine

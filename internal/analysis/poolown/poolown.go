@@ -2,6 +2,7 @@
 // packet docs, doc.go "Pooling ownership", PR 3): a pooled object —
 // packet (packet.Get), frame (netsim.NewFrame), segment item
 // ((*TOE).allocSeg), or anything drawn from a shm.Freelist / shm.Slab —
+// or timer carrier (getTimer/putTimer in ctrl and baseline, PR 8) —
 // has exactly one owner at a time. Whoever terminates its journey
 // releases it exactly once and must not touch it afterwards.
 //
@@ -93,6 +94,11 @@ func acquireCall(pass *flexanalysis.Pass, call *ast.CallExpr) (pool string, ok b
 		}
 	case "allocSeg":
 		return "segItem pool", true
+	case "getTimer":
+		// Pooled timer carriers (PR 8): the control plane's connTimer and
+		// the baseline stacks' btimer are drawn per arming and recycled
+		// when the timer fires dead or is disarmed.
+		return "timer pool", true
 	}
 	return "", false
 }
@@ -140,6 +146,8 @@ func releaseCall(pass *flexanalysis.Pass, call *ast.CallExpr) (arg ast.Expr, nam
 			}
 		case "putSeg":
 			return call.Args[0], "putSeg", true
+		case "putTimer":
+			return call.Args[0], "putTimer", true
 		}
 	case *ast.Ident:
 		if fn, isFn := pass.TypesInfo.Uses[fun].(*types.Func); isFn && fn.Pkg() != nil && relFunc(fn) {

@@ -134,6 +134,51 @@ func deferredRelease() uint32 {
 	return p.TCP.Seq
 }
 
+// tcarrier mimics the pooled timer-carrier pattern (ctrl connTimer,
+// baseline btimer): drawn per arming via a getTimer method, recycled via
+// putTimer when the timer fires dead or is disarmed.
+type tcarrier struct{ id uint32 }
+
+type towner struct{ free shm.Freelist[tcarrier] }
+
+func (o *towner) getTimer() *tcarrier {
+	tm := o.free.Get()
+	if tm == nil {
+		tm = &tcarrier{}
+	}
+	return tm
+}
+
+func (o *towner) putTimer(tm *tcarrier) { o.free.Put(tm) }
+
+// timerLeak draws a carrier and never arms or recycles it.
+func (o *towner) timerLeak() {
+	tm := o.getTimer() // want `tm acquired from the timer pool is neither released nor handed off`
+	tm.id = 1
+}
+
+// timerArmed hands the carrier to the engine: ownership rides the event.
+func (o *towner) timerArmed(arm func(*tcarrier)) {
+	tm := o.getTimer()
+	arm(tm)
+}
+
+// timerDouble recycles one carrier twice: two future armings would share
+// it.
+func (o *towner) timerDouble() {
+	tm := o.getTimer()
+	o.putTimer(tm)
+	o.putTimer(tm) // want `double release of tm \(already released by putTimer\)`
+}
+
+// timerUseAfterPut reads a recycled carrier: the next arming may already
+// have rewritten it.
+func (o *towner) timerUseAfterPut() uint32 {
+	tm := o.getTimer()
+	o.putTimer(tm)
+	return tm.id // want `tm used after putTimer released it back to the timer pool`
+}
+
 // annotated: a justified leak (fixtures may drop pooled objects to the
 // garbage collector; the pool refills on demand).
 func annotated() {

@@ -88,6 +88,64 @@ func Run(t *testing.T, kind testbed.StackKind) {
 	t.Run("ViewAliasing", func(t *testing.T) { viewAliasing(t, kind) })
 	t.Run("EOFAfterFINDrain", func(t *testing.T) { eofAfterFIN(t, kind) })
 	t.Run("DataBeforeOnReadable", func(t *testing.T) { dataBeforeOnReadable(t, kind) })
+	t.Run("AcceptStormBacklog", func(t *testing.T) { acceptStorm(t, kind) })
+}
+
+// acceptStorm pins the listen-path hardening contract: under a SYN storm
+// against a bounded backlog, every dial is either fully established (both
+// accept and connect callbacks fire, and the socket carries data) or
+// silently dropped with the drop counted — no half-accepted sockets, no
+// RSTs, no lost counts. Uniform across all four personalities.
+func acceptStorm(t *testing.T, kind testbed.StackKind) {
+	const dials = 192
+	const backlog = 8
+	tb := testbed.New(netsim.SwitchConfig{},
+		testbed.MachineSpec{Name: "server", Kind: kind, Cores: 2, BufSize: 4096,
+			ListenBacklog: backlog, Seed: 33},
+		testbed.MachineSpec{Name: "client", Kind: kind, Cores: 2, BufSize: 4096, Seed: 44},
+	)
+	accepted := 0
+	received := 0
+	tb.M("server").Stack.Listen(9005, func(k api.Socket) {
+		accepted++
+		k.OnReadable(func() {
+			a, b := k.Peek()
+			n := api.ViewLen(a, b)
+			k.Consume(n)
+			received += n
+		})
+	})
+	connected := 0
+	for i := 0; i < dials; i++ {
+		tb.M("client").Stack.Dial(tb.Addr("server", 9005), func(k api.Socket) {
+			connected++
+			k.Send([]byte{1, 2, 3, 4})
+		})
+	}
+	tb.Run(20 * sim.Millisecond)
+
+	var drops, overflows uint64
+	if m := tb.M("server"); m.Ctrl != nil {
+		drops, overflows = m.Ctrl.SYNDrops, m.Ctrl.BacklogOverflows
+	} else {
+		drops, overflows = m.Base.SYNDrops, m.Base.BacklogOverflows
+	}
+	if accepted == 0 {
+		t.Fatalf("%s: storm of %d dials established nothing", kind, dials)
+	}
+	if drops == 0 || overflows == 0 {
+		t.Fatalf("%s: backlog %d never overflowed under %d dials (drops=%d overflows=%d)",
+			kind, backlog, dials, drops, overflows)
+	}
+	if accepted != connected {
+		t.Errorf("%s: %d accepts vs %d connects — a handshake half-completed", kind, accepted, connected)
+	}
+	if uint64(accepted)+drops != dials {
+		t.Errorf("%s: accepted %d + dropped %d != dialed %d", kind, accepted, drops, dials)
+	}
+	if received != 4*accepted {
+		t.Errorf("%s: accepted sockets delivered %d bytes, want %d", kind, received, 4*accepted)
+	}
 }
 
 // partialSend floods a small-buffer connection while the receiver sits on

@@ -241,6 +241,12 @@ type OpenLoopClient struct {
 	RespSize int
 	Rate     float64 // requests/second
 	Seed     uint64
+	// ZipfS > 0 picks the connection per arrival from a Zipf(s)
+	// distribution over the fleet instead of round-robin: a small hot set
+	// carries most of the traffic while the tail stays nearly idle — the
+	// activity pattern of large long-lived connection fleets (Fig. 9
+	// scaling sweeps).
+	ZipfS float64
 
 	Completed uint64
 	Dropped   uint64 // requests skipped because the socket buffer was full
@@ -248,6 +254,7 @@ type OpenLoopClient struct {
 
 	eng   *sim.Engine
 	rng   *stats.RNG
+	zipf  *stats.Zipf
 	conns []*clientConn
 	next  int
 }
@@ -256,6 +263,9 @@ type OpenLoopClient struct {
 func (c *OpenLoopClient) Start(stack api.Stack, server api.Addr, conns int) {
 	c.eng = stack.Engine()
 	c.rng = stats.NewRNG(c.Seed + 7)
+	if c.ZipfS > 0 && conns > 0 {
+		c.zipf = stats.NewZipf(conns, c.ZipfS)
+	}
 	if c.Latency == nil {
 		c.Latency = stats.NewHistogram()
 	}
@@ -286,8 +296,12 @@ func (c *OpenLoopClient) scheduleNext() {
 func openLoopArrive(a any) {
 	c := a.(*OpenLoopClient)
 	if len(c.conns) > 0 {
-		cc := c.conns[c.next%len(c.conns)]
+		idx := c.next % len(c.conns)
 		c.next++
+		if c.zipf != nil {
+			idx = c.zipf.Pick(c.rng) % len(c.conns)
+		}
+		cc := c.conns[idx]
 		if cc.txOwed == 0 && cc.sock.TxSpace() >= c.ReqSize {
 			cc.issue()
 		} else {

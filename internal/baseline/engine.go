@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"flextoe/internal/api"
+	"flextoe/internal/conntab"
 	"flextoe/internal/host"
 	"flextoe/internal/netsim"
 	"flextoe/internal/packet"
@@ -26,13 +27,27 @@ type Stack struct {
 	localMAC packet.EtherAddr
 	bufSize  uint32
 
-	conns map[packet.Flow]*bconn
-	// connList is the deterministic scan order for the RTO loop
-	// (creation order); iterating the map would randomize retransmission
+	// Connection table: an open-addressed flow-hash index into a dense
+	// slot array (doc.go "Connection state budget"). Slot ids of removed
+	// connections recycle FIFO so straggling timer carriers and in-flight
+	// segment work see a nil slot, not a stranger.
+	flowIdx  *conntab.Index
+	slots    []*bconn
+	free     []uint32
+	freeHead int
+	nLive    int
+	// connList is the deterministic establishment-order scan list
+	// (swap-compacted on removal); iterating a map here would randomize
 	// event order between identical runs.
 	connList  []*bconn
-	listeners map[uint16]func(api.Socket)
+	listeners map[uint16]*blistener
 	nextPort  uint16
+
+	// timerFree recycles per-connection retransmission-timer carriers:
+	// each live connection with bytes (or a FIN) outstanding holds at most
+	// one armed timer on the engine wheel, so timer cost scales with
+	// active connections, not with the table size.
+	timerFree shm.Freelist[btimer]
 
 	// ResolveMAC maps destination IPs to MACs (static ARP, installed by
 	// the testbed).
@@ -46,9 +61,19 @@ type Stack struct {
 	segFree shm.Freelist[segWork]
 
 	// Statistics.
-	RxSegs, TxSegs uint64
-	Retransmits    uint64
-	FastRetx       uint64
+	RxSegs, TxSegs   uint64
+	Retransmits      uint64
+	FastRetx         uint64
+	SYNDrops         uint64 // SYNs silently dropped (no RST), all causes
+	BacklogOverflows uint64 // SYN drops due to a full listen backlog
+}
+
+// blistener is one listening port: the accept callback plus the count of
+// half-open (SYN-received, first-ACK pending) connections charged against
+// Profile.ListenBacklog.
+type blistener struct {
+	accept   func(api.Socket)
+	pendingN int
 }
 
 // NewStack builds a baseline stack on a NIC interface.
@@ -66,10 +91,10 @@ func NewStack(eng *sim.Engine, prof Profile, iface *netsim.Iface,
 		bufSize:   bufSize,
 		pkts:      packet.PoolOf(eng),
 		frames:    netsim.FramesOf(eng),
-		conns:     make(map[packet.Flow]*bconn),
-		listeners: make(map[uint16]func(api.Socket)),
+		listeners: make(map[uint16]*blistener),
 		nextPort:  30000,
 	}
+	s.flowIdx = conntab.New(func(slot uint32) packet.Flow { return s.slots[slot].flow })
 	hz := machine.Cores[0].Hz()
 	s.lock = sim.NewResource(eng, prof.Name+"/lock", float64(hz))
 	if prof.ASIC {
@@ -79,12 +104,8 @@ func NewStack(eng *sim.Engine, prof Profile, iface *netsim.Iface,
 		s.stackCores = append(s.stackCores, host.NewCore(eng, prof.Name+"/fastpath", hz))
 	}
 	iface.Recv = s.rx
-	eng.EveryCall(500*sim.Microsecond, 500*sim.Microsecond, stackRTOScan, s)
 	return s
 }
-
-// stackRTOScan adapts the RTO scan to the EveryCall form.
-func stackRTOScan(a any) bool { a.(*Stack).rtoScan(); return true }
 
 // Name returns the stack personality name.
 func (s *Stack) Name() string { return s.prof.Name }
@@ -128,6 +149,17 @@ type bconn struct {
 	stack   *Stack
 	flow    packet.Flow
 	peerMAC packet.EtherAddr
+
+	// Table bookkeeping (doc.go "Connection state budget"): id is the
+	// dense slot, listIdx the position in the establishment-order scan
+	// list. live gates straggling timer fires and deferred segment work
+	// after removal.
+	id       uint32
+	listIdx  int
+	live     bool
+	rtoArmed bool
+	halfOpen bool     // passive open awaiting its first post-handshake segment
+	lingerAt sim.Time // fully-closed reclaim deadline; 0 = not yet scheduled
 
 	// Sender (absolute stream offsets; seq = iss + uint32(offset)).
 	iss      uint32
@@ -285,7 +317,7 @@ func (s *Stack) rx(f *netsim.Frame) {
 	pkt := f.Pkt
 	netsim.ReleaseFrame(f)
 	flow := pkt.Flow().Reverse()
-	c := s.conns[flow]
+	c := s.lookup(flow)
 	if c == nil {
 		// handshake consumes the segment synchronously (it never retains
 		// the packet), so its journey ends here on every branch.
@@ -299,6 +331,14 @@ func (s *Stack) rx(f *netsim.Frame) {
 			return
 		}
 	}
+	if c.halfOpen {
+		// First segment after the SYN/SYN-ACK exchange: the passive open
+		// graduates from the listen backlog.
+		c.halfOpen = false
+		if l := s.listeners[flow.SrcPort]; l != nil && l.pendingN > 0 {
+			l.pendingN--
+		}
+	}
 	s.RxSegs++
 	w := s.getSegWork()
 	w.s, w.c, w.pkt = s, c, pkt
@@ -309,7 +349,7 @@ func (s *Stack) rx(f *netsim.Frame) {
 		return
 	}
 	core := c.stackCore()
-	task := s.segCost(len(s.conns))
+	task := s.segCost(s.nLive)
 	if len(s.stackCores) == 0 && !core.Busy() && s.prof.NotifyWakeupUs > 0 {
 		// Inline stack on an idle core: the interrupt must wake the
 		// CPU and schedule the softirq before any TCP work happens.
@@ -326,6 +366,12 @@ func (s *Stack) rx(f *netsim.Frame) {
 
 // handleSeg runs the protocol logic (after the cost model).
 func (s *Stack) handleSeg(c *bconn, pkt *packet.Packet) {
+	if !c.live {
+		// The connection was reclaimed while this segment's processing
+		// cost was still queued behind the lock or a busy core.
+		packet.Release(pkt)
+		return
+	}
 	tcp := &pkt.TCP
 
 	// --- ACK processing (sender side). ---------------------------------
@@ -344,6 +390,11 @@ func (s *Stack) handleSeg(c *bconn, pkt *packet.Packet) {
 				acked--
 			}
 			c.una += acked
+			if c.nxt < c.una {
+				// A go-back-N rewind raced with an ACK for data the peer
+				// had already buffered: SND.NXT = max(SND.NXT, SND.UNA).
+				c.nxt = c.una
+			}
 			c.trimSACK()
 			c.dupacks = 0
 			c.lastProgress = s.eng.Now()
@@ -403,6 +454,7 @@ func (s *Stack) handleSeg(c *bconn, pkt *packet.Packet) {
 	}
 
 	s.txPump(c)
+	s.maybeArmTimer(c)
 	// The segment is fully consumed (payload copied, SACK ingested).
 	packet.Release(pkt)
 }
@@ -735,11 +787,16 @@ func (s *Stack) txStep(c *bconn) {
 func bconnEmit(a any) {
 	c := a.(*bconn)
 	s := c.stack
+	if !c.live {
+		c.pumping = false
+		return
+	}
 	n := c.txN
 	off := c.nxt
 	fin := c.finAt != ^uint64(0) && off+n == c.appended
 	s.emitSegment(c, off, n, fin)
 	c.nxt += n
+	s.maybeArmTimer(c)
 	s.txStep(c)
 }
 
@@ -768,40 +825,191 @@ func (c *bconn) retxLen() uint64 {
 	return n
 }
 
-// rtoScan retransmits stalled connections.
-func (s *Stack) rtoScan() {
+// --- Connection table and per-connection timers. ------------------------
+//
+// The retransmission timer used to be a 500 µs full scan over every
+// connection — O(total) work per tick, which at 10^5+ mostly-idle
+// connections dwarfs the actual protocol work. Each connection now arms at
+// most one pooled carrier on the engine's timing wheel, only while it has
+// bytes (or an unacknowledged FIN) outstanding; fully-closed connections
+// ride the same carrier through a linger period and are then reclaimed.
+
+// lookup resolves a flow to its live connection (0 allocations).
+func (s *Stack) lookup(f packet.Flow) *bconn {
+	id, ok := s.flowIdx.Lookup(f)
+	if !ok {
+		return nil
+	}
+	return s.slots[id]
+}
+
+// NumConns returns the number of live connections.
+func (s *Stack) NumConns() int { return s.nLive }
+
+// ConnTableBytes reports the connection-table footprint: the slot array,
+// the flow-hash index, and the free-slot ring (not the bconn payload
+// buffers, which are an application sizing choice).
+func (s *Stack) ConnTableBytes() int {
+	return len(s.slots)*8 + s.flowIdx.MemBytes() + cap(s.free)*4
+}
+
+// installConn assigns a slot (FIFO-recycled) and indexes the flow.
+func (s *Stack) installConn(c *bconn) {
+	var id uint32
+	if s.freeHead < len(s.free) {
+		id = s.free[s.freeHead]
+		s.free, s.freeHead = shm.PopRing(s.free, s.freeHead)
+	} else {
+		id = uint32(len(s.slots))
+		s.slots = append(s.slots, nil)
+	}
+	c.id = id
+	c.live = true
+	c.listIdx = len(s.connList)
+	s.slots[id] = c
+	s.flowIdx.Insert(c.flow, id)
+	s.connList = append(s.connList, c)
+	s.nLive++
+}
+
+// removeConn reclaims a fully-closed connection: the flow-index entry, the
+// dense slot (FIFO-recycled), and the scan-list position (swap-compacted).
+// The bconn itself stays readable so an application socket can still drain
+// buffered bytes; it is garbage once the socket reference drops.
+func (s *Stack) removeConn(c *bconn) {
+	if !c.live {
+		return
+	}
+	c.live = false
+	s.flowIdx.Delete(c.flow) // before the slot is cleared: Delete reads flows via slots
+	last := len(s.connList) - 1
+	moved := s.connList[last]
+	s.connList[c.listIdx] = moved
+	moved.listIdx = c.listIdx
+	s.connList[last] = nil
+	s.connList = s.connList[:last]
+	s.slots[c.id] = nil
+	s.free = append(s.free, c.id)
+	s.nLive--
+}
+
+// btimer carries one armed retransmission timer from AfterCall to its
+// fire without a closure per arm. Pooled: the fire consumes and recycles
+// the carrier when the connection no longer needs timer service.
+type btimer struct {
+	s *Stack
+	c *bconn
+}
+
+func (s *Stack) getTimer() *btimer {
+	if tm := s.timerFree.Get(); tm != nil {
+		return tm
+	}
+	return &btimer{}
+}
+
+func (s *Stack) putTimer(tm *btimer) {
+	*tm = btimer{}
+	s.timerFree.Put(tm)
+}
+
+// timerOutstanding reports whether the retransmission timer has work:
+// unacked bytes in flight, or a sent-but-unacked FIN.
+func (c *bconn) timerOutstanding() bool {
+	return c.nxt > c.una || (c.finAt != ^uint64(0) && c.finSent && !c.finAcked)
+}
+
+// rto returns the current backed-off retransmission timeout.
+func (c *bconn) rto() sim.Time {
+	rto := c.stack.prof.MinRTO << uint(c.backoff)
+	if c.srtt > 0 && 4*c.srtt > c.stack.prof.MinRTO {
+		rto = (4 * c.srtt) << uint(c.backoff)
+	}
+	return rto
+}
+
+// maybeArmTimer arms the connection's timer if it needs service and has
+// none armed. Called at the transmit and receive kick points; the
+// rtoArmed flag dedupes so an armed connection costs nothing here.
+func (s *Stack) maybeArmTimer(c *bconn) {
+	if c.rtoArmed || !c.live {
+		return
+	}
+	var delay sim.Time
+	switch {
+	case c.timerOutstanding():
+		if d := c.lastProgress + c.rto() - s.eng.Now(); d > 0 {
+			delay = d
+		}
+	case c.finAcked && c.peerFin:
+		// Fully closed: schedule the linger-and-reclaim pass.
+		if c.lingerAt == 0 {
+			c.lingerAt = s.eng.Now() + 4*s.prof.MinRTO
+		}
+		delay = c.lingerAt - s.eng.Now()
+	default:
+		return
+	}
+	c.rtoArmed = true
+	tm := s.getTimer()
+	tm.s, tm.c = s, c
+	s.eng.AfterCall(delay, btimerFire, tm)
+}
+
+// btimerFire services one connection's timer: retransmit on RTO expiry and
+// re-arm while work remains; reclaim fully-closed connections after the
+// linger period; otherwise disarm and recycle the carrier (lazy
+// cancellation — state changes never chase an in-flight timer).
+func btimerFire(a any) {
+	tm := a.(*btimer)
+	s, c := tm.s, tm.c
+	if !c.live {
+		s.putTimer(tm)
+		return
+	}
 	now := s.eng.Now()
-	for _, c := range s.connList {
-		if c.nxt == c.una && !(c.finAt != ^uint64(0) && !c.finAcked && c.finSent) {
-			continue
+	switch {
+	case c.timerOutstanding():
+		c.lingerAt = 0
+		rto := c.rto()
+		if now-c.lastProgress >= rto {
+			s.Retransmits++
+			c.lastProgress = now
+			if c.backoff < 6 {
+				c.backoff++
+			}
+			c.ssthresh = c.cwnd / 2
+			if c.ssthresh < 2*1448 {
+				c.ssthresh = 2 * 1448
+			}
+			c.cwnd = 2 * 1448
+			switch s.prof.Recovery {
+			case RecoverySACK:
+				// RFC 2018 reneging rule: a timeout must not trust the
+				// scoreboard; restart from the head.
+				c.sack = c.sack[:0]
+				s.emitSegment(c, c.una, c.retxLen(), false)
+			default:
+				c.nxt = c.una
+				c.finSent = false
+				s.txPump(c)
+			}
+			rto = c.rto()
 		}
-		rto := s.prof.MinRTO << uint(c.backoff)
-		if c.srtt > 0 && 4*c.srtt > s.prof.MinRTO {
-			rto = (4 * c.srtt) << uint(c.backoff)
+		s.eng.AfterCall(c.lastProgress+rto-now, btimerFire, tm)
+	case c.finAcked && c.peerFin:
+		if c.lingerAt == 0 {
+			c.lingerAt = now + 4*s.prof.MinRTO
 		}
-		if now-c.lastProgress < rto {
-			continue
+		if now >= c.lingerAt {
+			c.rtoArmed = false
+			s.putTimer(tm)
+			s.removeConn(c)
+			return
 		}
-		s.Retransmits++
-		c.lastProgress = now
-		if c.backoff < 6 {
-			c.backoff++
-		}
-		c.ssthresh = c.cwnd / 2
-		if c.ssthresh < 2*1448 {
-			c.ssthresh = 2 * 1448
-		}
-		c.cwnd = 2 * 1448
-		switch s.prof.Recovery {
-		case RecoverySACK:
-			// RFC 2018 reneging rule: a timeout must not trust the
-			// scoreboard; restart from the head.
-			c.sack = c.sack[:0]
-			s.emitSegment(c, c.una, c.retxLen(), false)
-		default:
-			c.nxt = c.una
-			c.finSent = false
-			s.txPump(c)
-		}
+		s.eng.AfterCall(c.lingerAt-now, btimerFire, tm)
+	default:
+		c.rtoArmed = false
+		s.putTimer(tm)
 	}
 }

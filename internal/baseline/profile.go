@@ -97,6 +97,12 @@ type Profile struct {
 	// MinRTO for this stack's retransmission timer.
 	MinRTO sim.Time
 
+	// ListenBacklog caps half-open (SYN-received, first-ACK pending)
+	// connections per listening port; SYNs beyond it are silently
+	// dropped, as the kernel SYN queue does. 0 = unbounded (the default:
+	// scaling experiments open storms of connections by design).
+	ListenBacklog int
+
 	// MSS is the maximum segment size (default 1448).
 	MSS uint32
 }

@@ -7,9 +7,12 @@ import (
 	"flextoe/internal/tcpseg"
 )
 
-// Listen registers an accept handler for a port.
+// Listen registers an accept handler for a port. The listen backlog
+// (Profile.ListenBacklog; 0 = unbounded) caps half-open connections per
+// port: SYNs beyond it are silently dropped, as a kernel does when the
+// SYN queue overflows.
 func (s *Stack) Listen(port uint16, accept func(api.Socket)) {
-	s.listeners[port] = accept
+	s.listeners[port] = &blistener{accept: accept}
 }
 
 // Dial opens a connection to a remote endpoint. The MAC is resolved via
@@ -49,8 +52,7 @@ func (s *Stack) newConn(flow packet.Flow, peerMAC packet.EtherAddr) *bconn {
 		finAt:        ^uint64(0),
 		lastProgress: s.eng.Now(),
 	}
-	s.conns[flow] = c
-	s.connList = append(s.connList, c)
+	s.installConn(c)
 	return c
 }
 
@@ -63,11 +65,22 @@ func (s *Stack) handshake(pkt *packet.Packet, flow packet.Flow) {
 		// This side sent the SYN: the conn exists keyed by flow.
 		// (handled below via conns lookup in rx — unreachable here)
 	case tcp.HasFlag(packet.FlagSYN):
-		accept, ok := s.listeners[tcp.DstPort]
+		l, ok := s.listeners[tcp.DstPort]
 		if !ok {
 			return
 		}
+		if max := s.prof.ListenBacklog; max > 0 && l.pendingN >= max {
+			// SYN-queue overflow: drop silently (no RST), like a kernel
+			// under a SYN flood. The peer's SYN retransmission — or, in
+			// this simulation, the dial simply never completing — is the
+			// observable effect.
+			s.SYNDrops++
+			s.BacklogOverflows++
+			return
+		}
 		c := s.newConn(flow, pkt.Eth.Src)
+		c.halfOpen = true
+		l.pendingN++
 		c.irs = tcp.Seq + 1
 		c.synDone = true
 		c.sackOK = tcp.SACKPerm && s.prof.Recovery == RecoverySACK
@@ -83,7 +96,7 @@ func (s *Stack) handshake(pkt *packet.Packet, flow packet.Flow) {
 		sock := newBSocket(c)
 		c.sock = sock
 		//flexvet:hotclosure passive open runs once per connection, not per event
-		s.eng.Immediately(func() { accept(sock) })
+		s.eng.Immediately(func() { l.accept(sock) })
 	}
 }
 

@@ -1,15 +1,29 @@
 package core
 
 import (
+	"unsafe"
+
 	"flextoe/internal/packet"
 	"flextoe/internal/shm"
 	"flextoe/internal/sim"
 	"flextoe/internal/tcpseg"
 )
 
+// Connection slots live in fixed 256-entry value blocks: pointers into a
+// block stay valid forever (blocks are never reallocated), slot id →
+// (block, offset) is two shifts, and the per-connection footprint is the
+// struct itself — no per-conn heap object, no map entry (doc.go
+// "Connection state budget").
+const (
+	connBlockShift = 8
+	connBlockLen   = 1 << connBlockShift
+	connBlockMask  = connBlockLen - 1
+)
+
 // Conn is one established connection offloaded to the data-path. The
 // control plane creates it (after completing the handshake) and tears it
-// down; pipeline stages touch only their own state partition.
+// down; pipeline stages touch only their own state partition. Conns are
+// slab slots, reset in place on reuse.
 type Conn struct {
 	ID   uint32
 	Flow packet.Flow // from the local endpoint's perspective (src = local)
@@ -28,10 +42,10 @@ type Conn struct {
 	// Notify delivers NIC->host context-queue descriptors to libTOE.
 	Notify func(shm.Desc)
 
-	fg           int
-	ackSkip      int // delayed-ACK counter (AckEvery extension)
-	closed       bool
-	lastActivity sim.Time
+	fg        uint8
+	ackSkip   int16 // delayed-ACK counter (AckEvery extension)
+	live      bool
+	timerHint bool // control plane has a timer armed for this conn
 }
 
 // ConnStats is the control plane's periodic congestion-control poll
@@ -46,14 +60,35 @@ type ConnStats struct {
 	TxSent     uint32 // in-flight bytes
 }
 
+// connAt returns the slot without a liveness check (slab addressing; the
+// caller guarantees the slot was installed).
+func (t *TOE) connAt(id uint32) *Conn {
+	return &t.connBlks[id>>connBlockShift][id&connBlockMask]
+}
+
 // AddConnection installs an established connection in the data-path. The
-// flow must be unique. Buffers must be power-of-two sized.
+// flow must be unique. Buffers must be power-of-two sized. Slots of
+// removed connections are reused FIFO (oldest-freed first), so a
+// just-torn-down id stays quarantined while any straggling in-flight
+// work drains.
 func (t *TOE) AddConnection(flow packet.Flow, peerMAC packet.EtherAddr, iss, irs uint32,
 	txBuf, rxBuf *shm.PayloadBuf, opaque uint64, notify func(shm.Desc)) *Conn {
 
-	id := uint32(len(t.conns))
+	var id uint32
+	if t.connFreeHead < len(t.connFree) {
+		id = t.connFree[t.connFreeHead]
+		t.connFree, t.connFreeHead = shm.PopRing(t.connFree, t.connFreeHead)
+	} else {
+		id = t.connTop
+		t.connTop++
+		if int(id>>connBlockShift) == len(t.connBlks) {
+			t.connBlks = append(t.connBlks, make([]Conn, connBlockLen))
+		}
+	}
 	fg := flow.FlowGroup(t.cfg.FlowGroups)
-	c := &Conn{
+	c := t.connAt(id)
+	// Full in-place reset: no state survives slot reuse.
+	*c = Conn{
 		ID:   id,
 		Flow: flow,
 		Pre: tcpseg.PreState{
@@ -79,7 +114,11 @@ func (t *TOE) AddConnection(flow packet.Flow, peerMAC packet.EtherAddr, iss, irs
 		TxBuf:  txBuf,
 		RxBuf:  rxBuf,
 		Notify: notify,
-		fg:     fg,
+		fg:     uint8(fg),
+		live:   true,
+	}
+	if cap := t.dynOOOCap; cap != 0 {
+		c.Proto.OOOCap = cap
 	}
 	// Peers start with a sane default window until the first segment
 	// arrives (the handshake's window, here one full buffer).
@@ -87,42 +126,108 @@ func (t *TOE) AddConnection(flow packet.Flow, peerMAC packet.EtherAddr, iss, irs
 	if c.Proto.RemoteWin == 0 {
 		c.Proto.RemoteWin = 1
 	}
-	t.conns = append(t.conns, c)
-	t.connByFlow[flow] = c
+	t.flowIdx.Insert(flow, id)
+	t.nLive++
 	t.trace.Hit(traceEstablished)
 	return c
 }
 
-// RemoveConnection tears a connection down and frees its data-path state.
+// RemoveConnection tears a connection down and frees its data-path state
+// for reuse. The control plane only calls this after the connection has
+// been quiescent for a linger period, so no in-flight pipeline work still
+// references the slot.
 func (t *TOE) RemoveConnection(id uint32) {
 	c := t.connOrNil(id)
-	if c == nil || c.closed {
+	if c == nil {
 		return
 	}
-	c.closed = true
-	delete(t.connByFlow, c.Flow)
+	t.flowIdx.Delete(c.Flow)
+	c.live = false
+	// Drop the host-side references now so churned connections' payload
+	// buffers and sockets are collectable before the slot is reused.
+	c.TxBuf = nil
+	c.RxBuf = nil
+	c.Notify = nil
 	t.sched.Remove(id)
+	t.connFree = append(t.connFree, id)
+	t.nLive--
 	t.trace.Hit(traceClosed)
 }
 
-// Connection returns a connection by index (nil if out of range or
+// lookupFlow resolves a flow to its live connection: the pre-processor's
+// CRC-32 flow-table access (§4.1). 0 allocations.
+func (t *TOE) lookupFlow(f packet.Flow) *Conn {
+	id, ok := t.flowIdx.Lookup(f)
+	if !ok {
+		return nil
+	}
+	return t.connAt(id)
+}
+
+// Connection returns a connection by slot id (nil if out of range or
 // closed).
 func (t *TOE) Connection(id uint32) *Conn { return t.connOrNil(id) }
 
 func (t *TOE) connOrNil(id uint32) *Conn {
-	if int(id) >= len(t.conns) {
+	if int(id>>connBlockShift) >= len(t.connBlks) {
 		return nil
 	}
-	c := t.conns[id]
-	if c == nil || c.closed {
+	c := t.connAt(id)
+	if !c.live {
 		return nil
 	}
 	return c
 }
 
-// NumConnections returns the number of installed (possibly closed)
-// connection slots.
-func (t *TOE) NumConnections() int { return len(t.conns) }
+// NumConnections returns the number of live connections.
+func (t *TOE) NumConnections() int { return t.nLive }
+
+// ConnStateBytes reports the NIC-side connection-state footprint: slot
+// blocks, the flow-hash index, and the free-slot ring. Host payload
+// buffers are deliberately excluded — Table 5 budgets NIC connection
+// state, and host buffers are an application sizing choice (doc.go
+// "Connection state budget").
+func (t *TOE) ConnStateBytes() int {
+	return len(t.connBlks)*connBlockLen*int(unsafe.Sizeof(Conn{})) +
+		t.flowIdx.MemBytes() + cap(t.connFree)*4
+}
+
+// SetDynOOOCap programs the fleet-wide reassembly interval budget
+// (adaptive OOOCap, control-plane MMIO): new connections start at cap,
+// existing ones adopt it lazily on their next RX (0 = static config).
+func (t *TOE) SetDynOOOCap(cap uint8) {
+	if cap > tcpseg.MaxOOOIntervals {
+		cap = tcpseg.MaxOOOIntervals
+	}
+	t.dynOOOCap = cap
+}
+
+// ClearTimerHint re-enables the data-path timer kick for a connection
+// (the control plane disarmed its last timer).
+func (t *TOE) ClearTimerHint(id uint32) {
+	if c := t.connOrNil(id); c != nil {
+		c.timerHint = false
+	}
+}
+
+// maybeTimerKick tells the control plane a connection may need timer
+// service (bytes in flight, FIN pending, or a zero window blocking
+// staged data). Called from the protocol stage after state mutation;
+// timerHint dedupes so an armed connection never re-notifies — timer
+// cost scales with activations, not with segments or total connections.
+func (t *TOE) maybeTimerKick(c *Conn) {
+	if c.timerHint || t.TimerKick == nil {
+		return
+	}
+	p := &c.Proto
+	if p.TxSent > 0 ||
+		(p.FinSent() && !p.FinAcked()) ||
+		(p.TxAvail > 0 && p.RemoteWin == 0) ||
+		(p.FinSent() && p.FinAcked() && p.FinRx()) {
+		c.timerHint = true
+		t.TimerKick(c.ID)
+	}
+}
 
 // SetCongestionWindow programs a connection's window (control-plane MMIO,
 // §3.4).

@@ -34,7 +34,7 @@ func hcDoorbell(a any) {
 		return
 	}
 	item.conn = item.hc.Conn
-	item.fg = conn.fg
+	item.fg = int(conn.fg)
 	item.entered = t.eng.Now()
 	t.hcFetch(item)
 }

@@ -44,8 +44,8 @@ func (t *TOE) monoRX(pkt *packet.Packet) {
 		t.toControl(pkt)
 		return
 	}
-	conn, ok := t.connByFlow[pkt.Flow().Reverse()]
-	if !ok {
+	conn := t.lookupFlow(pkt.Flow().Reverse())
+	if conn == nil {
 		t.toControl(pkt)
 		return
 	}
@@ -76,6 +76,9 @@ func monoRXDone(a any) {
 		return
 	}
 	info := tcpseg.Summarize(pkt)
+	if cap := t.dynOOOCap; cap != 0 && conn2.Proto.OOOCap != cap {
+		conn2.Proto.OOOCap = cap
+	}
 	res := tcpseg.ProcessRX(&conn2.Proto, &conn2.Post, &info, t.tsNow())
 	if res.WriteLen > 0 {
 		conn2.RxBuf.WriteAt(res.WritePos, pkt.Payload[res.WriteOff:res.WriteOff+res.WriteLen])
@@ -93,6 +96,7 @@ func monoRXDone(a any) {
 		}
 	}
 	t.countReassembly(&res)
+	t.maybeTimerKick(conn2)
 	if res.SendAck {
 		s := &segItem{kind: segRX, conn: conn2.ID, rx: res}
 		t.AcksSent++
@@ -155,6 +159,7 @@ func monoHCDone(a any) {
 	}
 	res := tcpseg.ProcessHC(&conn2.Proto, &conn2.Post, hcOpOf(d))
 	t.HCOps++
+	t.maybeTimerKick(conn2)
 	if res.SendWindowUpdate {
 		// Re-advertise the reopened window (same zero-window
 		// deadlock repair as the pipeline's HC path).
@@ -210,6 +215,7 @@ func monoTXDone(a any) {
 		return
 	}
 	txr, ok := tcpseg.ProcessTX(&conn2.Proto, &conn2.Post, t.cfg.MSS, conn2.CWnd)
+	t.maybeTimerKick(conn2)
 	if ok {
 		s := &segItem{kind: segTX, conn: id, tx: txr}
 		t.TxSegs++

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"flextoe/internal/conntab"
 	"flextoe/internal/netsim"
 	"flextoe/internal/nfp"
 	"flextoe/internal/packet"
@@ -61,8 +62,23 @@ type TOE struct {
 	sched   *sched.Carousel
 	trace   *trace.Registry
 
-	conns      []*Conn
-	connByFlow map[packet.Flow]*Conn
+	// Connection slab: dense value blocks addressed by slot id, with a
+	// flat flow-hash index and FIFO free-slot reuse (doc.go "Connection
+	// state budget"). Replaces the old []*Conn + map[Flow]*Conn pair.
+	connBlks     [][]Conn
+	connFree     []uint32
+	connFreeHead int
+	connTop      uint32
+	nLive        int
+	flowIdx      *conntab.Index
+
+	// TimerKick, installed by the control plane, marks a connection as
+	// needing timer service (RTO/persist/CC); see maybeTimerKick.
+	TimerKick func(id uint32)
+
+	// dynOOOCap is the adaptive fleet-wide OOO interval budget
+	// (SetDynOOOCap); 0 means the static Config.OOOIntervals applies.
+	dynOOOCap uint8
 
 	segPool  *shm.Pool
 	descPool *shm.Pool
@@ -239,7 +255,6 @@ func New(eng *sim.Engine, cfg Config, iface *netsim.Iface) *TOE {
 		costs:        DefaultCosts(),
 		iface:        iface,
 		trace:        &trace.Registry{},
-		connByFlow:   make(map[packet.Flow]*Conn),
 		segPool:      shm.NewPool("seg", cfg.SegPoolSize),
 		descPool:     shm.NewPool("desc", cfg.DescPoolSize),
 		preLookup:    nfp.NewCache(cfg.NFP.PreLookupEntries, 1),
@@ -247,6 +262,7 @@ func New(eng *sim.Engine, cfg Config, iface *netsim.Iface) *TOE {
 		pkts:         packet.PoolOf(eng),
 		frames:       netsim.FramesOf(eng),
 	}
+	t.flowIdx = conntab.New(func(slot uint32) packet.Flow { return t.connAt(slot).Flow })
 	t.dma = nfp.NewDMAEngine(eng, &cfg.NFP)
 	if cfg.CopyBytesPerSec > 0 {
 		t.copyRes = sim.NewResource(eng, "memcpy", cfg.CopyBytesPerSec)
@@ -424,8 +440,8 @@ func (t *TOE) preDone(s *segItem) {
 		// The NIC sees the flow from the sender's perspective; our
 		// connection table is keyed by the local endpoint's view.
 		flow := pkt.Flow().Reverse()
-		conn, ok := t.connByFlow[flow]
-		if !ok {
+		conn := t.lookupFlow(flow)
+		if conn == nil {
 			s.pkt = nil
 			t.toControl(pkt)
 			isl.entry.skip(s.ticket)
@@ -511,6 +527,11 @@ func (t *TOE) protoExec(isl *island, s *segItem) {
 	}
 	switch s.kind {
 	case segRX:
+		// Adaptive OOOCap: adopt the fleet-wide budget lazily, on the
+		// connection's next RX (SetDynOOOCap never walks the table).
+		if cap := t.dynOOOCap; cap != 0 && conn.Proto.OOOCap != cap {
+			conn.Proto.OOOCap = cap
+		}
 		s.rx = tcpseg.ProcessRX(&conn.Proto, &conn.Post, &s.info, t.tsNow())
 		if s.rx.SACKReneged {
 			t.SACKReneges++
@@ -533,7 +554,7 @@ func (t *TOE) protoExec(isl *island, s *segItem) {
 			!s.rx.WasOOO && !s.rx.OOODrop && !s.rx.FinRx && !s.rx.FastRetransmit &&
 			s.rx.OOOMerged == 0 && s.rx.OOOIvs == 0 && s.rx.AckSACKCnt == 0 {
 			conn.ackSkip++
-			if conn.ackSkip < t.cfg.AckEvery {
+			if int(conn.ackSkip) < t.cfg.AckEvery {
 				s.rx.SendAck = false
 				t.AcksSuppressed++
 			} else {
@@ -568,6 +589,7 @@ func (t *TOE) protoExec(isl *island, s *segItem) {
 			s.nbiTicket = isl.nbi.ticket()
 		}
 	}
+	t.maybeTimerKick(conn)
 }
 
 // countReassembly updates the OOO reassembly counters and the occupancy
@@ -820,7 +842,7 @@ func (t *TOE) pushNotif(conn *Conn, d shm.Desc) {
 	n := t.allocSeg()
 	n.kind = segHC
 	n.conn = conn.ID
-	n.fg = conn.fg
+	n.fg = int(conn.fg)
 	n.hc = d
 	t.ctxSt.push(n)
 }

@@ -72,9 +72,9 @@ func (t *TOE) txPump() {
 		item := t.allocSeg()
 		item.kind = segTX
 		item.conn = id
-		item.fg = conn.fg
+		item.fg = int(conn.fg)
 		item.entered = t.eng.Now()
-		item.ticket = t.islands[conn.fg].entry.ticket()
+		item.ticket = t.islands[int(conn.fg)].entry.ticket()
 		t.pre.push(item)
 		// If the flow can send more than one MSS, keep it scheduled.
 		if sendable > t.cfg.MSS {

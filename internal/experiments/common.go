@@ -265,6 +265,7 @@ func All() []Runner {
 		{"fig15", "Throughput under packet loss", Fig15},
 		{"fig16", "Connection fairness at line rate", Fig16},
 		{"fig17", "Leaf-spine fabric: incast fan-in and ECMP balance", Fig17},
+		{"fig9conn", "Connection scale: state, timers, and churn to 10^6 flows", Fig9Conn},
 	}
 }
 

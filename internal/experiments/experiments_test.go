@@ -9,8 +9,8 @@ import (
 
 func TestRunnerRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
-		t.Fatalf("runners = %d, want 16 (6 tables + 10 figures)", len(all))
+	if len(all) != 17 {
+		t.Fatalf("runners = %d, want 17 (6 tables + 11 figures)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, r := range all {

@@ -60,6 +60,13 @@ type MachineSpec struct {
 	// fabric (NewFabric); ignored on the single-switch testbed.
 	Rack int
 
+	// Listen-path hardening (accept-storm experiments). ListenBacklog
+	// bounds half-open connections per listening port (FlexTOE default
+	// 128; baseline default unbounded); AcceptRate, when > 0, limits
+	// accepted SYNs/second per listener (FlexTOE control plane only).
+	ListenBacklog int
+	AcceptRate    float64
+
 	Seed uint64
 }
 
@@ -225,11 +232,13 @@ func (tb *Testbed) add(idx int, spec MachineSpec) {
 		}
 		m.TOE = core.New(eng, cfg, iface)
 		m.Ctrl = ctrl.New(eng, m.TOE, ctrl.Config{
-			LocalIP:  ip,
-			LocalMAC: mac,
-			BufSize:  spec.BufSize,
-			CC:       spec.CC,
-			Seed:     spec.Seed ^ uint64(idx),
+			LocalIP:       ip,
+			LocalMAC:      mac,
+			BufSize:       spec.BufSize,
+			CC:            spec.CC,
+			ListenBacklog: spec.ListenBacklog,
+			AcceptRate:    spec.AcceptRate,
+			Seed:          spec.Seed ^ uint64(idx),
 		})
 		m.Flex = libtoe.NewStack(eng, m.TOE, m.Ctrl, machine, ip)
 		m.Stack = m.Flex
@@ -246,6 +255,7 @@ func (tb *Testbed) add(idx int, spec MachineSpec) {
 		if spec.StackCores > 0 {
 			prof.StackCores = spec.StackCores
 		}
+		prof.ListenBacklog = spec.ListenBacklog
 		m.Base = baseline.NewStack(eng, prof, iface, machine, ip, spec.BufSize, spec.Seed^uint64(idx))
 		m.Stack = m.Base
 	default:
