@@ -1,15 +1,31 @@
-// Command flextrace demonstrates FlexTOE's data-path observability: it
-// runs a short RPC workload with all 48 tracepoints enabled and a
-// tcpdump-style capture attached, then prints the tracepoint counters and
-// writes a pcap file.
+// Command flextrace demonstrates FlexTOE's data-path observability along
+// both of the repo's instrumentation axes.
+//
+// The default mode runs a short lossy RPC workload with all 48
+// tracepoints enabled, an on-NIC capture (core.TOE.PacketTap) feeding
+// both a pcap file and a streaming flowmon analyzer, then prints the
+// tracepoint counters, the analyzer's per-flow inference, and a read-back
+// of the capture through the same analyzer (proving pcap ingest and the
+// live tap agree).
+//
+// The diff mode ("flextrace diff -personality=flextoe|linux") runs the
+// xval cross-validation scenario: a seeded lossy bulk transfer with
+// passive analyzers on both NICs, comparing inferred retransmit,
+// reassembly, and duplicate-ACK counters against the stack's own ground
+// truth. It exits nonzero when any counter is outside its documented
+// tolerance.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"flextoe/internal/apps"
+	"flextoe/internal/flowmon"
+	"flextoe/internal/flowmon/xval"
 	"flextoe/internal/netsim"
 	"flextoe/internal/packet"
 	"flextoe/internal/pcap"
@@ -18,10 +34,28 @@ import (
 )
 
 func main() {
-	out := flag.String("w", "flextoe.pcap", "pcap output file")
-	durMs := flag.Int("ms", 10, "simulated milliseconds")
-	loss := flag.Float64("loss", 0.001, "injected loss probability")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, dispatches the mode,
+// and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "diff" {
+		return runDiff(args[1:], stdout, stderr)
+	}
+	return runTrace(args, stdout, stderr)
+}
+
+// runTrace is the default mode: tracepoints + capture + live analysis.
+func runTrace(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("flextrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("w", "flextoe.pcap", "pcap output file")
+	durMs := fs.Int("ms", 10, "simulated milliseconds")
+	loss := fs.Float64("loss", 0.001, "injected loss probability")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	tb := testbed.New(netsim.SwitchConfig{LossProb: *loss, Seed: 42},
 		testbed.MachineSpec{Name: "server", Kind: testbed.FlexTOE, Cores: 4, Seed: 1},
@@ -32,18 +66,24 @@ func main() {
 
 	f, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	defer f.Close()
 	w, err := pcap.NewWriter(f)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
+
+	// One on-NIC tap fans out to the capture file and the streaming
+	// analyzer — tcpdump and the flow monitor share the vantage point.
+	mon := flowmon.New(flowmon.Config{DupAck: flowmon.DupAckFlexTOE})
+	analyze := flowmon.TOETap(tb.Eng, mon)
 	server.TOE.PacketTapCost = 300
 	server.TOE.PacketTap = func(dir string, pkt *packet.Packet) {
 		w.WritePacket(tb.Eng.Now(), pkt)
+		analyze(dir, pkt)
 	}
 
 	srv := &apps.RPCServer{ReqSize: 256}
@@ -52,10 +92,80 @@ func main() {
 	cl.Start(tb.M("client").Stack, tb.Addr("server", 7777), 8)
 	tb.Run(sim.Time(*durMs) * sim.Millisecond)
 
-	fmt.Printf("completed %d RPCs in %dms (%.3f%% loss injected)\n\n", cl.Completed, *durMs, *loss*100)
-	fmt.Println("tracepoint counters:")
+	fmt.Fprintf(stdout, "completed %d RPCs in %dms (%.3f%% loss injected)\n\n",
+		cl.Completed, *durMs, *loss*100)
+	fmt.Fprintln(stdout, "tracepoint counters:")
 	for _, pc := range server.TOE.Trace().Snapshot() {
-		fmt.Printf("  %-24s %d\n", pc.Point.Name(), pc.Count)
+		fmt.Fprintf(stdout, "  %-24s %d\n", pc.Point.Name(), pc.Count)
 	}
-	fmt.Printf("\nwrote %d packets to %s\n", w.Packets, *out)
+
+	fmt.Fprintf(stdout, "\nflow analysis (on-NIC tap):\n%s", mon.Report().Format())
+	fmt.Fprintf(stdout, "\nwrote %d packets to %s\n", w.Packets, *out)
+
+	// Read the capture back through a second analyzer: the file and the
+	// live tap must describe the same traffic.
+	if err := f.Sync(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	data, err := os.ReadFile(*out)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	replay := flowmon.New(flowmon.Config{DupAck: flowmon.DupAckFlexTOE})
+	fed, skipped, err := flowmon.FeedPCAP(bytes.NewReader(data), replay)
+	if err != nil {
+		fmt.Fprintln(stderr, "pcap read-back:", err)
+		return 1
+	}
+	// Compare the timestamp-independent inference totals: the capture's
+	// microsecond timestamps truncate RTTs, but every counted event must
+	// agree exactly.
+	fmt.Fprintf(stdout, "read back %d records (%d skipped)", fed, skipped)
+	if live, rb := mon.Report().Totals(), replay.Report().Totals(); live == rb {
+		fmt.Fprintln(stdout, ": capture matches the live tap")
+	} else {
+		fmt.Fprintln(stdout, ": capture DIVERGES from the live tap")
+		return 1
+	}
+	return 0
+}
+
+// runDiff is the cross-validation mode.
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("flextrace diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	personality := fs.String("personality", "flextoe", "stack under observation: flextoe or linux")
+	loss := fs.Float64("loss", 0, "injected loss probability (0 = scenario default)")
+	durMs := fs.Int("ms", 0, "simulated milliseconds (0 = scenario default)")
+	conns := fs.Int("conns", 0, "bulk connections (0 = scenario default)")
+	seed := fs.Uint64("seed", 0, "loss seed (0 = scenario default)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	sc := xval.Scenario{
+		Loss:     *loss,
+		Conns:    *conns,
+		Duration: sim.Time(*durMs) * sim.Millisecond,
+		Seed:     *seed,
+	}
+	switch *personality {
+	case "flextoe":
+		sc.Personality = testbed.FlexTOE
+	case "linux":
+		sc.Personality = testbed.Linux
+	default:
+		fmt.Fprintf(stderr, "unknown personality %q (want flextoe or linux)\n", *personality)
+		return 2
+	}
+
+	res := xval.Run(sc)
+	fmt.Fprint(stdout, res.Format())
+	if !res.Pass() {
+		fmt.Fprintln(stderr, "cross-validation FAILED: analyzer diverges from stack ground truth")
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flextoe/internal/pcap"
+)
+
+// TestTraceModeSmoke is the CI smoke: the default mode exits 0, reports
+// nonzero tracepoint counters and completed RPCs, and the written pcap
+// parses back.
+func TestTraceModeSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.pcap")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-w", out, "-ms", "5"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s\nstdout:\n%s", code, stderr.String(), stdout.String())
+	}
+	text := stdout.String()
+	if strings.Contains(text, "completed 0 RPCs") {
+		t.Fatalf("no RPCs completed:\n%s", text)
+	}
+	if !strings.Contains(text, "tracepoint counters:") {
+		t.Fatalf("missing tracepoint section:\n%s", text)
+	}
+	if !strings.Contains(text, "flow analysis") || !strings.Contains(text, "rtt samples") {
+		t.Fatalf("missing flow analysis section:\n%s", text)
+	}
+	if !strings.Contains(text, "capture matches the live tap") {
+		t.Fatalf("pcap read-back diverged:\n%s", text)
+	}
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := 0
+	for {
+		if _, err := r.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		records++
+	}
+	if records == 0 {
+		t.Fatal("pcap is empty")
+	}
+}
+
+// TestDiffModeSmoke: diff exits 0 for both personalities on a short run.
+func TestDiffModeSmoke(t *testing.T) {
+	for _, p := range []string{"flextoe", "linux"} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"diff", "-personality", p, "-ms", "5"}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("diff -personality=%s exited %d:\n%s%s",
+				p, code, stdout.String(), stderr.String())
+		}
+		if !strings.Contains(stdout.String(), "retx-bytes") {
+			t.Fatalf("diff output missing comparison table:\n%s", stdout.String())
+		}
+	}
+}
+
+func TestDiffModeRejectsUnknownPersonality(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"diff", "-personality", "beos"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2 for unknown personality", code)
+	}
+}

@@ -266,6 +266,52 @@
 // sharded reruns bit-identical including per-shard event counts; CI runs
 // it under the race detector at GOMAXPROCS 2 and 8.
 //
+// # Passive flow analysis: the tap observation contract
+//
+// internal/flowmon is a streaming per-flow TCP analyzer that attaches to
+// any packet vantage point — a netsim.Iface Tx/RxTap, the core.TOE
+// PacketTap, or a pcap capture (FeedPCAP) — and reconstructs what the
+// stacks know from nothing but the wire: RTT (timestamp echoes plus
+// SEQ/ACK probes, Karn-invalidated across retransmission), retransmits
+// split go-back-N vs selective by SACK-scoreboard inference over the
+// SendNext high-water model, reassembly accept/drop decisions by exact
+// re-execution of the tcpseg interval machinery, dupack runs under the
+// observed stack's own counting rule, zero-window stalls, ECN marks, and
+// goodput timelines. The contract has three clauses:
+//
+//   - Observation only, no ownership. A tap callback receives the pooled
+//     *packet.Packet mid-flight: the analyzer reads it synchronously and
+//     retains nothing — no packet, no payload slice, no frame — so the
+//     pooling ownership rules above are untouched (the tap adds a reader,
+//     never an owner). netsim taps charge zero simulated cost and
+//     schedule nothing: attaching an analyzer leaves the simulation
+//     bit-identical down to per-engine event counts
+//     (TestAnalyzerTapZeroCost, xval.TestTapsDoNotPerturbSimulation). The
+//     TOE PacketTap charges PacketTapCost cycles, modeling a real on-NIC
+//     mirror. Observation is one-pass: a packet is seen once, at
+//     NIC-delivery time; the analyzer never peeks at stack state.
+//
+//   - Zero-alloc streaming. Flow records live in fixed-size slab blocks
+//     addressed through the same conntab index the data path uses;
+//     RTT probes, SACK scoreboards, OOO interval sets and timelines are
+//     fixed arrays inside the record. Steady-state observation allocates
+//     nothing; the CI gate is TestFlowmonAllocBudget (≤ 2 allocations per
+//     packet under AllocsPerRun, covering slab growth). Reports are
+//     deterministic by construction — establishment-ordered flow scans,
+//     byte-identical Format across reruns and across Fleet shard counts.
+//
+//   - Asserted inference tolerances. Cross-validation against stack
+//     ground truth (internal/flowmon/xval, cmd/flextrace diff) is part of
+//     CI, with the divergence budget stated per counter and enforced,
+//     after quiescing the workload (counters snapshot mid-flight measure
+//     queue depth, not inference): sender-tap retransmit segments/bytes
+//     exact; receiver-tap reassembly accepts/drops exact at trace loss
+//     rates, 2/conn + 0.5% under sustained ≥1% loss (receive-window trims
+//     a passive observer cannot see); dupacks 2/conn + 5% (in-flight
+//     accounting resets across recovery episodes). Tightening a stack's
+//     counting rule means updating the analyzer's matching rule, not the
+//     tolerance.
+//
 // # Static enforcement: flexvet
 //
 // The contracts above — and the one-seed determinism rule stated in

@@ -414,8 +414,13 @@ func (b *PerConnBulkSink) Shares() []float64 {
 type BulkSender struct {
 	Sent uint64
 
-	sock api.Socket
+	sock    api.Socket
+	stopped bool
 }
+
+// Stop ends the stream: no further bytes are committed, letting the
+// connection quiesce (in-flight data still delivers and recovers).
+func (b *BulkSender) Stop() { b.stopped = true }
 
 // Start opens a connection and saturates it.
 func (b *BulkSender) Start(stack api.Stack, server api.Addr) {
@@ -429,6 +434,9 @@ func (b *BulkSender) Start(stack api.Stack, server api.Addr) {
 // push commits every free transmit byte as padding: the saturating
 // bulk stream stages nothing and copies nothing.
 func (b *BulkSender) push() {
+	if b.stopped {
+		return
+	}
 	w := b.sock.TxSpace()
 	if w == 0 {
 		return

@@ -66,6 +66,16 @@ type Stack struct {
 	FastRetx         uint64
 	SYNDrops         uint64 // SYNs silently dropped (no RST), all causes
 	BacklogOverflows uint64 // SYN drops due to a full listen backlog
+	// Wire-level ground truth for flowmon's passive cross-validation,
+	// mirroring the core.Counters fields of the same names. RetxSegs /
+	// RetxBytes count at emitSegment against the sent high-water mark, so
+	// every re-sent byte is accounted no matter which recovery path
+	// (fast retransmit, SACK repair, RTO) emitted it.
+	RetxSegs    uint64 // transmitted segments carrying previously sent bytes
+	RetxBytes   uint64 // previously transmitted payload bytes re-sent
+	OOOAccepted uint64 // out-of-order segments buffered for reassembly
+	OOODropped  uint64 // out-of-order segments dropped (capacity or policy)
+	DupAcks     uint64 // pure duplicate acknowledgments received
 }
 
 // blistener is one listening port: the accept callback plus the count of
@@ -165,6 +175,7 @@ type bconn struct {
 	iss      uint32
 	una      uint64 // oldest unacked
 	nxt      uint64 // next to send
+	sentHigh uint64 // highest offset ever emitted (retransmit detection)
 	appended uint64 // bytes the app has written
 	txData   []byte // circular, bufSize
 	finAt    uint64 // stream offset of FIN; ^0 = none
@@ -412,6 +423,7 @@ func (s *Stack) handleSeg(c *bconn, pkt *packet.Packet) {
 				c.sock.txFreed(uint32(acked))
 			}
 		case ackOff == c.una && len(pkt.Payload) == 0 && c.nxt > c.una:
+			s.DupAcks++
 			c.dupacks++
 			if c.dupacks == 3 {
 				s.FastRetx++
@@ -505,11 +517,16 @@ func (s *Stack) receivePayload(c *bconn, pkt *packet.Packet) {
 		c.ivs, ir = tcpseg.InsertSeqInterval(c.ivs,
 			tcpseg.SeqInterval{Start: uint32(start), End: uint32(end)}, maxIvs)
 		if ir.Accepted {
+			s.OOOAccepted++
 			writeCirc(c.rxData, start, data)
 			c.lastOOO = uint32(start)
+		} else {
+			s.OOODropped++
 		}
+	} else {
+		// RecoveryDiscard: out-of-order data silently dropped.
+		s.OOODropped++
 	}
-	// RecoveryDiscard: out-of-order data silently dropped.
 	s.sendAck(c, ece)
 }
 
@@ -813,6 +830,20 @@ func (s *Stack) emitSegment(c *bconn, off, n uint64, fin bool) {
 	pkt := s.mkPacket(c, c.sndSeq(off), flags)
 	readCirc(c.txData, off, pkt.GrowPayload(int(n)))
 	s.TxSegs++
+	// Sent high-water mark: any payload byte below it has been on the
+	// wire before — the m-lab SendNext retransmit criterion, and the
+	// definition flowmon's sender-side inference must reproduce.
+	if off < c.sentHigh && n > 0 {
+		r := c.sentHigh - off
+		if r > n {
+			r = n
+		}
+		s.RetxSegs++
+		s.RetxBytes += r
+	}
+	if off+n > c.sentHigh {
+		c.sentHigh = off + n
+	}
 	s.iface.Send(s.frames.NewFrame(pkt, s.eng.Now()))
 }
 

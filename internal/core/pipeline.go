@@ -39,6 +39,10 @@ type Counters struct {
 	HCOps          uint64
 	Notifies       uint64
 	FastRetx       uint64
+	// DupAcks counts received pure duplicate acknowledgments (same
+	// cumulative ack, no payload, unchanged window, data outstanding) —
+	// the ground truth flowmon's passive inference is checked against.
+	DupAcks uint64
 	// SACK loss-recovery accounting (Config.EnableSACK).
 	SACKRetx    uint64 // fast retransmits repaired selectively (no reset)
 	SACKReneges uint64 // scoreboard overflows: blocks discarded, go-back-N fallback
@@ -596,6 +600,10 @@ func (t *TOE) protoExec(isl *island, s *segItem) {
 // histogram from one RX result (shared by the pipeline's protocol stage
 // and the run-to-completion ablation).
 func (t *TOE) countReassembly(res *tcpseg.RXResult) {
+	if res.DupAck {
+		t.DupAcks++
+		t.trace.Hit(trace.TPConnDupAck)
+	}
 	if res.WasOOO {
 		t.OOOAccepted++
 		t.trace.Hit(trace.TPConnOOO)

@@ -7,6 +7,7 @@ import (
 	"flextoe/internal/core"
 	"flextoe/internal/ctrl"
 	"flextoe/internal/ebpf"
+	"flextoe/internal/flowmon"
 	"flextoe/internal/netsim"
 	"flextoe/internal/packet"
 	"flextoe/internal/sim"
@@ -229,24 +230,29 @@ func Fig15(s Scale) []*Table {
 	recovery := &Table{
 		ID:     "Figure 15c",
 		Title:  "FlexTOE loss recovery: go-back-N vs SACK (8 bulk conns, goodput and retransmitted bytes)",
-		Header: []string{"Loss", "GBN Gbps", "GBN retx KB", "SACK Gbps", "SACK retx KB"},
-		Notes:  "SACK blocks derive from the receiver's OOO interval set (N=4); the sender repairs only uncovered holes (RFC 2018) and falls back to go-back-N on timeout or scoreboard overflow",
+		Header: []string{"Loss", "GBN Gbps", "GBN retx KB", "GBN sel KB", "GBN p99 us", "SACK Gbps", "SACK retx KB", "SACK sel KB", "SACK p99 us"},
+		Notes:  "SACK blocks derive from the receiver's OOO interval set (N=4); the sender repairs only uncovered holes (RFC 2018) and falls back to go-back-N on timeout or scoreboard overflow. 'sel KB' and 'p99 us' come from a passive flowmon analyzer on the sender NIC: selective-retransmit bytes inferred from the SACK scoreboard (GBN column must stay 0) and the 99th-percentile ack RTT at the tap",
 	}
 	recRates := s.pick([]int{0, 10, 100}, []int{0, 1, 10, 100, 200})
 	dR := s.dur(15*sim.Millisecond, 150*sim.Millisecond)
-	type recCell struct{ g, retxKB float64 }
+	type recCell struct{ g, retxKB, selKB, p99Us float64 }
 	recRes := make([]recCell, 2*len(recRates))
 	runCells(s.cores(), len(recRes), func(i int) {
 		loss := float64(recRates[i/2]) / 1e4
-		g, retxKB := fig15RecoveryPoint(loss, i%2 == 1, dR)
-		recRes[i] = recCell{g, retxKB}
+		g, retxKB, tap := fig15RecoveryPoint(loss, i%2 == 1, dR)
+		recRes[i] = recCell{
+			g:      g,
+			retxKB: retxKB,
+			selKB:  float64(tap.Totals().RetxSelBytes) / 1024,
+			p99Us:  float64(tap.RTTHist.Quantile(0.99)),
+		}
 	})
 	for ri, lossE4 := range recRates {
 		loss := float64(lossE4) / 1e4
 		cells := []string{fmt.Sprintf("%g%%", loss*100)}
 		for v := 0; v < 2; v++ {
 			r := recRes[2*ri+v]
-			cells = append(cells, f2(r.g), f1(r.retxKB))
+			cells = append(cells, f2(r.g), f1(r.retxKB), f1(r.selKB), f1(r.p99Us))
 		}
 		recovery.AddRow(cells...)
 	}
@@ -370,9 +376,12 @@ func fig15ReassemblyPoint(loss float64, intervals int, d sim.Time) (goodputGbps 
 }
 
 // fig15RecoveryPoint measures one FlexTOE-vs-FlexTOE bulk run at the
-// given loss rate, with or without SACK, returning goodput (Gbps) and
-// sender-side retransmitted payload (KB).
-func fig15RecoveryPoint(loss float64, sack bool, d sim.Time) (goodputGbps, retxKB float64) {
+// given loss rate, with or without SACK, returning goodput (Gbps),
+// sender-side retransmitted payload (KB) from the TOE's own counters, and
+// a passive flowmon report from the sender NIC tap — the analyzer's
+// wire-level view of the same run (GBN/selective retransmit split, RTT
+// distribution).
+func fig15RecoveryPoint(loss float64, sack bool, d sim.Time) (goodputGbps, retxKB float64, tap *flowmon.Report) {
 	// Identical reassembly capacity in both runs, so the only variable is
 	// the recovery scheme.
 	cfg := core.AgilioCX40Config()
@@ -382,6 +391,8 @@ func fig15RecoveryPoint(loss float64, sack bool, d sim.Time) (goodputGbps, retxK
 		testbed.MachineSpec{Name: "server", Kind: testbed.FlexTOE, Cores: 4, BufSize: 1 << 19, FlexCfg: &cfg, Seed: 155},
 		testbed.MachineSpec{Name: "client", Kind: testbed.FlexTOE, Cores: 4, BufSize: 1 << 19, FlexCfg: &cfg, Seed: 156},
 	)
+	mon := flowmon.New(flowmon.Config{DupAck: flowmon.DupAckFlexTOE, OOOCap: tcpseg.MaxOOOIntervals})
+	flowmon.Attach(mon, tb.M("client").Iface)
 	sink := &apps.BulkSink{}
 	sink.Serve(tb.M("server").Stack, 9000)
 	for i := 0; i < 8; i++ {
@@ -389,7 +400,7 @@ func fig15RecoveryPoint(loss float64, sack bool, d sim.Time) (goodputGbps, retxK
 		snd.Start(tb.M("client").Stack, tb.Addr("server", 9000))
 	}
 	tb.Run(d)
-	return gbps(sink.Received, d), float64(tb.M("client").TOE.RetxBytes) / 1024
+	return gbps(sink.Received, d), float64(tb.M("client").TOE.RetxBytes) / 1024, mon.Report()
 }
 
 // Fig16 regenerates Figure 16: the distribution of per-connection

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -57,8 +58,8 @@ func TestFig15SACKBeatsGBNAtOnePercentLoss(t *testing.T) {
 	// retransmit strictly fewer bytes than go-back-N while delivering at
 	// least the same goodput.
 	d := Quick.dur(15*sim.Millisecond, 0)
-	gbnG, gbnRetx := fig15RecoveryPoint(0.01, false, d)
-	sackG, sackRetx := fig15RecoveryPoint(0.01, true, d)
+	gbnG, gbnRetx, gbnTap := fig15RecoveryPoint(0.01, false, d)
+	sackG, sackRetx, sackTap := fig15RecoveryPoint(0.01, true, d)
 	t.Logf("GBN: %.2f Gbps, %.1f KB retx; SACK: %.2f Gbps, %.1f KB retx", gbnG, gbnRetx, sackG, sackRetx)
 	if sackRetx >= gbnRetx {
 		t.Fatalf("SACK retransmitted %.1f KB, GBN %.1f KB: want strictly fewer", sackRetx, gbnRetx)
@@ -68,6 +69,68 @@ func TestFig15SACKBeatsGBNAtOnePercentLoss(t *testing.T) {
 	}
 	if gbnRetx == 0 {
 		t.Fatal("no loss induced: the comparison is vacuous")
+	}
+	// The passive sender-NIC analyzer must agree on the recovery scheme:
+	// without SACK blocks on the wire it classifies every retransmission
+	// as go-back-N; with them a nonzero share becomes selective.
+	if sel := gbnTap.Totals().RetxSelBytes; sel != 0 {
+		t.Fatalf("analyzer inferred %d selective-retransmit bytes on the GBN run", sel)
+	}
+	if sel := sackTap.Totals().RetxSelBytes; sel == 0 {
+		t.Fatal("analyzer inferred no selective-retransmit bytes on the SACK run")
+	}
+}
+
+// TestFig15RecoveryAnalyzerColumns: the Figure 15c table carries columns
+// derived from the passive flowmon tap, and at 1% loss the SACK variant's
+// selective-retransmit column is nonzero while the GBN variant's stays 0.
+func TestFig15RecoveryAnalyzerColumns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full testbed run")
+	}
+	var rec *Table
+	for _, tb := range Fig15(Quick) {
+		if tb.ID == "Figure 15c" {
+			rec = tb
+		}
+	}
+	if rec == nil {
+		t.Fatal("Figure 15c table missing")
+	}
+	col := func(name string) int {
+		for i, h := range rec.Header {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("header missing %q: %v", name, rec.Header)
+		return -1
+	}
+	gbnSel, sackSel, sackP99 := col("GBN sel KB"), col("SACK sel KB"), col("SACK p99 us")
+	var lossy []string
+	for _, row := range rec.Rows {
+		if row[0] == "1%" {
+			lossy = row
+		}
+	}
+	if lossy == nil {
+		t.Fatalf("no 1%% loss row: %v", rec.Rows)
+	}
+	parse := func(i int) float64 {
+		v, err := strconv.ParseFloat(lossy[i], 64)
+		if err != nil {
+			t.Fatalf("cell %d (%q): %v", i, lossy[i], err)
+		}
+		return v
+	}
+	if v := parse(gbnSel); v != 0 {
+		t.Fatalf("GBN sel KB = %v, want 0 (no SACK blocks on the wire)", v)
+	}
+	if v := parse(sackSel); v <= 0 {
+		t.Fatalf("SACK sel KB = %v, want > 0", v)
+	}
+	if v := parse(sackP99); v <= 0 {
+		t.Fatalf("SACK p99 RTT = %v us, want > 0", v)
 	}
 }
 

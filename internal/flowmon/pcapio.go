@@ -1,0 +1,36 @@
+package flowmon
+
+import (
+	"io"
+
+	"flextoe/internal/packet"
+	"flextoe/internal/pcap"
+)
+
+// FeedPCAP streams a capture through the analyzer — the same code path
+// the live taps drive, so captures from real tools round-trip through
+// identical inference. Undecodable records are skipped and counted;
+// a truncated final record ends the stream cleanly (pcap.Reader).
+// Returns the number of records analyzed and skipped.
+func FeedPCAP(r io.Reader, a *Analyzer) (fed, skipped int, err error) {
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	var pkt packet.Packet
+	for {
+		rec, rerr := pr.Next()
+		if rerr == io.EOF {
+			return fed, skipped, nil
+		}
+		if rerr != nil {
+			return fed, skipped, rerr
+		}
+		if derr := pkt.DecodeInto(rec.Data); derr != nil {
+			skipped++
+			continue
+		}
+		a.Observe(rec.Time, &pkt)
+		fed++
+	}
+}

@@ -1,0 +1,91 @@
+package xval
+
+import (
+	"testing"
+
+	"flextoe/internal/testbed"
+)
+
+// requireActive fails unless the scenario exercised the counters under
+// validation — a pass with nothing to compare proves nothing.
+func requireActive(t *testing.T, r *Result) {
+	t.Helper()
+	if r.SinkBytes == 0 {
+		t.Fatal("no payload delivered: scenario is inert")
+	}
+	byName := map[string]Check{}
+	for _, c := range r.Checks {
+		byName[c.Name] = c
+	}
+	if byName["retx-segs"].Stack == 0 {
+		t.Fatal("no retransmissions: loss scenario is inert")
+	}
+	if byName["ooo-accepts"].Stack == 0 {
+		t.Fatal("no out-of-order segments: loss scenario is inert")
+	}
+	if byName["dupacks"].Stack == 0 {
+		t.Fatal("no duplicate acks: loss scenario is inert")
+	}
+}
+
+func TestCrossValidateFlexTOE(t *testing.T) {
+	r := Run(Scenario{Personality: testbed.FlexTOE})
+	if !r.Pass() {
+		t.Fatalf("cross-validation failed:\n%s", r.Format())
+	}
+	requireActive(t, r)
+	// At trace loss rates the sender-side and receiver-side inferences
+	// are exact, not merely within tolerance.
+	for _, c := range r.Checks {
+		if c.Name != "dupacks" && c.Diff() != 0 {
+			t.Errorf("%s: analyzer %d != stack %d (exact at trace loss)",
+				c.Name, c.Analyzer, c.Stack)
+		}
+	}
+}
+
+func TestCrossValidateLinux(t *testing.T) {
+	r := Run(Scenario{Personality: testbed.Linux})
+	if !r.Pass() {
+		t.Fatalf("cross-validation failed:\n%s", r.Format())
+	}
+	requireActive(t, r)
+}
+
+func TestCrossValidateHighLoss(t *testing.T) {
+	for _, k := range []testbed.StackKind{testbed.FlexTOE, testbed.Linux} {
+		r := Run(Scenario{Personality: k, Loss: 0.01})
+		if !r.Pass() {
+			t.Errorf("%s at 1%% loss:\n%s", k, r.Format())
+		}
+	}
+}
+
+func TestCrossValidateDeterminism(t *testing.T) {
+	sc := Scenario{Personality: testbed.FlexTOE}
+	r1, r2 := Run(sc), Run(sc)
+	if f1, f2 := r1.Format(), r2.Format(); f1 != f2 {
+		t.Fatalf("reruns differ:\n%s\n---\n%s", f1, f2)
+	}
+	if f1, f2 := r1.ClientReport.Format(), r2.ClientReport.Format(); f1 != f2 {
+		t.Fatalf("analyzer reports differ across reruns:\n%s\n---\n%s", f1, f2)
+	}
+}
+
+// TestTapsDoNotPerturbSimulation is the observation-only contract: the
+// same scenario with and without analyzers attached delivers exactly the
+// same bytes and stack counters.
+func TestTapsDoNotPerturbSimulation(t *testing.T) {
+	with := Run(Scenario{Personality: testbed.FlexTOE})
+	bare := runBare(Scenario{Personality: testbed.FlexTOE})
+	if with.SinkBytes != bare.sinkBytes {
+		t.Fatalf("taps perturbed delivery: %d with, %d without",
+			with.SinkBytes, bare.sinkBytes)
+	}
+	for _, c := range with.Checks {
+		if want, ok := bare.truth[c.Name]; ok && c.Stack != want {
+			t.Fatalf("taps perturbed stack counter %s: %d with, %d without",
+				c.Name, c.Stack, want)
+		}
+	}
+}

@@ -141,6 +141,17 @@ type Iface struct {
 	// Recv handles frames arriving at this interface. Nil drops them.
 	Recv func(f *Frame)
 
+	// TxTap and RxTap, when set, passively observe every packet the
+	// interface transmits (at Send time) or delivers (just before Recv).
+	// Taps never take ownership of the frame or packet and charge zero
+	// simulated cost — unlike core.TOE.PacketTap, which models the cycles
+	// of an on-NIC capture (doc.go "Passive flow analysis"). The packet
+	// is valid only for the duration of the call. Taps run on the shard
+	// engine that owns the event: TxTap on the sender's shard, RxTap on
+	// the receiver's.
+	TxTap func(at sim.Time, pkt *packet.Packet)
+	RxTap func(at sim.Time, pkt *packet.Packet)
+
 	// Statistics.
 	TxFrames, RxFrames uint64
 	TxBytes, RxBytes   uint64
@@ -266,6 +277,9 @@ func (i *Iface) Send(f *Frame) {
 		dropFrame(f)
 		return
 	}
+	if i.TxTap != nil {
+		i.TxTap(i.eng.Now(), f.Pkt)
+	}
 	i.TxFrames++
 	i.TxBytes += uint64(f.Wire)
 	i.queueBytes += f.Wire
@@ -294,6 +308,9 @@ func frameDelivered(a any) {
 	peer := i.peer
 	peer.RxFrames++
 	peer.RxBytes += uint64(f.Wire)
+	if peer.RxTap != nil {
+		peer.RxTap(peer.eng.Now(), f.Pkt)
+	}
 	if peer.Recv != nil {
 		peer.Recv(f)
 		return
@@ -333,6 +350,9 @@ func frameArrive(a any) {
 	peer.pkts.Adopt(f.Pkt)
 	peer.RxFrames++
 	peer.RxBytes += uint64(f.Wire)
+	if peer.RxTap != nil {
+		peer.RxTap(peer.eng.Now(), f.Pkt)
+	}
 	if peer.Recv != nil {
 		peer.Recv(f)
 		return

@@ -410,3 +410,77 @@ func TestIfaceCounters(t *testing.T) {
 		t.Fatalf("TxBytes = %d", a.TxBytes)
 	}
 }
+
+// TestPassiveTaps: TxTap fires at Send time on the sender, RxTap at
+// delivery on the receiver; taps observe the packet without taking
+// ownership (the frame still reaches Recv intact) and fire even on
+// frames the switch later drops (TxTap) or that arrive with no Recv
+// handler (RxTap).
+func TestPassiveTaps(t *testing.T) {
+	eng, _, a, b := buildNet(t, SwitchConfig{})
+	var txAt, rxAt sim.Time
+	var txSeen, rxSeen, delivered int
+	a.TxTap = func(at sim.Time, pkt *packet.Packet) {
+		txSeen++
+		txAt = at
+		if pkt.TCP.SrcPort != 1 {
+			t.Errorf("TxTap packet src port = %d", pkt.TCP.SrcPort)
+		}
+	}
+	b.RxTap = func(at sim.Time, pkt *packet.Packet) {
+		rxSeen++
+		rxAt = at
+		if pkt.TCP.DstPort != 2 {
+			t.Errorf("RxTap packet dst port = %d", pkt.TCP.DstPort)
+		}
+	}
+	b.Recv = func(f *Frame) {
+		delivered++
+		dropFrame(f)
+	}
+	pkt := testPacket(a.MAC, b.MAC, 500)
+	eng.At(0, func() { a.Send(NewFrame(pkt, 0)) })
+	eng.Run()
+	if txSeen != 1 || rxSeen != 1 || delivered != 1 {
+		t.Fatalf("tx=%d rx=%d delivered=%d, want 1/1/1", txSeen, rxSeen, delivered)
+	}
+	if txAt != 0 {
+		t.Fatalf("TxTap at %v, want send time 0", txAt)
+	}
+	if rxAt <= txAt {
+		t.Fatalf("RxTap at %v, must be after TxTap at %v", rxAt, txAt)
+	}
+}
+
+// TestTapsAreFreeAndOrderNeutral: attaching taps must not change the
+// simulation by one picosecond or one event — the zero-cost contract the
+// analyzer relies on (core.TOE.PacketTapCost models the expensive kind).
+func TestTapsAreFreeAndOrderNeutral(t *testing.T) {
+	run := func(tap bool) (deliveries int, last sim.Time) {
+		eng, _, a, b := buildNet(t, SwitchConfig{})
+		if tap {
+			count := func(at sim.Time, pkt *packet.Packet) {}
+			a.TxTap, a.RxTap = count, count
+			b.TxTap, b.RxTap = count, count
+		}
+		b.Recv = func(f *Frame) {
+			deliveries++
+			last = eng.Now()
+			dropFrame(f)
+		}
+		for i := 0; i < 50; i++ {
+			pkt := testPacket(a.MAC, b.MAC, 100+i*7)
+			eng.At(sim.Time(i)*sim.Microsecond, func() { a.Send(NewFrame(pkt, 0)) })
+		}
+		eng.Run()
+		return
+	}
+	n0, t0 := run(false)
+	n1, t1 := run(true)
+	if n0 != n1 || t0 != t1 {
+		t.Fatalf("taps changed the run: %d@%v vs %d@%v", n0, t0, n1, t1)
+	}
+	if n0 != 50 {
+		t.Fatalf("deliveries = %d, want 50", n0)
+	}
+}

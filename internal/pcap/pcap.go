@@ -79,7 +79,8 @@ func (pw *Writer) WritePacket(at sim.Time, p *packet.Packet) error {
 	return pw.WriteFrame(at, pw.scratch)
 }
 
-// Record is one captured packet.
+// Record is one captured packet. Data aliases the reader's reusable
+// scratch buffer: it is valid until the next call to Next.
 type Record struct {
 	Time sim.Time
 	Data []byte
@@ -88,7 +89,13 @@ type Record struct {
 
 // Reader parses a pcap stream.
 type Reader struct {
-	r io.Reader
+	r       io.Reader
+	scratch []byte // reusable record buffer (Record.Data aliases it)
+	// Truncated reports that the stream ended mid-record — a capture cut
+	// off while a writer held a partial record (a crashed tcpdump, a
+	// still-running capture). The partial record is discarded and Next
+	// returns io.EOF.
+	Truncated bool
 }
 
 // ErrBadMagic indicates a non-pcap stream.
@@ -109,10 +116,18 @@ func NewReader(r io.Reader) (*Reader, error) {
 	return &Reader{r: r}, nil
 }
 
-// Next returns the next record, or io.EOF.
+// Next returns the next record, or io.EOF after the last complete one.
+// A final record cut short by the end of the stream — a partial header
+// or less captured data than its header promises — is tolerated: it is
+// dropped, Truncated is set, and Next reports io.EOF rather than an
+// error. The returned Record's Data is only valid until the next call.
 func (pr *Reader) Next() (Record, error) {
 	var hdr [16]byte
 	if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			pr.Truncated = true
+			err = io.EOF
+		}
 		return Record{}, err
 	}
 	sec := binary.LittleEndian.Uint32(hdr[0:])
@@ -122,8 +137,15 @@ func (pr *Reader) Next() (Record, error) {
 	if capLen > maxSnapLen {
 		return Record{}, fmt.Errorf("pcap: capture length %d too large", capLen)
 	}
-	data := make([]byte, capLen)
+	if cap(pr.scratch) < int(capLen) {
+		pr.scratch = make([]byte, capLen)
+	}
+	data := pr.scratch[:capLen]
 	if _, err := io.ReadFull(pr.r, data); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			pr.Truncated = true
+			err = io.EOF
+		}
 		return Record{}, err
 	}
 	at := sim.Time(sec)*sim.Second + sim.Time(usec)*sim.Microsecond

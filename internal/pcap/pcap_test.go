@@ -7,6 +7,7 @@ import (
 
 	"flextoe/internal/packet"
 	"flextoe/internal/sim"
+	"flextoe/internal/stats"
 )
 
 func tcpPacket(sport, dport uint16, flags uint8, payload int) *packet.Packet {
@@ -63,6 +64,112 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	}
 	if _, err := r.Next(); err != io.EOF {
 		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+// TestRoundTripRandomFrames property-tests write→read over random frame
+// sets: every complete record must come back byte-identical, in order,
+// with its timestamp at microsecond precision.
+func TestRoundTripRandomFrames(t *testing.T) {
+	r := stats.NewRNG(91)
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(50)
+		frames := make([][]byte, n)
+		times := make([]sim.Time, n)
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at := sim.Time(0)
+		for i := range frames {
+			f := make([]byte, 1+r.Intn(3000))
+			for j := range f {
+				f[j] = byte(r.Uint64())
+			}
+			at += sim.Time(r.Intn(int(5 * sim.Second)))
+			frames[i], times[i] = f, at
+			if err := w.WriteFrame(at, f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range frames {
+			rec, err := rd.Next()
+			if err != nil {
+				t.Fatalf("trial %d record %d: %v", trial, i, err)
+			}
+			if !bytes.Equal(rec.Data, frames[i]) {
+				t.Fatalf("trial %d record %d: data mismatch (%d vs %d bytes)",
+					trial, i, len(rec.Data), len(frames[i]))
+			}
+			if rec.Orig != len(frames[i]) {
+				t.Fatalf("trial %d record %d: orig %d != %d", trial, i, rec.Orig, len(frames[i]))
+			}
+			if rec.Time/sim.Microsecond != times[i]/sim.Microsecond {
+				t.Fatalf("trial %d record %d: time %v != %v", trial, i, rec.Time, times[i])
+			}
+		}
+		if _, err := rd.Next(); err != io.EOF {
+			t.Fatalf("trial %d: expected EOF, got %v", trial, err)
+		}
+		if rd.Truncated {
+			t.Fatalf("trial %d: complete stream marked truncated", trial)
+		}
+	}
+}
+
+// TestReaderToleratesTruncation cuts a valid capture at every possible
+// byte position: the reader must return each record that survived intact,
+// then io.EOF — never a parse error — flagging Truncated exactly when the
+// cut fell mid-record.
+func TestReaderToleratesTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{40, 1, 200, 0, 1448}
+	for i, sz := range sizes {
+		frame := bytes.Repeat([]byte{byte(i + 1)}, sz)
+		if err := w.WriteFrame(sim.Time(i)*sim.Millisecond, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := buf.Bytes()
+	// Record boundaries: 24-byte file header, then 16+len per record.
+	bounds := []int{24}
+	for _, sz := range sizes {
+		bounds = append(bounds, bounds[len(bounds)-1]+16+sz)
+	}
+	for cut := 24; cut <= len(full); cut++ {
+		rd, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: header rejected: %v", cut, err)
+		}
+		whole := 0
+		for whole+1 < len(bounds) && bounds[whole+1] <= cut {
+			whole++
+		}
+		for i := 0; i < whole; i++ {
+			rec, err := rd.Next()
+			if err != nil {
+				t.Fatalf("cut %d: record %d: %v", cut, i, err)
+			}
+			if len(rec.Data) != sizes[i] {
+				t.Fatalf("cut %d: record %d: %d bytes, want %d", cut, i, len(rec.Data), sizes[i])
+			}
+		}
+		if _, err := rd.Next(); err != io.EOF {
+			t.Fatalf("cut %d: after %d whole records, got %v, want io.EOF", cut, whole, err)
+		}
+		wantTrunc := cut != bounds[whole]
+		if rd.Truncated != wantTrunc {
+			t.Fatalf("cut %d: Truncated = %v, want %v", cut, rd.Truncated, wantTrunc)
+		}
 	}
 }
 

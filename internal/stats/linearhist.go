@@ -63,6 +63,66 @@ func (h *LinearHist) MaxSeen() int {
 	return 0
 }
 
+// Quantile returns the q-quantile (0 <= q <= 1) of the recorded values:
+// the smallest value v such that at least ceil(q*n) observations are <= v
+// — the same answer indexing a sorted slice of the observations at
+// ceil(q*n)-1 would give. Returns 0 when empty; q <= 0 yields the
+// minimum, q >= 1 the maximum.
+func (h *LinearHist) Quantile(q float64) int {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(1)
+	if q > 0 {
+		// ceil(q*n) without float drift at the q=1 edge.
+		if q >= 1 {
+			rank = h.n
+		} else {
+			rank = uint64(q * float64(h.n))
+			if float64(rank) < q*float64(h.n) {
+				rank++
+			}
+			if rank == 0 {
+				rank = 1
+			}
+			if rank > h.n {
+				rank = h.n
+			}
+		}
+	}
+	var cum uint64
+	for v, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return v
+		}
+	}
+	return len(h.counts) - 1
+}
+
+// Add merges another histogram into this one bucket-wise, so per-shard
+// histograms combine deterministically at readout: observations in
+// buckets beyond this histogram's range clamp into the top bucket,
+// exactly as Record would have clamped them.
+func (h *LinearHist) Add(o *LinearHist) {
+	if o == nil {
+		return
+	}
+	top := len(h.counts) - 1
+	for v, c := range o.counts {
+		if c == 0 {
+			continue
+		}
+		dst := v
+		if dst > top {
+			dst = top
+		}
+		h.counts[dst] += c
+		h.n += c
+		h.sum += uint64(dst) * c
+	}
+}
+
 // Bucket returns the count of observations of exactly v (0 out of range).
 func (h *LinearHist) Bucket(v int) uint64 {
 	if v < 0 || v >= len(h.counts) {
