@@ -1,5 +1,6 @@
 // Command flexbench regenerates the tables and figures of the FlexTOE
-// paper's evaluation (§5) on the simulated testbed.
+// paper's evaluation (§5) on the simulated testbed, and serves the
+// scenario job API.
 //
 // Usage:
 //
@@ -8,33 +9,73 @@
 //	flexbench -cores 8        # shard engines / parallelize cells up to 8 cores
 //	flexbench table3 fig11    # run specific experiments
 //	flexbench -list           # list experiment ids
+//	flexbench serve -addr :8080 -dir jobs -workers 4
+//	                          # HTTP job service for declarative scenario
+//	                          # specs (see internal/scenario/server and
+//	                          # examples/scenarios/)
 //
 // With -cores > 1 the scaling-sensitive experiments (Fig 8, 15, 17)
 // additionally emit a harness-scaling table: wall-clock and speedup at
 // 1/2/4/8 cores (capped at -cores). Results are bit-identical across
 // core counts; only the wall-clock changes.
+//
+// Unknown subcommands or flags print usage on stderr and exit 2.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
 	"flextoe/internal/experiments"
+	"flextoe/internal/scenario/server"
 )
 
 func main() {
-	full := flag.Bool("full", false, "run at paper-scale parameters (slow)")
-	cores := flag.Int("cores", 1, "max cores for engine sharding and cell-level parallelism")
-	list := flag.Bool("list", false, "list experiment identifiers")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it dispatches to the experiment
+// runner or the serve subcommand and returns the process exit code.
+// Usage errors (unknown subcommand, unknown experiment id, bad flags)
+// print usage on stderr and return 2, the conventional usage-error code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], stdout, stderr)
+	}
+	return runExperiments(args, stdout, stderr)
+}
+
+func usage(stderr io.Writer, fs *flag.FlagSet) {
+	fmt.Fprintln(stderr, `usage: flexbench [-full] [-cores N] [-list] [experiment ids...]
+       flexbench serve [-addr host:port] [-dir path] [-workers N]`)
+	if fs != nil {
+		fs.SetOutput(stderr)
+		fs.PrintDefaults()
+	}
+}
+
+func runExperiments(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("flexbench", flag.ContinueOnError)
+	fs.SetOutput(io.Discard) // we print usage ourselves, once
+	full := fs.Bool("full", false, "run at paper-scale parameters (slow)")
+	cores := fs.Int("cores", 1, "max cores for engine sharding and cell-level parallelism")
+	list := fs.Bool("list", false, "list experiment identifiers")
+	if err := fs.Parse(args); err != nil {
+		fmt.Fprintln(stderr, err)
+		usage(stderr, fs)
+		return 2
+	}
 
 	if *list {
 		for _, r := range experiments.All() {
-			fmt.Printf("%-8s %s\n", r.ID, r.Desc)
+			fmt.Fprintf(stdout, "%-8s %s\n", r.ID, r.Desc)
 		}
-		return
+		return 0
 	}
 
 	scale := experiments.Quick
@@ -44,13 +85,14 @@ func main() {
 	scale.Cores = *cores
 
 	runners := experiments.All()
-	if args := flag.Args(); len(args) > 0 {
+	if rest := fs.Args(); len(rest) > 0 {
 		runners = runners[:0]
-		for _, id := range args {
+		for _, id := range rest {
 			r, ok := experiments.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "unknown subcommand or experiment %q (try -list)\n", id)
+				usage(stderr, nil)
+				return 2
 			}
 			runners = append(runners, r)
 		}
@@ -60,8 +102,44 @@ func main() {
 		start := time.Now()
 		tables := r.Run(scale)
 		for _, t := range tables {
-			fmt.Println(t.Format())
+			fmt.Fprintln(stdout, t.Format())
 		}
-		fmt.Printf("[%s completed in %v]\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "[%s completed in %v]\n\n", r.ID, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
+}
+
+func runServe(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("flexbench serve", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	addr := fs.String("addr", "localhost:8080", "listen address")
+	dir := fs.String("dir", "scenario-jobs", "job persistence directory (empty disables persistence)")
+	workers := fs.Int("workers", 0, "worker pool width (0 or above GOMAXPROCS clamps to GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		fmt.Fprintln(stderr, err)
+		usage(stderr, fs)
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "serve takes no positional arguments (got %q)\n", fs.Args()[0])
+		usage(stderr, fs)
+		return 2
+	}
+	srv, err := server.New(server.Config{Dir: *dir, Workers: *workers})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "flexbench scenario service listening on %s (workers=%d, dir=%q)\n",
+		ln.Addr(), srv.Workers(), *dir)
+	if err := http.Serve(ln, srv); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDispatchUsageErrors pins the CLI contract: unknown subcommands and
+// bad flags print usage on stderr and exit 2, and never write to stdout.
+func TestDispatchUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown subcommand", []string{"frobnicate"}},
+		{"unknown flag", []string{"-definitely-not-a-flag"}},
+		{"serve unknown flag", []string{"serve", "-bogus"}},
+		{"serve positional arg", []string{"serve", "extra"}},
+		{"unknown id after flags", []string{"-cores", "2", "nope"}},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(tc.args, &stdout, &stderr); code != 2 {
+			t.Errorf("%s: exit code %d, want 2", tc.name, code)
+		}
+		if !strings.Contains(stderr.String(), "usage: flexbench") {
+			t.Errorf("%s: stderr lacks usage:\n%s", tc.name, stderr.String())
+		}
+		if stdout.Len() != 0 {
+			t.Errorf("%s: usage error wrote to stdout: %q", tc.name, stdout.String())
+		}
+	}
+}
+
+func TestDispatchList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, stderr.String())
+	}
+	for _, id := range []string{"table1", "fig15", "fig17"} {
+		if !strings.Contains(stdout.String(), id) {
+			t.Errorf("-list output lacks %q", id)
+		}
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("-list wrote to stderr: %q", stderr.String())
+	}
+}

@@ -312,6 +312,48 @@
 //     counting rule means updating the analyzer's matching rule, not the
 //     tolerance.
 //
+// # Scenario service: declarative specs, async jobs, canonical results
+//
+// internal/scenario turns the hand-built experiment harnesses into data:
+// a JSON Spec names a topology (single-switch testbed or leaf-spine
+// fabric), machines (any stack personality with its per-machine knobs),
+// workloads (bulk, rpc, kv, flowgen, incast, background), injected
+// loss/reorder/duplication, seeds, duration/warmup, and a measurement
+// block (counter groups, flowmon attach points or per-rack fleets,
+// per-flow records). internal/scenario/server exposes the runner as an
+// HTTP job API (`flexbench serve`): POST a spec, follow the run as an
+// NDJSON stream of progress and per-flow records, fetch the canonical
+// result. The contract has three clauses:
+//
+//   - Strict validation, then exact construction. Parse rejects unknown
+//     fields, out-of-range probabilities, dangling machine references,
+//     duplicate listeners, and flowmon attach conflicts (an Iface holds
+//     one tap — duplicate attaches and fleets-plus-explicit-taps are
+//     spec errors, not silent overwrites). Build compiles the Spec
+//     through the same testbed/fabric/workload constructors the figure
+//     runners use, in spec order; Fig 15c and Fig 17a run through this
+//     builder, so spec-built scenarios are proven equivalent to the
+//     committed tables bit for bit.
+//
+//   - Canonical, deterministic results. A Result marshals to one
+//     canonical byte sequence (Result.Canonical); the same spec produces
+//     byte-identical payloads on rerun, at any engine shard count, at
+//     any server worker-pool width, and across server restarts
+//     (TestRerunIsByteIdentical, TestShardCountInvariance, the CI
+//     scenario-serve job). The scenario packages sit inside the flexvet
+//     determinism perimeter: no wall-clock reads, no global randomness,
+//     no map-order iteration — job ids derive from a submission sequence
+//     number plus a hash of the spec bytes, and validation, build, and
+//     readout all walk spec-ordered slices.
+//
+//   - Async jobs with bounded workers. Jobs run on a worker pool clamped
+//     to GOMAXPROCS (the runCells rationale: more runnable workers than
+//     CPUs buys nothing for CPU-bound simulation); cancellation lands at
+//     the next progress boundary (32 chunks per run); specs and results
+//     persist to disk, so a restarted server serves finished jobs
+//     byte-identically and resumes interrupted ones. Example specs and
+//     curl workflows live in examples/scenarios/.
+//
 // # Static enforcement: flexvet
 //
 // The contracts above — and the one-seed determinism rule stated in
@@ -360,6 +402,7 @@ import (
 func main() {
 	fmt.Println("FlexTOE reproduction. Use:")
 	fmt.Println("  go run ./cmd/flexbench      # regenerate the paper's tables and figures")
+	fmt.Println("  go run ./cmd/flexbench serve  # scenario job service (examples/scenarios/)")
 	fmt.Println("  go run ./cmd/flextrace      # tcpdump-style capture on a simulated run")
 	fmt.Println("  go run ./cmd/flexload       # scenario load generator")
 	fmt.Println("  go run ./examples/quickstart")

@@ -98,6 +98,11 @@ var CriticalPrefixes = []string{
 	"flextoe/internal/host",
 	"flextoe/internal/sched",
 	"flextoe/internal/nfp",
+	// Not engine-resident, but bound by the same determinism contract:
+	// a scenario spec must produce byte-identical result payloads on
+	// every rerun, so the builder, readout, and job service may not read
+	// the wall clock, draw global randomness, or iterate maps.
+	"flextoe/internal/scenario",
 }
 
 // Critical reports whether pkgPath is simulation-critical.

@@ -19,9 +19,26 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flextoe/internal/scenario"
 	"flextoe/internal/sim"
 	"flextoe/internal/testbed"
 )
+
+// mustScenario builds and executes a programmatic scenario spec — the
+// bridge the refactored figure runners use so their specs are proven
+// equivalent to the hand-built harnesses they replaced. Experiment specs
+// are authored in-repo, so any error is a bug.
+func mustScenario(spec *scenario.Spec) (*scenario.Built, *scenario.Result) {
+	b, err := scenario.Build(spec)
+	if err != nil {
+		panic("experiments: bad scenario spec: " + err.Error())
+	}
+	r, err := b.Execute(nil)
+	if err != nil {
+		panic("experiments: scenario execute: " + err.Error())
+	}
+	return b, r
+}
 
 // Scale selects experiment fidelity and host-core usage.
 type Scale struct {

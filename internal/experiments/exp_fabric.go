@@ -7,7 +7,9 @@ import (
 	"flextoe/internal/ctrl"
 	"flextoe/internal/fabric"
 	"flextoe/internal/fabric/workload"
+	"flextoe/internal/flowmon"
 	"flextoe/internal/netsim"
+	"flextoe/internal/scenario"
 	"flextoe/internal/sim"
 	"flextoe/internal/stats"
 	"flextoe/internal/testbed"
@@ -39,76 +41,82 @@ type fig17IncastResult struct {
 // FlexTOE with the given control-plane congestion-control policy. cores
 // selects the engine-shard count (rack-affine placement); any value
 // produces bit-identical results to cores=1 (TestParallelMatchesSerial).
+// The point runs through the scenario builder (the spec below is the
+// declarative form of the original harness — same seeds, same warmup
+// boundary), and TestParallelMatchesSerial plus the determinism gates
+// prove the numbers stayed bit-identical across the refactor.
+// examples/scenarios/incast16.json is the 16-way point in JSON clothing.
 func fig17IncastPoint(cores, fanIn int, cc ctrl.CCAlgo, d sim.Time) fig17IncastResult {
 	hosts := fanIn
 	if hosts > 8 {
 		hosts = 8
 	}
-	fc := fabric.Config{
-		Leaves: 3, Spines: 2,
-		QueueHistUnit: 1448,
-		Leaf: netsim.SwitchConfig{
-			ECNThresholdBytes: fig17K,
-			QueueCapBytes:     fig17QueueCap,
+	spec := &scenario.Spec{
+		Name:       "fig17a-incast",
+		Seed:       170_000 + uint64(fanIn),
+		DurationUs: int64(d / sim.Microsecond),
+		// Warm up past connection setup and the initial slow-start burst;
+		// the builder resets queue stats and measurement at the boundary
+		// so all columns measure the same post-warmup window.
+		WarmupUs: int64(d / 4 / sim.Microsecond),
+		Cores:    cores,
+		Topology: scenario.Topology{
+			Kind: scenario.TopoFabric,
+			Fabric: &scenario.FabricSpec{
+				Racks: 3, Spines: 2,
+				QueueHistUnit: 1448,
+				Leaf:          &scenario.SwitchSpec{ECNThresholdBytes: fig17K, QueueCapBytes: fig17QueueCap},
+				Spine:         &scenario.SwitchSpec{ECNThresholdBytes: fig17K, QueueCapBytes: 2 * fig17QueueCap},
+			},
 		},
-		Spine: netsim.SwitchConfig{
-			ECNThresholdBytes: fig17K,
-			QueueCapBytes:     2 * fig17QueueCap,
-		},
-		Seed: 170_000 + uint64(fanIn),
+		Machines: []scenario.Machine{{
+			Name: "agg", Stack: scenario.StackFlexTOE, Cores: 4, Rack: 0,
+			BufBytes: 1 << 17, CC: scenarioCC(cc), Seed: 1700,
+		}},
 	}
-	specs := []testbed.MachineSpec{{
-		Name: "agg", Kind: testbed.FlexTOE, Cores: 4, Rack: 0,
-		BufSize: 1 << 17, CC: cc, Seed: 1700,
-	}}
+	senders := make([]string, hosts)
 	for i := 0; i < hosts; i++ {
-		specs = append(specs, testbed.MachineSpec{
-			Name: fmt.Sprintf("snd%d", i), Kind: testbed.FlexTOE, Cores: 2,
-			Rack: 1 + i%2, BufSize: 1 << 17, CC: cc, Seed: uint64(1710 + i),
+		senders[i] = fmt.Sprintf("snd%d", i)
+		spec.Machines = append(spec.Machines, scenario.Machine{
+			Name: senders[i], Stack: scenario.StackFlexTOE, Cores: 2,
+			Rack: 1 + i%2, BufBytes: 1 << 17, CC: scenarioCC(cc), Seed: uint64(1710 + i),
 		})
 	}
-	tb := testbed.NewFabricCores(cores, fc, specs...)
+	spec.Workloads = []scenario.Workload{{
+		Kind: scenario.KindIncast,
+		Incast: &scenario.IncastWorkload{
+			Agg: "agg", Port: 9400, Senders: senders,
+			FanIn: fanIn, BlockBytes: 32768,
+		},
+	}}
+	_, res := mustScenario(spec)
 
-	g := &workload.IncastGroup{BlockBytes: 32768}
-	g.Serve(tb.M("agg").Stack, 9400)
-	senders := make([]api.Stack, 0, fanIn)
-	for i := 0; i < fanIn; i++ {
-		senders = append(senders, tb.M(fmt.Sprintf("snd%d", i%hosts)).Stack)
+	var retx uint64
+	for _, m := range res.Machines[1:] {
+		retx += m.RetxBytes
 	}
-	g.Start(senders, tb.Addr("agg", 9400))
-
-	// Warm up past connection setup and the initial slow-start burst,
-	// then snapshot every cumulative counter so all columns measure the
-	// same post-warmup window.
-	warm := d / 4
-	tb.Run(warm)
-	tb.Fabric.ResetQueueStats()
-	g.RoundFCT = stats.NewHistogram()
-	bytes0, rounds0 := g.BytesReceived, g.RoundsDone
-	marks0, _ := tb.Fabric.ECNMarks()
-	retx0 := fig17SenderRetx(tb, hosts)
-	tb.Run(warm + d)
-
-	leafMarks, _ := tb.Fabric.ECNMarks()
+	w := res.Workloads[0]
 	return fig17IncastResult{
-		goodputGbps: gbps(g.BytesReceived-bytes0, d),
-		p50us:       usOf(g.RoundFCT.Percentile(50)),
-		p99us:       usOf(g.RoundFCT.Percentile(99)),
-		rounds:      g.RoundsDone - rounds0,
-		peakQ:       tb.Fabric.PeakLeafQueueBytes(),
-		ecnMarks:    leafMarks - marks0,
-		retxKB:      float64(fig17SenderRetx(tb, hosts)-retx0) / 1024,
+		goodputGbps: w.GoodputGbps,
+		p50us:       w.P50Us,
+		p99us:       w.P99Us,
+		rounds:      w.Rounds,
+		peakQ:       res.Fabric.PeakLeafQueueBytes,
+		ecnMarks:    res.Fabric.LeafECNMarks,
+		retxKB:      float64(retx) / 1024,
 	}
 }
 
-// fig17SenderRetx sums retransmitted payload bytes across the sender
-// machines.
-func fig17SenderRetx(tb *testbed.Testbed, hosts int) uint64 {
-	var retx uint64
-	for i := 0; i < hosts; i++ {
-		retx += tb.M(fmt.Sprintf("snd%d", i)).TOE.RetxBytes
+// scenarioCC names a control-plane CC policy in spec vocabulary.
+func scenarioCC(cc ctrl.CCAlgo) string {
+	switch cc {
+	case ctrl.CCDCTCP:
+		return "dctcp"
+	case ctrl.CCTimely:
+		return "timely"
+	default:
+		return "none"
 	}
-	return retx
 }
 
 // fig17OversubResult is one oversubscription sweep point.
@@ -188,8 +196,13 @@ func fig17OversubPoint(cores int, trunkGbps float64, d sim.Time) fig17OversubRes
 // fig17ECMPPoint measures hash balance: flows fixed-size transfers from
 // rack-1 hosts to rack-0 hosts over a fabric with the given spine count,
 // returning the bytes each spine carried upward out of the sender leaf
-// tier and the heaviest spine's load relative to the fair share.
-func fig17ECMPPoint(cores, spines, flows int, d sim.Time) (spineBytes []uint64, maxOverFair float64) {
+// tier, the heaviest spine's load relative to the fair share, and one
+// flowmon Fleet report per rack (ROADMAP 5c): every host NIC in a rack
+// feeds one analyzer, merged in attachment order, so per-spine RTT/retx
+// splits come from Report.GroupTotals over the same CRC-32 flow hash the
+// ECMP stage forwards with. The taps are passive — attaching them left
+// the spine byte counts bit-identical (TestTapsDoNotPerturbSimulation).
+func fig17ECMPPoint(cores, spines, flows int, d sim.Time) (spineBytes []uint64, maxOverFair float64, racks []*flowmon.Report) {
 	fc := fabric.Config{Leaves: 2, Spines: spines, Seed: 171_000 + uint64(spines)}
 	const hostsPerSide = 4
 	var specs []testbed.MachineSpec
@@ -202,6 +215,16 @@ func fig17ECMPPoint(cores, spines, flows int, d sim.Time) (spineBytes []uint64, 
 		)
 	}
 	tb := testbed.NewFabricCores(cores, fc, specs...)
+
+	fleets := make([]*flowmon.Fleet, fc.Leaves)
+	for r := range fleets {
+		fleets[r] = &flowmon.Fleet{}
+	}
+	for _, h := range tb.Fabric.Hosts() {
+		mon := flowmon.New(flowmon.Config{})
+		flowmon.Attach(mon, h.Iface)
+		fleets[h.Rack].Add(mon)
+	}
 
 	g := &workload.FlowGen{
 		Rate:     1e7, // effectively simultaneous arrivals
@@ -233,7 +256,11 @@ func fig17ECMPPoint(cores, spines, flows int, d sim.Time) (spineBytes []uint64, 
 	if fair > 0 {
 		maxOverFair = float64(max) / fair
 	}
-	return spineBytes, maxOverFair
+	racks = make([]*flowmon.Report, len(fleets))
+	for r, fl := range fleets {
+		racks[r] = fl.Report()
+	}
+	return spineBytes, maxOverFair, racks
 }
 
 // Fig17 is a reproduction extension: FlexTOE's congestion control on a
@@ -276,11 +303,17 @@ func Fig17(s Scale) []*Table {
 		Header: []string{"Spines", "Flows", "Per-spine MB", "Max/fair"},
 		Notes:  "per-flow CRC-32 hashing (packet.Flow.Hash) across the uplink group; documented imbalance bound: max spine load <= 1.45x fair share at >= 64 flows (seeded, deterministic)",
 	}
+	split := &Table{
+		ID:     "Figure 17b (per-spine splits)",
+		Title:  "Per-rack flowmon fleets: retx/RTT split by ECMP spine (rack fleets tap every host NIC; flows group by the forwarding hash)",
+		Header: []string{"Spines", "Flows", "Rack", "Spine", "Split flows", "Retx segs", "DupAcks", "RTT n", "RTT mean (us)"},
+		Notes:  "passive Fleet per leaf (ROADMAP 5c): per-spine groups partition each rack's observed flows by packet.Flow.Hash % spines — the exact uplink choice — so skew in the balance table above decomposes into which flows shared a spine",
+	}
 	flowCounts := s.pick([]int{64}, []int{64, 256})
 	dE := s.dur(20*sim.Millisecond, 60*sim.Millisecond)
 	for _, spines := range []int{2, 4} {
 		for _, flows := range flowCounts {
-			bytes, maxOverFair := fig17ECMPPoint(s.cores(), spines, flows, dE)
+			bytes, maxOverFair, racks := fig17ECMPPoint(s.cores(), spines, flows, dE)
 			per := ""
 			for i, b := range bytes {
 				if i > 0 {
@@ -289,6 +322,20 @@ func Fig17(s Scale) []*Table {
 				per += f1(float64(b) / 1e6)
 			}
 			ecmp.AddRow(fmt.Sprintf("%d", spines), fmt.Sprintf("%d", flows), per, f2(maxOverFair))
+			for rack, rep := range racks {
+				groups := rep.GroupTotals(spines, func(f *flowmon.FlowReport) int {
+					return int(f.Flow.Hash() % uint32(spines))
+				})
+				for spine, gt := range groups {
+					split.AddRow(fmt.Sprintf("%d", spines), fmt.Sprintf("%d", flows),
+						fmt.Sprintf("%d", rack), fmt.Sprintf("%d", spine),
+						fmt.Sprintf("%d", gt.Flows),
+						fmt.Sprintf("%d", gt.RetxSegs),
+						fmt.Sprintf("%d", gt.DupAcks),
+						fmt.Sprintf("%d", gt.RTTN),
+						f1(gt.RTTMeanUs()))
+				}
+			}
 		}
 	}
 
@@ -306,7 +353,7 @@ func Fig17(s Scale) []*Table {
 			f1(float64(r.peakUplinkQ)/1024), f1(float64(r.peakHostQ)/1024),
 			fmt.Sprintf("%d", r.uplinkMarks), fmt.Sprintf("%d", r.hostMarks))
 	}
-	out := []*Table{incast, ecmp, oversub}
+	out := []*Table{incast, ecmp, split, oversub}
 	if s.cores() > 1 {
 		out = append(out, scalingTable("Figure 17 (harness scaling)",
 			"Fig 17a incast sweep wall-clock vs engine shards (identical results at every row)",

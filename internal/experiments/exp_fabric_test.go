@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"flextoe/internal/ctrl"
+	"flextoe/internal/flowmon"
 	"flextoe/internal/sim"
 )
 
@@ -47,7 +48,7 @@ func TestFig17IncastDCTCPBeatsCCOff(t *testing.T) {
 // load <= 1.45x the fair share; runs are seeded, so the bound is exact).
 func TestFig17ECMPBalanceWithinBound(t *testing.T) {
 	for _, spines := range []int{2, 4} {
-		bytes, maxOverFair := fig17ECMPPoint(1, spines, 64, 20*sim.Millisecond)
+		bytes, maxOverFair, racks := fig17ECMPPoint(1, spines, 64, 20*sim.Millisecond)
 		for s, b := range bytes {
 			if b == 0 {
 				t.Fatalf("spines=%d: spine %d carried nothing", spines, s)
@@ -55,6 +56,23 @@ func TestFig17ECMPBalanceWithinBound(t *testing.T) {
 		}
 		if maxOverFair > 1.45 {
 			t.Errorf("spines=%d: max spine load %.2fx fair share exceeds the 1.45 bound", spines, maxOverFair)
+		}
+		// The per-rack flowmon fleets ride along: every rack observed
+		// flows, and the per-spine split partitions them exactly.
+		for r, rep := range racks {
+			tot := rep.Totals()
+			if tot.Flows == 0 {
+				t.Fatalf("spines=%d: rack %d fleet saw no flows", spines, r)
+			}
+			var split uint64
+			for _, g := range rep.GroupTotals(spines, func(f *flowmon.FlowReport) int {
+				return int(f.Flow.Hash() % uint32(spines))
+			}) {
+				split += g.Flows
+			}
+			if split != tot.Flows {
+				t.Errorf("spines=%d: rack %d spine splits cover %d of %d flows", spines, r, split, tot.Flows)
+			}
 		}
 	}
 }
@@ -113,8 +131,8 @@ func TestFig17Determinism(t *testing.T) {
 			t.Errorf("cc=%v: incast results diverged across identical runs:\n%+v\n%+v", cc, a, b)
 		}
 	}
-	a1, m1 := fig17ECMPPoint(1, 2, 64, 10*sim.Millisecond)
-	a2, m2 := fig17ECMPPoint(1, 2, 64, 10*sim.Millisecond)
+	a1, m1, _ := fig17ECMPPoint(1, 2, 64, 10*sim.Millisecond)
+	a2, m2, _ := fig17ECMPPoint(1, 2, 64, 10*sim.Millisecond)
 	if m1 != m2 || len(a1) != len(a2) {
 		t.Fatalf("ECMP imbalance diverged: %.4f vs %.4f", m1, m2)
 	}

@@ -10,6 +10,7 @@ import (
 	"flextoe/internal/flowmon"
 	"flextoe/internal/netsim"
 	"flextoe/internal/packet"
+	"flextoe/internal/scenario"
 	"flextoe/internal/sim"
 	"flextoe/internal/stats"
 	"flextoe/internal/tcpseg"
@@ -381,26 +382,39 @@ func fig15ReassemblyPoint(loss float64, intervals int, d sim.Time) (goodputGbps 
 // a passive flowmon report from the sender NIC tap — the analyzer's
 // wire-level view of the same run (GBN/selective retransmit split, RTT
 // distribution).
+//
+// The point runs through the scenario builder: the spec below is the
+// declarative form of the original hand-built harness (same seeds, same
+// construction order), and TestFig15SACKBeatsGBNAtOnePercentLoss plus
+// the determinism gates prove the numbers stayed bit-identical across
+// the refactor. examples/scenarios/fig15c-loss-sweep.json is this spec
+// in JSON clothing.
 func fig15RecoveryPoint(loss float64, sack bool, d sim.Time) (goodputGbps, retxKB float64, tap *flowmon.Report) {
-	// Identical reassembly capacity in both runs, so the only variable is
-	// the recovery scheme.
-	cfg := core.AgilioCX40Config()
-	cfg.OOOIntervals = tcpseg.MaxOOOIntervals
-	cfg.EnableSACK = sack
-	tb := testbed.New(netsim.SwitchConfig{LossProb: loss, Seed: 155},
-		testbed.MachineSpec{Name: "server", Kind: testbed.FlexTOE, Cores: 4, BufSize: 1 << 19, FlexCfg: &cfg, Seed: 155},
-		testbed.MachineSpec{Name: "client", Kind: testbed.FlexTOE, Cores: 4, BufSize: 1 << 19, FlexCfg: &cfg, Seed: 156},
-	)
-	mon := flowmon.New(flowmon.Config{DupAck: flowmon.DupAckFlexTOE, OOOCap: tcpseg.MaxOOOIntervals})
-	flowmon.Attach(mon, tb.M("client").Iface)
-	sink := &apps.BulkSink{}
-	sink.Serve(tb.M("server").Stack, 9000)
-	for i := 0; i < 8; i++ {
-		snd := &apps.BulkSender{}
-		snd.Start(tb.M("client").Stack, tb.Addr("server", 9000))
+	// Identical reassembly capacity in both runs (OOOCap pins the
+	// interval budget whether or not SACK widens it), so the only
+	// variable is the recovery scheme.
+	spec := &scenario.Spec{
+		Name:       "fig15c-recovery",
+		Seed:       155,
+		DurationUs: int64(d / sim.Microsecond),
+		Topology: scenario.Topology{
+			Kind:   scenario.TopoTestbed,
+			Switch: &scenario.SwitchSpec{LossProb: loss},
+		},
+		Machines: []scenario.Machine{
+			{Name: "server", Stack: scenario.StackFlexTOE, Cores: 4, BufBytes: 1 << 19,
+				SACK: sack, OOOCap: tcpseg.MaxOOOIntervals, Seed: 155},
+			{Name: "client", Stack: scenario.StackFlexTOE, Cores: 4, BufBytes: 1 << 19,
+				SACK: sack, OOOCap: tcpseg.MaxOOOIntervals, Seed: 156},
+		},
+		Workloads: []scenario.Workload{{
+			Kind: scenario.KindBulk,
+			Bulk: &scenario.BulkWorkload{Server: "server", Port: 9000, Clients: []string{"client"}, Conns: 8},
+		}},
+		Measure: scenario.Measure{Flowmon: []scenario.FlowmonAttach{{Machine: "client"}}},
 	}
-	tb.Run(d)
-	return gbps(sink.Received, d), float64(tb.M("client").TOE.RetxBytes) / 1024, mon.Report()
+	built, res := mustScenario(spec)
+	return res.Workloads[0].GoodputGbps, float64(res.Machines[1].RetxBytes) / 1024, built.Reports()[0]
 }
 
 // Fig16 regenerates Figure 16: the distribution of per-connection

@@ -338,6 +338,24 @@ func (sc *sinkConn) drain() {
 	}
 }
 
+// ResetMeasurement clears the generator's measurement state — admitted
+// and completed counts, byte totals, and the per-sink FCT histograms —
+// without touching the arrival streams. Call it only while the
+// simulation is quiescent (the warmup boundary); in-flight flows then
+// count toward the post-reset window.
+func (g *FlowGen) ResetMeasurement() {
+	for _, gc := range g.conns {
+		gc.started = 0
+	}
+	for _, sk := range g.sinks {
+		sk.fct = stats.NewHistogram()
+		sk.completed = 0
+		sk.bytesCompleted = 0
+		sk.bytesReceived = 0
+		sk.lastDone = 0
+	}
+}
+
 // Started returns the number of flows admitted, merged across
 // connections. Readout methods merge per-shard state in construction
 // order; call them only while the simulation is quiescent.
@@ -542,6 +560,16 @@ func (g *IncastGroup) roundDone() {
 
 // incastStartRound launches the next barrier round (see Engine.AtCall).
 func incastStartRound(a any) { a.(*IncastGroup).startRound() }
+
+// ResetMeasurement clears the group's round measurement — counts, byte
+// total, and the round-FCT histogram — without disturbing the round in
+// flight. Call it only while the simulation is quiescent (the warmup
+// boundary). Callers needing deltas against the pre-reset counts should
+// snapshot instead; this reset is the fig17-style fresh-histogram
+// boundary.
+func (g *IncastGroup) ResetMeasurement() {
+	g.RoundFCT = stats.NewHistogram()
+}
 
 // trigger consumes arrived trigger bytes — one per round — and owes the
 // sender one block per byte (coalesced triggers queue further blocks).

@@ -159,6 +159,8 @@ func (a *Analyzer) Report() *Report {
 // Totals sums the sender-side inference counters across every flow in
 // the report — the numbers cross-validated against stack counters.
 type Totals struct {
+	Flows         uint64
+	Pkts          uint64
 	DataSegs      uint64
 	AckedBytes    uint64
 	RetxSegs      uint64
@@ -170,26 +172,69 @@ type Totals struct {
 	OOODrops      uint64
 	ZeroWinEvents uint64
 	CEPkts        uint64
+
+	// RTT samples merged across flows (microseconds at the tap).
+	RTTN     uint64
+	RTTSumUs uint64
+	RTTMaxUs uint32
+}
+
+// add accumulates one flow snapshot.
+func (t *Totals) add(f *FlowReport) {
+	t.Flows++
+	t.Pkts += f.Pkts
+	t.DataSegs += f.DataSegs
+	t.AckedBytes += f.AckedBytes
+	t.RetxSegs += f.RetxSegs
+	t.RetxBytes += f.RetxBytes
+	t.RetxGBNBytes += f.RetxGBNBytes
+	t.RetxSelBytes += f.RetxSelBytes
+	t.DupAcks += f.DupAcks
+	t.OOOAccepts += f.OOOAccepts
+	t.OOODrops += f.OOODrops
+	t.ZeroWinEvents += f.ZeroWinEvents
+	t.CEPkts += f.CEPkts
+	t.RTTN += f.RTTN
+	t.RTTSumUs += f.RTTSumUs
+	if f.RTTMaxUs > t.RTTMaxUs {
+		t.RTTMaxUs = f.RTTMaxUs
+	}
+}
+
+// RTTMeanUs returns the mean of the merged RTT samples (0 when none).
+func (t *Totals) RTTMeanUs() float64 {
+	if t.RTTN == 0 {
+		return 0
+	}
+	return float64(t.RTTSumUs) / float64(t.RTTN)
 }
 
 // Totals aggregates the report's flows.
 func (r *Report) Totals() Totals {
 	var t Totals
 	for i := range r.Flows {
-		f := &r.Flows[i]
-		t.DataSegs += f.DataSegs
-		t.AckedBytes += f.AckedBytes
-		t.RetxSegs += f.RetxSegs
-		t.RetxBytes += f.RetxBytes
-		t.RetxGBNBytes += f.RetxGBNBytes
-		t.RetxSelBytes += f.RetxSelBytes
-		t.DupAcks += f.DupAcks
-		t.OOOAccepts += f.OOOAccepts
-		t.OOODrops += f.OOODrops
-		t.ZeroWinEvents += f.ZeroWinEvents
-		t.CEPkts += f.CEPkts
+		t.add(&r.Flows[i])
 	}
 	return t
+}
+
+// GroupTotals partitions the report's flows into n groups by key and
+// returns per-group totals: out[k] sums every flow whose key(f) == k.
+// Flows keyed outside [0,n) are skipped. The canonical grouping is the
+// per-spine split: key = Flow.Hash() % spines, the same CRC-32 the
+// fabric's ECMP stage uses to pick an uplink, so group k holds exactly
+// the directed flows whose data crossed spine k.
+func (r *Report) GroupTotals(n int, key func(*FlowReport) int) []Totals {
+	out := make([]Totals, n)
+	for i := range r.Flows {
+		f := &r.Flows[i]
+		k := key(f)
+		if k < 0 || k >= n {
+			continue
+		}
+		out[k].add(f)
+	}
+	return out
 }
 
 // Format renders the report as aligned text, one flow per line plus the

@@ -377,6 +377,17 @@ type SwitchConfig struct {
 	WREDMinBytes int
 	WREDMaxBytes int
 	WREDMaxProb  float64
+	// DupProb duplicates forwarded frames uniformly at random: the
+	// original and a deep copy both continue through the egress pipeline
+	// (queue cap, WRED, ECN), modelling a duplicating fabric hop. 0
+	// disables.
+	DupProb float64
+	// ReorderProb delays forwarded frames uniformly at random by
+	// ReorderDelay on top of the crossbar latency, so later same-flow
+	// frames overtake them (Fig. 15-style reordering without loss).
+	// 0 disables; ReorderDelay must be > 0 when ReorderProb is.
+	ReorderProb  float64
+	ReorderDelay sim.Time
 	// Latency is the fixed forwarding latency (lookup + crossbar).
 	Latency sim.Time
 	// Seed for the drop/mark RNG.
@@ -400,13 +411,15 @@ type Switch struct {
 	table   map[packet.EtherAddr]*Iface
 
 	// Statistics.
-	Forwarded  uint64
-	LossDrops  uint64
-	QueueDrops uint64
-	WREDDrops  uint64
-	ECNMarks   uint64
-	Flooded    uint64
-	ECMPPicks  uint64 // forwards resolved by uplink hashing
+	Forwarded   uint64
+	LossDrops   uint64
+	QueueDrops  uint64
+	WREDDrops   uint64
+	ECNMarks    uint64
+	Flooded     uint64
+	DupInjected uint64 // duplicate frames created by DupProb
+	Reordered   uint64 // frames delayed by ReorderProb
+	ECMPPicks   uint64 // forwards resolved by uplink hashing
 	// ECMPLoopDrops counts frames whose hashed uplink was their ingress
 	// port — a fabric routing error (the MAC should have been learned
 	// below this switch), kept separate from benign unknown-MAC floods.
@@ -469,6 +482,37 @@ func (s *Switch) forwardFrom(in *Iface, f *Frame) {
 		dropFrame(f)
 		return
 	}
+	// Duplication injection deep-copies the surviving frame and sends the
+	// copy through the same egress pipeline right behind the original.
+	// Every injection draw is guarded by its probability, so a config that
+	// leaves DupProb/ReorderProb zero consumes exactly the RNG stream it
+	// did before these knobs existed.
+	if s.cfg.DupProb > 0 && s.rng.Bool(s.cfg.DupProb) {
+		s.DupInjected++
+		dup := s.cloneFrame(f)
+		s.forwardOne(in, f)
+		s.forwardOne(in, dup)
+		return
+	}
+	s.forwardOne(in, f)
+}
+
+// cloneFrame deep-copies a frame for duplication injection: a fresh pooled
+// packet takes struct copies of the headers and a payload copy, so the
+// duplicate's journey is owned independently of the original's.
+func (s *Switch) cloneFrame(f *Frame) *Frame {
+	p := packet.PoolOf(s.eng).Get()
+	p.Eth = f.Pkt.Eth
+	p.IP = f.Pkt.IP
+	p.TCP = f.Pkt.TCP
+	if n := len(f.Pkt.Payload); n > 0 {
+		copy(p.GrowPayload(n), f.Pkt.Payload)
+	}
+	return FramesOf(s.eng).NewFrame(p, f.Ingress)
+}
+
+// forwardOne runs one frame through lookup and the egress pipeline.
+func (s *Switch) forwardOne(in *Iface, f *Frame) {
 	out, ok := s.table[f.Pkt.Eth.Dst]
 	if !ok {
 		if len(s.uplinks) > 0 {
@@ -522,7 +566,14 @@ func (s *Switch) forwardFrom(in *Iface, f *Frame) {
 	s.Forwarded++
 	out.noteQueueDepth(q)
 	f.dst = out
-	s.eng.AfterCall(s.cfg.Latency, switchDeliver, f)
+	delay := s.cfg.Latency
+	// Reorder injection holds the frame in the crossbar for ReorderDelay
+	// extra, letting later same-flow frames overtake it.
+	if s.cfg.ReorderProb > 0 && s.rng.Bool(s.cfg.ReorderProb) {
+		s.Reordered++
+		delay += s.cfg.ReorderDelay
+	}
+	s.eng.AfterCall(delay, switchDeliver, f)
 }
 
 // switchDeliver moves a frame from the switch crossbar onto its egress

@@ -1,0 +1,35 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestExampleSpecsParse keeps the committed example specs valid: every
+// JSON file under examples/scenarios must pass strict validation. The
+// CI scenario-serve job additionally runs them end to end.
+func TestExampleSpecsParse(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		n++
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Parse(b); err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+		}
+	}
+	if n < 2 {
+		t.Fatalf("expected at least 2 example specs, found %d", n)
+	}
+}

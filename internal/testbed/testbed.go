@@ -52,6 +52,10 @@ type MachineSpec struct {
 	// maximum so the advertised blocks are useful). Ignored for the
 	// baseline stacks, whose recovery is fixed by their personality.
 	SACK bool
+	// OOOCap, when > 0, overrides the reassembly interval budget for any
+	// personality: FlexTOE's core.Config.OOOIntervals or the baseline
+	// profile's OOOIntervals. 0 keeps the personality default.
+	OOOCap int
 
 	// TAS knobs.
 	StackCores int // dedicated fast-path cores (default 1)
@@ -230,6 +234,9 @@ func (tb *Testbed) add(idx int, spec MachineSpec) {
 				cfg.OOOIntervals = tcpseg.MaxOOOIntervals
 			}
 		}
+		if spec.OOOCap > 0 {
+			cfg.OOOIntervals = spec.OOOCap
+		}
 		m.TOE = core.New(eng, cfg, iface)
 		m.Ctrl = ctrl.New(eng, m.TOE, ctrl.Config{
 			LocalIP:       ip,
@@ -254,6 +261,9 @@ func (tb *Testbed) add(idx int, spec MachineSpec) {
 		}
 		if spec.StackCores > 0 {
 			prof.StackCores = spec.StackCores
+		}
+		if spec.OOOCap > 0 {
+			prof.OOOIntervals = spec.OOOCap
 		}
 		prof.ListenBacklog = spec.ListenBacklog
 		m.Base = baseline.NewStack(eng, prof, iface, machine, ip, spec.BufSize, spec.Seed^uint64(idx))
