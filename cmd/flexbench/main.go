@@ -125,7 +125,7 @@ func runServe(args []string, stdout, stderr io.Writer) int {
 		usage(stderr, fs)
 		return 2
 	}
-	srv, err := server.New(server.Config{Dir: *dir, Workers: *workers})
+	srv, err := server.New(server.Config{Dir: *dir, Workers: *workers, Log: stderr})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1

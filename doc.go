@@ -322,8 +322,9 @@
 // block (counter groups, flowmon attach points or per-rack fleets,
 // per-flow records). internal/scenario/server exposes the runner as an
 // HTTP job API (`flexbench serve`): POST a spec, follow the run as an
-// NDJSON stream of progress and per-flow records, fetch the canonical
-// result. The contract has three clauses:
+// NDJSON stream of progress lines — plus per-flow records when the
+// measure block sets per_flow — and fetch the canonical result. The
+// contract has three clauses:
 //
 //   - Strict validation, then exact construction. Parse rejects unknown
 //     fields, out-of-range probabilities, dangling machine references,

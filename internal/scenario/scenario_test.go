@@ -76,6 +76,7 @@ func TestParseRejectsInvalidSpecs(t *testing.T) {
 		{"unknown stack", strings.Replace(base, `"stack": "flextoe", "cores": 2, "buf_bytes": 262144, "sack": true, "seed": 155`, `"stack": "bsd"`, 1), "unknown stack"},
 		{"duplicate machine", strings.Replace(base, `"name": "server"`, `"name": "client"`, 1), "duplicate machine"},
 		{"unknown workload machine", strings.Replace(base, `"clients": ["client"]`, `"clients": ["nope"]`, 1), "unknown machine"},
+		{"empty bulk clients", strings.Replace(base, `"clients": ["client"]`, `"clients": []`, 1), "clients must be non-empty"},
 		{"zero port", strings.Replace(base, `"port": 9000`, `"port": 0`, 1), "port must be nonzero"},
 		{"unknown flowmon machine", strings.Replace(base, `"flowmon": [{"machine": "client"}]`, `"flowmon": [{"machine": "ghost"}]`, 1), "unknown machine"},
 		{"duplicate flowmon attach", strings.Replace(base, `[{"machine": "client"}]`, `[{"machine": "client"}, {"machine": "client"}]`, 1), "already has an analyzer"},

@@ -18,8 +18,11 @@
 //	GET  /jobs/{id}         one job's status
 //	GET  /jobs/{id}/result  canonical result payload (409 until done)
 //	GET  /jobs/{id}/stream  NDJSON: progress lines, then per-flow
-//	                        records, then a terminal done/canceled/
-//	                        failed line
+//	                        records (when the spec sets
+//	                        measure.per_flow), then a terminal done/
+//	                        canceled/failed line; if the server shuts
+//	                        down while the job is still queued, the
+//	                        stream ends with a "shutdown" line instead
 //	POST /jobs/{id}/cancel  request cancellation (effective at the next
 //	                        progress boundary)
 //
@@ -68,6 +71,9 @@ type Config struct {
 	// buys nothing for CPU-bound simulation and interleaves working
 	// sets, exactly the runCells rationale.
 	Workers int
+	// Log receives diagnostics the job API cannot express (persistence
+	// failures after a job was accepted). Nil disables logging.
+	Log io.Writer
 }
 
 // job is one submitted scenario run. All mutable fields are guarded by
@@ -77,18 +83,20 @@ type job struct {
 	name string
 	spec []byte
 
-	state   string
-	errMsg  string
-	result  []byte // canonical payload once state == done
-	doneUs  int64
-	totalUs int64
-	cancel  bool
+	state      string
+	errMsg     string
+	result     []byte // canonical payload once state == done
+	doneUs     int64
+	totalUs    int64
+	cancel     bool
+	persistErr string // last failure writing this job's files, if any
 }
 
 // Server is the scenario job service. It implements http.Handler.
 type Server struct {
 	dir     string
 	workers int
+	log     io.Writer
 	mux     *http.ServeMux
 
 	mu     sync.Mutex
@@ -116,6 +124,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		dir:     cfg.Dir,
 		workers: w,
+		log:     cfg.Log,
 		byID:    make(map[string]*job),
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -150,7 +159,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Server) Workers() int { return s.workers }
 
 // Close stops the worker pool after in-flight jobs finish. Queued jobs
-// stay queued (and persisted), so a successor server resumes them.
+// stay queued (and persisted), so a successor server resumes them;
+// their open streams end with a "shutdown" line.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
@@ -246,14 +256,7 @@ func (s *Server) nextQueuedLocked() *job {
 // runJob executes one job, publishing progress through the cond and the
 // cancel flag through the progress callback's return value.
 func (s *Server) runJob(j *job) {
-	res, err := scenario.Run(j.spec, func(doneUs, totalUs int64) bool {
-		s.mu.Lock()
-		j.doneUs, j.totalUs = doneUs, totalUs
-		cancel := j.cancel
-		s.cond.Broadcast()
-		s.mu.Unlock()
-		return !cancel
-	})
+	res, err := s.execute(j)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch {
@@ -267,14 +270,38 @@ func (s *Server) runJob(j *job) {
 		j.result = res.Canonical()
 		j.state = StateDone
 		if s.dir != "" {
-			s.writeFile(j.id+".result.json", j.result)
+			if perr := s.writeFile(j.id+".result.json", j.result); perr != nil {
+				j.persistErr = perr.Error()
+				s.logf("job %s: persist result: %v", j.id, perr)
+			}
 		}
 	}
 	s.cond.Broadcast()
 }
 
+// execute runs the scenario for one job. A panic out of the builder or
+// engine (a spec that slipped past validation) becomes a failed job, not
+// a dead worker: the pool and every other job keep running.
+func (s *Server) execute(j *job) (res *scenario.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("scenario panicked: %v", r)
+		}
+	}()
+	return scenario.Run(j.spec, func(doneUs, totalUs int64) bool {
+		s.mu.Lock()
+		j.doneUs, j.totalUs = doneUs, totalUs
+		cancel := j.cancel
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		return !cancel
+	})
+}
+
 // persistTerminal records a canceled/failed outcome so a restarted
-// server does not re-queue the job. Caller holds the mutex.
+// server does not re-queue the job. A persistence failure is recorded on
+// the job (and logged) — the in-memory state stays authoritative.
+// Caller holds the mutex.
 func (s *Server) persistTerminal(j *job) {
 	if s.dir == "" {
 		return
@@ -284,33 +311,48 @@ func (s *Server) persistTerminal(j *job) {
 		Error string `json:"error,omitempty"`
 	}{j.state, j.errMsg})
 	if err == nil {
-		s.writeFile(j.id+".state.json", b)
+		err = s.writeFile(j.id+".state.json", b)
+	}
+	if err != nil {
+		j.persistErr = err.Error()
+		s.logf("job %s: persist state: %v", j.id, err)
 	}
 }
 
 // writeFile persists bytes atomically-enough for this service: write a
 // temp file, then rename over the final name.
-func (s *Server) writeFile(name string, b []byte) {
+func (s *Server) writeFile(name string, b []byte) error {
 	tmp := filepath.Join(s.dir, name+".tmp")
 	if err := os.WriteFile(tmp, b, 0o644); err != nil {
-		return
+		return err
 	}
-	_ = os.Rename(tmp, filepath.Join(s.dir, name))
+	return os.Rename(tmp, filepath.Join(s.dir, name))
 }
 
-// status is the wire form of a job's state.
+// logf emits one diagnostic line to the configured log writer.
+func (s *Server) logf(format string, args ...any) {
+	if s.log != nil {
+		fmt.Fprintf(s.log, "scenario server: "+format+"\n", args...)
+	}
+}
+
+// status is the wire form of a job's state. PersistError reports a
+// failure writing the job's spec/result/state files: the job itself is
+// fine in memory, but it will not survive a server restart.
 type status struct {
-	ID      string `json:"id"`
-	Name    string `json:"name,omitempty"`
-	State   string `json:"state"`
-	DoneUs  int64  `json:"done_us"`
-	TotalUs int64  `json:"total_us"`
-	Error   string `json:"error,omitempty"`
+	ID           string `json:"id"`
+	Name         string `json:"name,omitempty"`
+	State        string `json:"state"`
+	DoneUs       int64  `json:"done_us"`
+	TotalUs      int64  `json:"total_us"`
+	Error        string `json:"error,omitempty"`
+	PersistError string `json:"persist_error,omitempty"`
 }
 
 func (j *job) statusLocked() status {
 	return status{ID: j.id, Name: j.name, State: j.state,
-		DoneUs: j.doneUs, TotalUs: j.totalUs, Error: j.errMsg}
+		DoneUs: j.doneUs, TotalUs: j.totalUs, Error: j.errMsg,
+		PersistError: j.persistErr}
 }
 
 func terminal(state string) bool {
@@ -368,12 +410,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	id := fmt.Sprintf("j%06d-%08x", s.seq, h.Sum32())
 	s.seq++
+	// Persist the spec before accepting the job: a 202 promises the job
+	// survives a restart, so a spec that cannot be written is an error
+	// the client must see, not a job that silently vanishes.
+	if s.dir != "" {
+		if err := s.writeFile(id+".spec.json", body); err != nil {
+			s.mu.Unlock()
+			s.logf("job %s: persist spec: %v", id, err)
+			writeError(w, http.StatusInternalServerError, "persist spec: "+err.Error())
+			return
+		}
+	}
 	j := &job{id: id, name: sp.Name, spec: body, state: StateQueued}
 	s.jobs = append(s.jobs, j)
 	s.byID[id] = j
-	if s.dir != "" {
-		s.writeFile(id+".spec.json", body)
-	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, struct {
@@ -440,7 +490,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 // streamLine is one NDJSON stream record. Progress lines carry state
 // and completion; flow lines embed one per-flow record; the terminal
-// line repeats the final state (plus the error for failed jobs).
+// line repeats the final state (plus the error for failed jobs). A
+// "shutdown" line ends the stream of a still-queued job when the server
+// closes.
 type streamLine struct {
 	Type string `json:"type"`
 	status
@@ -472,13 +524,25 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	var st status
 	for {
 		s.mu.Lock()
+		// Stop waiting on shutdown if the job is still queued: Close
+		// drains running jobs but leaves queued ones for a successor
+		// server, so their streams would otherwise park forever.
 		for j.state == lastState && j.doneUs == lastDone && !terminal(j.state) &&
+			!(s.closed && j.state == StateQueued) &&
 			r.Context().Err() == nil {
 			s.cond.Wait()
 		}
+		shutdown := s.closed && j.state == StateQueued
 		st = j.statusLocked()
 		s.mu.Unlock()
 		if r.Context().Err() != nil {
+			return
+		}
+		if shutdown {
+			enc.Encode(streamLine{Type: "shutdown", status: st})
+			if fl != nil {
+				fl.Flush()
+			}
 			return
 		}
 		lastState, lastDone = st.State, st.DoneUs

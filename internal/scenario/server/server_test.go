@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 )
@@ -282,6 +283,71 @@ func TestBadSpecRejected(t *testing.T) {
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
 		t.Fatalf("error body: %v %+v", err, e)
+	}
+}
+
+// TestStreamEndsOnShutdown parks a stream on a queued job behind a busy
+// single-worker pool, then closes the server: the stream must end with a
+// "shutdown" line instead of waiting on the cond forever.
+func TestStreamEndsOnShutdown(t *testing.T) {
+	s, ts := newTestServer(t, 1, t.TempDir())
+	busy := submit(t, ts.URL, slowSpec)    // claims the only worker
+	queued := submit(t, ts.URL, smallSpec) // stays queued behind it
+
+	resp, err := http.Get(ts.URL + "/jobs/" + queued + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("stream produced nothing: %v", sc.Err())
+	}
+	// The queued job's stream is live. Shut down (Close drains the
+	// running job) and cancel the busy job so the drain is quick.
+	closed := make(chan struct{})
+	go func() { s.Close(); close(closed) }()
+	cresp, err := http.Post(ts.URL+"/jobs/"+busy+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+
+	state, _, _ := scanStream(t, resp.Body)
+	if state != "shutdown" {
+		t.Fatalf("terminal line %q, want shutdown", state)
+	}
+	<-closed
+}
+
+// TestSubmitPersistFailure breaks the persistence directory and submits:
+// the spec cannot be written, so the submission must fail loudly (500)
+// rather than accept a job that would vanish on restart.
+func TestSubmitPersistFailure(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, 1, dir)
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(smallSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("submit with broken dir: %s, want 500", resp.Status)
+	}
+	list, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer list.Body.Close()
+	var jobs []json.RawMessage
+	if err := json.NewDecoder(list.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Fatalf("unpersisted job was enqueued anyway: %d jobs listed", len(jobs))
 	}
 }
 

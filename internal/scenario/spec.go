@@ -230,8 +230,9 @@ type Measure struct {
 	// splits, grouped by the same CRC-32 flow hash ECMP uses. Fabric
 	// topologies only.
 	PerRackFleets bool `json:"per_rack_fleets,omitempty"`
-	// PerFlow includes per-flow analyzer records in the Result payload
-	// (they always stream over NDJSON regardless).
+	// PerFlow includes per-flow analyzer records in the Result payload.
+	// The server's NDJSON stream replays flow records from that payload,
+	// so streams carry flow lines only when this is set.
 	PerFlow bool `json:"per_flow,omitempty"`
 }
 
@@ -527,6 +528,9 @@ func (s *Spec) validateWorkload(i int) error {
 		if err := s.checkRefs("bulk", append([]string{b.Server}, b.Clients...)); err != nil {
 			return err
 		}
+		if len(b.Clients) == 0 {
+			return errf("workload bulk: clients must be non-empty")
+		}
 		if b.Conns < 0 {
 			return errf("workload bulk: conns must be >= 0")
 		}
@@ -538,6 +542,9 @@ func (s *Spec) validateWorkload(i int) error {
 		if err := s.checkRefs("rpc", append([]string{r.Server}, r.Clients...)); err != nil {
 			return err
 		}
+		if len(r.Clients) == 0 {
+			return errf("workload rpc: clients must be non-empty")
+		}
 		if r.Conns < 1 || r.ReqBytes < 1 || r.RespBytes < 0 || r.Pipeline < 0 || r.AppCycles < 0 {
 			return errf("workload rpc: conns and req_bytes must be >= 1, other values >= 0")
 		}
@@ -548,6 +555,9 @@ func (s *Spec) validateWorkload(i int) error {
 		k := w.KV
 		if err := s.checkRefs("kv", append([]string{k.Server}, k.Clients...)); err != nil {
 			return err
+		}
+		if len(k.Clients) == 0 {
+			return errf("workload kv: clients must be non-empty")
 		}
 		if k.Conns < 1 || k.KeyBytes < 0 || k.ValBytes < 0 || k.Pipeline < 0 || k.AppCycles < 0 {
 			return errf("workload kv: conns must be >= 1, sizes >= 0")
